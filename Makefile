@@ -1,0 +1,41 @@
+# appendmemory — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test vet cover bench experiments quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+cover:
+	$(GO) test ./... -cover
+
+# One benchmark per experiment plus substrate micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every experiment at full scale (the EXPERIMENTS.md numbers).
+experiments:
+	$(GO) run ./cmd/amexp -e all
+
+# Fast smoke pass over everything.
+quick:
+	$(GO) run ./cmd/amexp -e all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/chain_vs_dag
+	$(GO) run ./examples/msgpassing
+	$(GO) run ./examples/adversary_lab
+	$(GO) run ./examples/impossibility
+
+clean:
+	$(GO) clean ./...

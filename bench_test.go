@@ -1,0 +1,330 @@
+// Package repro_test holds the repository-level benchmark harness: one
+// benchmark per experiment (E1–E20, see DESIGN.md's index), each of which
+// regenerates its experiment's tables — the same rows `amexp -e <id>`
+// prints — and reports the experiment's key figure as a custom metric.
+// Run with -v to see the tables inline:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkE10 -v
+//
+// Micro-benchmarks of the substrates (append memory, chain/DAG indexing,
+// full protocol runs) follow the experiment benchmarks.
+package repro_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/agreement/chainba"
+	"repro/internal/agreement/dagba"
+	"repro/internal/agreement/syncba"
+	"repro/internal/agreement/timestamp"
+	"repro/internal/appendmem"
+	"repro/internal/chain"
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/xrand"
+)
+
+// runExperiment drives one experiment per iteration and logs its tables.
+func runExperiment(b *testing.B, id string, trials int) []*experiments.Table {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = e.Run(experiments.Options{Quick: true, Trials: trials, Seed: 1})
+	}
+	for _, t := range tables {
+		b.Log("\n" + t.String())
+	}
+	return tables
+}
+
+// lastRate extracts the leading float of the last row's cell at col.
+func lastRate(b *testing.B, t *experiments.Table, col int) float64 {
+	b.Helper()
+	row := t.Rows[len(t.Rows)-1]
+	v, err := strconv.ParseFloat(strings.Fields(row[col])[0], 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric", row[col])
+	}
+	return v
+}
+
+func BenchmarkE1_AsyncImpossibility(b *testing.B) {
+	tables := runExperiment(b, "E1", 0)
+	violations := 0
+	for _, row := range tables[0].Rows {
+		if row[len(row)-1] == "false" {
+			violations++
+		}
+	}
+	b.ReportMetric(float64(violations)/float64(len(tables[0].Rows)), "theorem-holds-frac")
+}
+
+func BenchmarkE2_RoundLowerBound(b *testing.B) {
+	tables := runExperiment(b, "E2", 10)
+	// Key figure: agreement failure rate in the last truncated-round row
+	// (rounds = t) of the last case.
+	tbl := tables[0]
+	var truncFail float64
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[4], "failures") {
+			v, _ := strconv.ParseFloat(strings.Fields(row[3])[0], 64)
+			truncFail = v
+		}
+	}
+	b.ReportMetric(truncFail, "agr-fail-at-t-rounds")
+}
+
+func BenchmarkE3_SyncBA(b *testing.B) {
+	tables := runExperiment(b, "E3", 8)
+	b.ReportMetric(lastRate(b, tables[0], 2), "ok-rate-at-max-t")
+}
+
+func BenchmarkE4_Timestamps(b *testing.B) {
+	tables := runExperiment(b, "E4", 20)
+	b.ReportMetric(lastRate(b, tables[0], 1), "val-fail-at-max-k-tight")
+}
+
+func BenchmarkE5_ChainDetTieBreak(b *testing.B) {
+	tables := runExperiment(b, "E5", 10)
+	b.ReportMetric(lastRate(b, tables[0], 2), "validity-at-t-over-n-0.56")
+}
+
+func BenchmarkE6_ChainRandTieBreak(b *testing.B) {
+	tables := runExperiment(b, "E6", 10)
+	b.ReportMetric(lastRate(b, tables[0], 4), "validity-at-max-rate")
+}
+
+func BenchmarkE7_PrivateChainLength(b *testing.B) {
+	tables := runExperiment(b, "E7", 15)
+	b.ReportMetric(lastRate(b, tables[0], 2), "max-burst-at-max-n")
+}
+
+func BenchmarkE8_DagBA(b *testing.B) {
+	tables := runExperiment(b, "E8", 10)
+	b.ReportMetric(lastRate(b, tables[0], len(tables[0].Cols)-1), "dag-validity-hostile-corner")
+}
+
+func BenchmarkE9_MsgPassingSim(b *testing.B) {
+	tables := runExperiment(b, "E9", 0)
+	b.ReportMetric(lastRate(b, tables[0], 1), "append-msgs-at-max-n")
+}
+
+func BenchmarkE10_ChainVsDag(b *testing.B) {
+	tables := runExperiment(b, "E10", 10)
+	chainV := lastRate(b, tables[0], 3)
+	dagV := lastRate(b, tables[0], 4)
+	b.ReportMetric(dagV-chainV, "dag-minus-chain-validity")
+}
+
+func BenchmarkE11_TemporalAsynchrony(b *testing.B) {
+	tables := runExperiment(b, "E11", 10)
+	b.ReportMetric(lastRate(b, tables[0], 1), "dag-validity-max-blackout")
+}
+
+func BenchmarkE12_StalenessAblation(b *testing.B) {
+	tables := runExperiment(b, "E12", 10)
+	stale := lastRate(b, tables[0], 2)
+	fresh := lastRate(b, tables[0], 3)
+	b.ReportMetric(fresh-stale, "fresh-minus-stale-validity")
+}
+
+func BenchmarkE13_StickyBits(b *testing.B) {
+	tables := runExperiment(b, "E13", 0)
+	ok := 0
+	for _, row := range tables[0].Rows {
+		if row[0] == "sticky bit" && row[len(row)-1] == "true" {
+			ok++
+		}
+	}
+	b.ReportMetric(float64(ok), "sticky-configs-solving-consensus")
+}
+
+func BenchmarkE14_Backbone(b *testing.B) {
+	tables := runExperiment(b, "E14", 10)
+	// Quality gap between the last dag row and the last chain-attack row.
+	var chainQ, dagQ float64
+	for _, row := range tables[0].Rows {
+		q, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			continue
+		}
+		if strings.HasPrefix(row[0], "chain, tiebreak") {
+			chainQ = q
+		}
+		if strings.HasPrefix(row[0], "dag") {
+			dagQ = q
+		}
+	}
+	b.ReportMetric(dagQ-chainQ, "dag-minus-chain-quality")
+}
+
+func BenchmarkE15_MemoryVsMessages(b *testing.B) {
+	tables := runExperiment(b, "E15", 8)
+	// Ratio of message-passing relays to append-memory ops on the largest size.
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	amOps, _ := strconv.ParseFloat(last[2], 64)
+	mpMsgs, _ := strconv.ParseFloat(last[3], 64)
+	if amOps > 0 {
+		b.ReportMetric(mpMsgs/amOps, "relays-per-memory-op")
+	}
+}
+
+func BenchmarkE16_AsyncNodes(b *testing.B) {
+	tables := runExperiment(b, "E16", 10)
+	sync := lastRate(b, &experiments.Table{Rows: tables[0].Rows[:1], Cols: tables[0].Cols}, 1)
+	async := lastRate(b, tables[0], 1)
+	b.ReportMetric(sync-async, "chain-validity-lost-to-asynchrony")
+}
+
+func BenchmarkE17_AccessDiscipline(b *testing.B) {
+	tables := runExperiment(b, "E17", 10)
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	poisson := parseCell(b, last[3])
+	rr := parseCell(b, last[4])
+	b.ReportMetric(rr-poisson, "dag-validity-gain-without-bursts")
+}
+
+func BenchmarkE18_DecisionLatency(b *testing.B) {
+	tables := runExperiment(b, "E18", 8)
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	ideal := parseCell(b, last[1])
+	ts := parseCell(b, last[2])
+	if ideal > 0 {
+		b.ReportMetric(ts/ideal, "timestamp-latency-vs-ideal")
+	}
+}
+
+// parseCell extracts the leading float of a cell.
+func parseCell(b *testing.B, cell string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+	if err != nil {
+		b.Fatalf("cell %q not numeric", cell)
+	}
+	return v
+}
+
+func BenchmarkE19_ConfirmationDepth(b *testing.B) {
+	tables := runExperiment(b, "E19", 10)
+	first := parseCell(b, tables[0].Rows[0][2])
+	last := parseCell(b, tables[0].Rows[len(tables[0].Rows)-1][2])
+	b.ReportMetric(last-first, "dag-validity-change-with-depth")
+}
+
+func BenchmarkE20_HashingPower(b *testing.B) {
+	tables := runExperiment(b, "E20", 10)
+	// Spread between configurations' dag validity should be small.
+	lo, hi := 2.0, -1.0
+	for _, row := range tables[0].Rows {
+		v := parseCell(b, row[4])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	b.ReportMetric(hi-lo, "dag-validity-spread-across-shapes")
+}
+
+func BenchmarkE21_GhostAdvantage(b *testing.B) {
+	tables := runExperiment(b, "E21", 10)
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	ghost := parseCell(b, last[1])
+	longest := parseCell(b, last[2])
+	b.ReportMetric(ghost-longest, "ghost-minus-longest-validity")
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkAppendMemoryAppend(b *testing.B) {
+	m := appendmem.New(8)
+	w := m.Writer(0)
+	parent := appendmem.None
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := w.MustAppend(1, 0, []appendmem.MsgID{parent})
+		parent = msg.ID
+	}
+}
+
+func BenchmarkChainBuild1000(b *testing.B) {
+	m := appendmem.New(8)
+	rng := xrand.New(1, 1)
+	var ids []appendmem.MsgID
+	for i := 0; i < 1000; i++ {
+		parent := appendmem.None
+		if len(ids) > 0 {
+			parent = ids[rng.Intn(len(ids))]
+		}
+		msg := m.Writer(appendmem.NodeID(rng.Intn(8))).MustAppend(1, 0, []appendmem.MsgID{parent})
+		ids = append(ids, msg.ID)
+	}
+	view := m.Read()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := chain.Build(view)
+		_ = tree.LongestTips()
+	}
+}
+
+func BenchmarkDagBuildAndLinearize1000(b *testing.B) {
+	m := appendmem.New(8)
+	rng := xrand.New(2, 2)
+	var ids []appendmem.MsgID
+	for i := 0; i < 1000; i++ {
+		var parents []appendmem.MsgID
+		if len(ids) > 0 {
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				parents = append(parents, ids[rng.Intn(len(ids))])
+			}
+		}
+		msg := m.Writer(appendmem.NodeID(rng.Intn(8))).MustAppend(1, 0, parents)
+		ids = append(ids, msg.ID)
+	}
+	view := m.Read()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dag.Build(view)
+		_ = d.Linearize(d.GhostPivot())
+	}
+}
+
+func BenchmarkProtocolRunTimestamp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 3, Lambda: 0.5, K: 21, Seed: uint64(i),
+		}, timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
+	}
+}
+
+func BenchmarkProtocolRunChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 3, Lambda: 0.5, K: 21, Seed: uint64(i),
+		}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
+	}
+}
+
+func BenchmarkProtocolRunDag(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 3, Lambda: 0.5, K: 21, Seed: uint64(i),
+		}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
+	}
+}
+
+func BenchmarkProtocolRunSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		syncba.MustRun(syncba.Config{N: 9, T: 4, Seed: uint64(i)}, &syncba.LoudFlip{})
+	}
+}

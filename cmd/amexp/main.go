@@ -1,0 +1,70 @@
+// Command amexp regenerates the paper's experiments (see DESIGN.md's
+// experiment index): each experiment corresponds to one theorem or lemma
+// and prints the measured tables next to the analytic predictions.
+//
+// Examples:
+//
+//	amexp -list
+//	amexp -e E10
+//	amexp -e all -quick
+//	amexp -e E6 -trials 200 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("e", "all", "experiment id (E1..E19) or 'all'")
+		trials = flag.Int("trials", 0, "trials per parameter point (0 = experiment default)")
+		seed   = flag.Uint64("seed", 1, "base seed")
+		quick  = flag.Bool("quick", false, "trimmed parameter grids")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		format = flag.String("format", "text", "output format: text | md")
+		bars   = flag.Int("bars", -1, "also render this column index of each table as an ASCII bar chart")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-55s %s\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	var selected []experiments.Experiment
+	if strings.EqualFold(*exp, "all") {
+		selected = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "amexp: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		selected = []experiments.Experiment{e}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(opts)
+		fmt.Printf("### %s — %s (%s) [%v]\n\n", e.ID, e.Title, e.PaperRef, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if *format == "md" {
+				fmt.Println(t.Markdown())
+			} else {
+				fmt.Println(t)
+			}
+			if *bars >= 0 && *bars < len(t.Cols) {
+				fmt.Println(t.Bars(*bars, 40))
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command amrun executes one Byzantine-agreement protocol run (or a batch
+// of trials) in the append memory and reports the consensus verdict.
+//
+// Examples:
+//
+//	amrun -protocol dag -n 10 -t 4 -lambda 1 -k 41 -attack private-chain
+//	amrun -protocol chain -tiebreak random -n 10 -t 4 -lambda 1 -k 41 -attack tiebreak -trials 50
+//	amrun -protocol sync -n 8 -t 3 -rounds 2 -inputs split:3 -attack delayed-chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/appendmem"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "dag", "sync | timestamp | chain | dag")
+		n        = flag.Int("n", 10, "total nodes")
+		t        = flag.Int("t", 0, "Byzantine nodes (the last t ids)")
+		lambda   = flag.Float64("lambda", 0.5, "token rate per node per Δ (randomized protocols)")
+		delta    = flag.Float64("delta", 1.0, "synchrony bound Δ")
+		k        = flag.Int("k", 21, "decision threshold (randomized protocols)")
+		rounds   = flag.Int("rounds", 0, "rounds for sync protocol (0 = t+1)")
+		tiebreak = flag.String("tiebreak", "random", "chain tie-breaking: first | random | adversarial")
+		pivot    = flag.String("pivot", "ghost", "dag pivot rule: ghost | longest")
+		attack   = flag.String("attack", "silent", "silent | flip | random | fork | tiebreak | private-chain | equivocate | delayed-chain | loud-flip")
+		crashes  = flag.Int("crashes", 0, "crash-faulty correct nodes")
+		inputs   = flag.String("inputs", "same", `inputs: same | same:-1 | split:<ones> | random`)
+		seed     = flag.Uint64("seed", 1, "base seed")
+		trials   = flag.Int("trials", 1, "number of runs (seeds seed..seed+trials-1)")
+		fresh    = flag.Bool("fresh-reads", false, "ablation: honest nodes read at grant time (no Δ staleness)")
+		rr       = flag.Bool("round-robin", false, "ablation: burst-free round-robin token authority")
+		stallAt  = flag.Int("stall-at", 0, "inject async blackout once memory reaches this size (0 = off)")
+		stallFor = flag.Float64("stall-for", 0, "blackout duration in Δ (0 = default 8)")
+		verbose  = flag.Bool("v", false, "print per-node decisions")
+		traceN   = flag.Int("trace", 0, "print the last N trace events of the run")
+	)
+	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceN > 0 {
+		rec = trace.New()
+	}
+	cfg := core.Config{
+		Protocol: core.Protocol(*protocol),
+		N:        *n, T: *t,
+		Lambda: *lambda, Delta: *delta, K: *k, Rounds: *rounds,
+		TieBreak:    core.TieBreak(*tiebreak),
+		Pivot:       core.Pivot(*pivot),
+		Attack:      core.Attack(*attack),
+		Crashes:     *crashes,
+		Inputs:      *inputs,
+		Seed:        *seed,
+		FreshReads:  *fresh,
+		RoundRobin:  *rr,
+		StallAtSize: *stallAt,
+		StallFor:    *stallFor,
+		Trace:       rec,
+	}
+
+	if *trials > 1 {
+		s, err := core.RunTrials(cfg, *trials)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s n=%d t=%d λ=%g k=%d attack=%s: %s\n",
+			cfg.Protocol, cfg.N, cfg.T, cfg.Lambda, cfg.K, cfg.Attack, s)
+		return
+	}
+
+	r, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("protocol    %s (attack %s)\n", cfg.Protocol, cfg.Attack)
+	fmt.Printf("nodes       n=%d t=%d crashes=%d\n", cfg.N, cfg.T, cfg.Crashes)
+	fmt.Printf("verdict     agreement=%v validity=%v termination=%v\n",
+		r.Verdict.Agreement, r.Verdict.Validity, r.Verdict.Termination)
+	fmt.Printf("appends     total=%d byzantine=%d\n", r.TotalAppends, r.ByzAppends)
+	fmt.Printf("duration    %.3f Δ\n", float64(r.Duration))
+	if *verbose {
+		for i, d := range r.Decision {
+			role := r.Roster.Role(appendmem.NodeID(i))
+			status := "undecided"
+			if r.Decided[i] {
+				status = fmt.Sprintf("decided %+d", d)
+			}
+			fmt.Printf("  node %2d  %-9s input %+d  %s\n", i, role, r.Inputs[i], status)
+		}
+	}
+	if rec != nil {
+		fmt.Printf("trace (%d events total):\n%s", rec.Len(), rec.Render(*traceN))
+	}
+	if !r.Verdict.OK() {
+		os.Exit(2)
+	}
+}

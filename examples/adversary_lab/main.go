@@ -1,0 +1,112 @@
+// Adversary lab: every attack of Section 5 against both structures, with
+// the structural damage made visible — forks, orphaned blocks, Byzantine
+// share of the decision prefix and the resulting verdicts.
+//
+//	go run ./examples/adversary_lab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/dag"
+)
+
+func main() {
+	const (
+		n, t   = 10, 4
+		lambda = 1.0
+		k      = 41
+		trials = 25
+	)
+	fmt.Printf("Adversary lab: n=%d t=%d λ=%g k=%d, %d trials each\n\n", n, t, lambda, k, trials)
+	fmt.Printf("%-9s %-14s %-13s  %-22s %s\n", "protocol", "attack", "validity", "byz share of prefix", "structure damage")
+
+	cases := []struct {
+		protocol core.Protocol
+		tb       core.TieBreak
+		attack   core.Attack
+	}{
+		{core.Chain, core.TieRandom, core.AttackSilent},
+		{core.Chain, core.TieRandom, core.AttackFlip},
+		{core.Chain, core.TieAdversarial, core.AttackFork},
+		{core.Chain, core.TieRandom, core.AttackTieBreak},
+		{core.Chain, core.TieRandom, core.AttackEquivocate},
+		{core.Dag, "", core.AttackSilent},
+		{core.Dag, "", core.AttackFlip},
+		{core.Dag, "", core.AttackPrivateChain},
+	}
+	for _, tc := range cases {
+		valid := 0
+		var byzShare, damage float64
+		for seed := uint64(0); seed < trials; seed++ {
+			r, err := core.Run(core.Config{
+				Protocol: tc.protocol, N: n, T: t, Lambda: lambda, K: k,
+				TieBreak: tc.tb, Attack: tc.attack, Seed: seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r.Verdict.Validity {
+				valid++
+			}
+			share, dmg := analyze(r, string(tc.protocol), k)
+			byzShare += share
+			damage += dmg
+		}
+		dmgLabel := "orphaned blocks"
+		if tc.protocol == core.Dag {
+			dmgLabel = "blocks outside ordering"
+		}
+		fmt.Printf("%-9s %-14s %3d/%-9d  %-22.3f %.1f %s\n",
+			tc.protocol, tc.attack, valid, trials, byzShare/trials, damage/trials, dmgLabel)
+	}
+	fmt.Println("\nReading the table: the fork attack needs adversarial ties (Theorem 5.3);")
+	fmt.Println("the tie-break attack kills the chain at high λ (Theorem 5.4); the DAG")
+	fmt.Println("wastes nothing and holds validity (Theorem 5.6).")
+}
+
+// analyze returns the Byzantine share of the decision prefix and the count
+// of blocks that do not contribute to it (orphans / unordered blocks).
+func analyze(r *core.Result, protocol string, k int) (byzShare, damage float64) {
+	view := r.FinalView
+	switch protocol {
+	case "chain":
+		tree := chain.Build(view)
+		tips := tree.LongestTips()
+		if len(tips) == 0 {
+			return 0, 0
+		}
+		ids := tree.ChainTo(tips[0])
+		if len(ids) > k {
+			ids = ids[:k]
+		}
+		byz := 0
+		for _, id := range ids {
+			if r.Roster.IsByzantine(view.Message(id).Author) {
+				byz++
+			}
+		}
+		return float64(byz) / float64(len(ids)), float64(tree.Forks())
+	case "dag":
+		d := dag.Build(view)
+		order := d.Linearize(d.GhostPivot())
+		unordered := d.Size() - len(order)
+		if len(order) > k {
+			order = order[:k]
+		}
+		if len(order) == 0 {
+			return 0, 0
+		}
+		byz := 0
+		for _, id := range order {
+			if r.Roster.IsByzantine(view.Message(id).Author) {
+				byz++
+			}
+		}
+		return float64(byz) / float64(len(order)), float64(unordered)
+	}
+	return 0, 0
+}

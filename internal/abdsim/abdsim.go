@@ -1,0 +1,411 @@
+// Package abdsim implements Section 4 of the paper: the simulation of the
+// append memory in the message-passing model, following Algorithms 2
+// (M.append) and 3 (M.read) — an ABD-style construction with signatures.
+//
+// Every node keeps a local view M_v of signed append records.
+//
+//   - Append (Algorithm 2): the appender signs its record and broadcasts
+//     append(rec). Every receiver verifies the author's signature, adds
+//     the record to its local view and broadcasts a signed ack. The append
+//     operation terminates once acks from more than n/2 distinct nodes
+//     (with valid signatures over the record) arrive.
+//   - Read (Algorithm 3): the reader broadcasts read(); every receiver
+//     responds with its local view; once views from more than n/2 distinct
+//     nodes arrive, the reader merges every record that carries a valid
+//     author signature into its own view and returns it.
+//
+// Quorum intersection gives the paper's Lemma 4.2: an append that
+// terminated was stored by a majority, every read contacts a majority, so
+// every completed append is visible to every subsequent read. Byzantine
+// nodes cannot forge records of correct authors (ed25519 verification is
+// actually performed); they *can* append multiple conflicting records in
+// parallel — which the append memory permits too, so the simulation stays
+// faithful (see the discussion after Lemma 4.2).
+package abdsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/appendmem"
+	"repro/internal/msgnet"
+)
+
+// Ref identifies another record by (author, seq) — the "reference to a
+// previous state of the memory" of the paper's message definition, in the
+// message-passing encoding.
+type Ref struct {
+	Author appendmem.NodeID
+	Seq    int32
+}
+
+// Record is one append command: the author's value (with an optional round
+// label) at the author's local sequence number, plus references to
+// previously appended records.
+type Record struct {
+	Author appendmem.NodeID
+	Seq    int32
+	Round  int32
+	Value  int64
+	Refs   []Ref
+}
+
+const recordHeader = 4 + 4 + 4 + 8 + 4 // fields + ref count
+const refSize = 8
+
+// recordSize kept for the fixed-size fast paths of ref-free records.
+const recordSize = recordHeader
+
+func (r Record) wireSize() int { return recordHeader + len(r.Refs)*refSize }
+
+// Key returns the record's identity independent of Refs slice aliasing —
+// two records are the same iff their Marshal bytes coincide.
+func (r Record) Key() string { return string(r.Marshal()) }
+
+// Marshal returns the deterministic wire encoding of the record — the
+// exact bytes that are signed.
+func (r Record) Marshal() []byte {
+	buf := make([]byte, r.wireSize())
+	binary.LittleEndian.PutUint32(buf[0:], uint32(r.Author))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(r.Seq))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(r.Round))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(r.Value))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(r.Refs)))
+	for i, ref := range r.Refs {
+		off := recordHeader + i*refSize
+		binary.LittleEndian.PutUint32(buf[off:], uint32(ref.Author))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(ref.Seq))
+	}
+	return buf
+}
+
+// UnmarshalRecord decodes a record from wire bytes.
+func UnmarshalRecord(b []byte) (Record, error) {
+	if len(b) < recordHeader {
+		return Record{}, errors.New("abdsim: bad record size")
+	}
+	count := binary.LittleEndian.Uint32(b[20:])
+	if count > 1<<16 || len(b) != recordHeader+int(count)*refSize {
+		return Record{}, errors.New("abdsim: bad record ref count")
+	}
+	r := Record{
+		Author: appendmem.NodeID(int32(binary.LittleEndian.Uint32(b[0:]))),
+		Seq:    int32(binary.LittleEndian.Uint32(b[4:])),
+		Round:  int32(binary.LittleEndian.Uint32(b[8:])),
+		Value:  int64(binary.LittleEndian.Uint64(b[12:])),
+	}
+	for i := 0; i < int(count); i++ {
+		off := recordHeader + i*refSize
+		r.Refs = append(r.Refs, Ref{
+			Author: appendmem.NodeID(int32(binary.LittleEndian.Uint32(b[off:]))),
+			Seq:    int32(binary.LittleEndian.Uint32(b[off+4:])),
+		})
+	}
+	return r, nil
+}
+
+// SignedRecord is a record together with its author's signature over
+// Marshal().
+type SignedRecord struct {
+	Record Record
+	Sig    []byte
+}
+
+const sigSize = 64 // ed25519
+
+func (sr SignedRecord) marshal() []byte {
+	return append(sr.Record.Marshal(), sr.Sig...)
+}
+
+func (sr SignedRecord) wireSize() int { return sr.Record.wireSize() + sigSize }
+
+func unmarshalSigned(b []byte) (SignedRecord, error) {
+	if len(b) < recordHeader+sigSize {
+		return SignedRecord{}, errors.New("abdsim: bad signed record size")
+	}
+	rec, err := UnmarshalRecord(b[:len(b)-sigSize])
+	if err != nil {
+		return SignedRecord{}, err
+	}
+	return SignedRecord{Record: rec, Sig: append([]byte(nil), b[len(b)-sigSize:]...)}, nil
+}
+
+// Message kinds on the wire.
+const (
+	kindAppend = "append"
+	kindAck    = "ack"
+	kindRead   = "read"
+	kindView   = "view"
+)
+
+// Node is one participant in the simulated append memory.
+type Node struct {
+	id      appendmem.NodeID
+	nw      *msgnet.Network
+	signer  *msgnet.Signer
+	view    map[string]SignedRecord // keyed by record wire bytes
+	order   []string                // insertion order for deterministic iteration
+	nextSeq int32
+	crashed bool
+
+	pendingAppends map[string]*appendOp // keyed by record wire bytes
+	pendingReads   map[int64]*readOp
+	nextReadID     int64
+}
+
+type appendOp struct {
+	ackers map[appendmem.NodeID]bool
+	done   func()
+	fired  bool
+}
+
+type readOp struct {
+	responders map[appendmem.NodeID]bool
+	done       func([]SignedRecord)
+	fired      bool
+}
+
+// NewNode creates node id attached to the network and registers its
+// delivery handler.
+func NewNode(nw *msgnet.Network, id appendmem.NodeID) *Node {
+	n := &Node{
+		id:             id,
+		nw:             nw,
+		signer:         nw.Signer(id),
+		view:           make(map[string]SignedRecord),
+		pendingAppends: make(map[string]*appendOp),
+		pendingReads:   make(map[int64]*readOp),
+	}
+	nw.Register(id, n.deliver)
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() appendmem.NodeID { return n.id }
+
+// Crash makes the node unavailable: it stops responding to all messages.
+// The paper requires correct nodes to be available at all times; crashing
+// more than (n-1)/2 nodes stalls all subsequent operations.
+func (n *Node) Crash() { n.crashed = true }
+
+// ViewSize returns the number of records in the node's local view.
+func (n *Node) ViewSize() int { return len(n.view) }
+
+// LocalView returns the node's local view in insertion order. It does NOT
+// run Algorithm 3; use Read for a linearizable read.
+func (n *Node) LocalView() []SignedRecord {
+	out := make([]SignedRecord, 0, len(n.order))
+	for _, k := range n.order {
+		out = append(out, n.view[k])
+	}
+	return out
+}
+
+// quorum returns the ack/response threshold: strictly more than n/2.
+func (n *Node) quorum() int { return n.nw.N()/2 + 1 }
+
+// Append runs Algorithm 2 without references; see AppendRefs.
+func (n *Node) Append(value int64, round int32, done func()) Record {
+	return n.AppendRefs(value, round, nil, done)
+}
+
+// AppendRefs runs Algorithm 2: sign the record (value, round label and
+// references to previous records), broadcast it, and invoke done once more
+// than n/2 distinct nodes have acked. done may be nil.
+func (n *Node) AppendRefs(value int64, round int32, refs []Ref, done func()) Record {
+	rec := Record{Author: n.id, Seq: n.nextSeq, Round: round, Value: value, Refs: append([]Ref(nil), refs...)}
+	n.nextSeq++
+	sr := SignedRecord{Record: rec, Sig: n.signer.Sign(rec.Marshal())}
+	key := string(rec.Marshal())
+	n.pendingAppends[key] = &appendOp{ackers: make(map[appendmem.NodeID]bool), done: done}
+	n.nw.Broadcast(n.id, kindAppend, sr.marshal())
+	return rec
+}
+
+// Read runs Algorithm 3: broadcast a read request and invoke done with the
+// merged view once more than n/2 distinct nodes responded.
+func (n *Node) Read(done func([]SignedRecord)) {
+	id := n.nextReadID
+	n.nextReadID++
+	n.pendingReads[id] = &readOp{responders: make(map[appendmem.NodeID]bool), done: done}
+	body := make([]byte, 8)
+	binary.LittleEndian.PutUint64(body, uint64(id))
+	n.nw.Broadcast(n.id, kindRead, body)
+}
+
+// addVerified inserts a signed record into the local view after verifying
+// the author's signature. Returns false for forged or malformed records.
+func (n *Node) addVerified(sr SignedRecord) bool {
+	data := sr.Record.Marshal()
+	if !n.nw.Verify(sr.Record.Author, data, sr.Sig) {
+		return false
+	}
+	key := string(data)
+	if _, ok := n.view[key]; !ok {
+		n.view[key] = sr
+		n.order = append(n.order, key)
+	}
+	return true
+}
+
+func (n *Node) deliver(env msgnet.Envelope) {
+	if n.crashed {
+		return
+	}
+	switch env.Kind {
+	case kindAppend:
+		sr, err := unmarshalSigned(env.Body)
+		if err != nil || !n.addVerified(sr) {
+			return // forged or malformed: drop silently
+		}
+		// Broadcast ack: the signed record plus our signature over it.
+		ack := append(sr.marshal(), n.signer.Sign(sr.marshal())...)
+		n.nw.Broadcast(n.id, kindAck, ack)
+
+	case kindAck:
+		if len(env.Body) < recordHeader+sigSize+sigSize {
+			return
+		}
+		recBytes := env.Body[:len(env.Body)-sigSize] // signed record
+		ackSig := env.Body[len(env.Body)-sigSize:]
+		op, ok := n.pendingAppends[string(recBytes[:len(recBytes)-sigSize])]
+		if !ok || op.fired {
+			return
+		}
+		if !n.nw.Verify(env.From, recBytes, ackSig) {
+			return // ack signature invalid
+		}
+		op.ackers[env.From] = true
+		if len(op.ackers) >= n.quorum() {
+			op.fired = true
+			if op.done != nil {
+				op.done()
+			}
+		}
+
+	case kindRead:
+		if len(env.Body) != 8 {
+			return
+		}
+		// Respond with our whole local view, tagged with the read id.
+		// Records are variable-size (reference lists), so each one is
+		// length-prefixed.
+		resp := make([]byte, 8, 8+len(n.order)*(4+recordHeader+sigSize))
+		copy(resp, env.Body)
+		for _, k := range n.order {
+			wire := n.view[k].marshal()
+			var lenb [4]byte
+			binary.LittleEndian.PutUint32(lenb[:], uint32(len(wire)))
+			resp = append(resp, lenb[:]...)
+			resp = append(resp, wire...)
+		}
+		n.nw.Send(n.id, env.From, kindView, resp)
+
+	case kindView:
+		if len(env.Body) < 8 {
+			return
+		}
+		id := int64(binary.LittleEndian.Uint64(env.Body))
+		op, ok := n.pendingReads[id]
+		if !ok || op.fired {
+			return
+		}
+		body := env.Body[8:]
+		for len(body) >= 4 {
+			l := int(binary.LittleEndian.Uint32(body))
+			if l < recordHeader+sigSize || 4+l > len(body) {
+				return // malformed framing: drop the rest
+			}
+			if sr, err := unmarshalSigned(body[4 : 4+l]); err == nil {
+				n.addVerified(sr) // drops forged entries
+			}
+			body = body[4+l:]
+		}
+		op.responders[env.From] = true
+		if len(op.responders) >= n.quorum() {
+			op.fired = true
+			if op.done != nil {
+				op.done(n.LocalView())
+			}
+		}
+	}
+}
+
+// ByzantineNode exposes the raw powers of a Byzantine participant: it can
+// emit arbitrary envelopes, sign with its own key, and fabricate records —
+// but it holds no other node's key, so forging a correct author fails
+// verification at every correct receiver.
+type ByzantineNode struct {
+	ID     appendmem.NodeID
+	NW     *msgnet.Network
+	Signer *msgnet.Signer
+	seq    int32
+}
+
+// NewByzantineNode registers a Byzantine node that ignores all deliveries
+// (strategies drive it directly).
+func NewByzantineNode(nw *msgnet.Network, id appendmem.NodeID) *ByzantineNode {
+	nw.Register(id, func(msgnet.Envelope) {})
+	return &ByzantineNode{ID: id, NW: nw, Signer: nw.Signer(id)}
+}
+
+// AppendEquivocate broadcasts two different validly-signed records with
+// the SAME sequence number to model parallel appends; both will be
+// accepted by correct nodes, matching the append-memory semantics.
+func (b *ByzantineNode) AppendEquivocate(v1, v2 int64, round int32) (Record, Record) {
+	r1 := Record{Author: b.ID, Seq: b.seq, Round: round, Value: v1}
+	r2 := Record{Author: b.ID, Seq: b.seq, Round: round, Value: v2}
+	b.seq++
+	for _, r := range []Record{r1, r2} {
+		sr := SignedRecord{Record: r, Sig: b.Signer.Sign(r.Marshal())}
+		b.NW.Broadcast(b.ID, kindAppend, sr.marshal())
+	}
+	return r1, r2
+}
+
+// ForgeAppend broadcasts a record claiming the given (correct) author,
+// signed with the Byzantine node's own key — the only key it has. Correct
+// receivers must reject it.
+func (b *ByzantineNode) ForgeAppend(victim appendmem.NodeID, value int64) Record {
+	rec := Record{Author: victim, Seq: 9999, Value: value}
+	sr := SignedRecord{Record: rec, Sig: b.Signer.Sign(rec.Marshal())}
+	b.NW.Broadcast(b.ID, kindAppend, sr.marshal())
+	return rec
+}
+
+// Cluster wires a simulator, network and n nodes together; ids in byz are
+// created as ByzantineNodes, the rest as correct Nodes.
+type Cluster struct {
+	Nodes []*Node
+	Byz   map[appendmem.NodeID]*ByzantineNode
+	NW    *msgnet.Network
+}
+
+// NewCluster builds a cluster of n nodes on nw. byz lists Byzantine ids.
+func NewCluster(nw *msgnet.Network, byz []appendmem.NodeID) *Cluster {
+	c := &Cluster{NW: nw, Byz: make(map[appendmem.NodeID]*ByzantineNode)}
+	isByz := make(map[appendmem.NodeID]bool)
+	for _, id := range byz {
+		isByz[id] = true
+	}
+	c.Nodes = make([]*Node, nw.N())
+	for i := 0; i < nw.N(); i++ {
+		id := appendmem.NodeID(i)
+		if isByz[id] {
+			c.Byz[id] = NewByzantineNode(nw, id)
+		} else {
+			c.Nodes[i] = NewNode(nw, id)
+		}
+	}
+	return c
+}
+
+// Node returns the correct node with the given id, or an error for
+// Byzantine/unknown ids.
+func (c *Cluster) Node(id appendmem.NodeID) (*Node, error) {
+	if int(id) < 0 || int(id) >= len(c.Nodes) || c.Nodes[id] == nil {
+		return nil, fmt.Errorf("abdsim: node %d is not a correct node", id)
+	}
+	return c.Nodes[id], nil
+}

@@ -1,0 +1,188 @@
+package abdsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file implements a history checker for the simulated append memory:
+// operations are recorded with their invocation/response intervals and the
+// resulting history is checked against the append-memory specification —
+// the executable form of Lemmas 4.1 and 4.2.
+//
+// The append memory's consistency contract (atomic-register style, lifted
+// to sets) is:
+//
+//   regularity (the paper's requirement): a read must return every record
+//   whose append RESPONDED before the read was INVOKED — quorum
+//   intersection makes completed appends stable;
+//
+//   read monotonicity per process: two sequential reads by the same node
+//   return non-shrinking sets (the node merges into its local view);
+//
+//   no phantoms: every record returned by a read was actually appended
+//   (signature verification makes fabrication impossible).
+
+// OpKind distinguishes recorded operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpAppend OpKind = iota
+	OpRead
+)
+
+// Op is one recorded operation interval.
+type Op struct {
+	Kind      OpKind
+	Node      int
+	Invoked   sim.Time
+	Responded sim.Time
+	Done      bool // response observed
+	// Record is the appended record (OpAppend).
+	Record Record
+	// Returned is the read's result set (OpRead).
+	Returned []SignedRecord
+}
+
+// History accumulates operation intervals.
+type History struct {
+	ops []*Op
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// BeginAppend records an append invocation and returns a completion hook.
+func (h *History) BeginAppend(s *sim.Sim, nodeID int, rec Record) func() {
+	op := &Op{Kind: OpAppend, Node: nodeID, Invoked: s.Now(), Record: rec}
+	h.ops = append(h.ops, op)
+	return func() {
+		op.Responded = s.Now()
+		op.Done = true
+	}
+}
+
+// BeginRead records a read invocation and returns a completion hook taking
+// the returned view.
+func (h *History) BeginRead(s *sim.Sim, nodeID int) func([]SignedRecord) {
+	op := &Op{Kind: OpRead, Node: nodeID, Invoked: s.Now()}
+	h.ops = append(h.ops, op)
+	return func(view []SignedRecord) {
+		op.Responded = s.Now()
+		op.Done = true
+		op.Returned = append([]SignedRecord(nil), view...)
+	}
+}
+
+// Ops returns the recorded operations in invocation order.
+func (h *History) Ops() []*Op {
+	sort.SliceStable(h.ops, func(i, j int) bool { return h.ops[i].Invoked < h.ops[j].Invoked })
+	return h.ops
+}
+
+// Check validates the history against the append-memory contract and
+// returns the violations found (empty = consistent).
+func (h *History) Check() []string {
+	var violations []string
+	ops := h.Ops()
+
+	appended := make(map[string]bool)
+	for _, op := range ops {
+		if op.Kind == OpAppend {
+			appended[op.Record.Key()] = true
+		}
+	}
+
+	// No phantoms.
+	for _, op := range ops {
+		if op.Kind != OpRead || !op.Done {
+			continue
+		}
+		for _, sr := range op.Returned {
+			if !appended[sr.Record.Key()] {
+				violations = append(violations,
+					fmt.Sprintf("read by %d returned phantom record %+v", op.Node, sr.Record))
+			}
+		}
+	}
+
+	// Regularity: completed appends are visible to later reads.
+	for _, ap := range ops {
+		if ap.Kind != OpAppend || !ap.Done {
+			continue
+		}
+		for _, rd := range ops {
+			if rd.Kind != OpRead || !rd.Done || rd.Invoked <= ap.Responded {
+				continue
+			}
+			found := false
+			apKey := ap.Record.Key()
+			for _, sr := range rd.Returned {
+				if sr.Record.Key() == apKey {
+					found = true
+					break
+				}
+			}
+			if !found {
+				violations = append(violations,
+					fmt.Sprintf("read by %d (invoked %.3f) missed append %+v (completed %.3f)",
+						rd.Node, float64(rd.Invoked), ap.Record, float64(ap.Responded)))
+			}
+		}
+	}
+
+	// Per-node read monotonicity.
+	lastSet := make(map[int]map[string]bool)
+	for _, op := range ops {
+		if op.Kind != OpRead || !op.Done {
+			continue
+		}
+		cur := make(map[string]bool, len(op.Returned))
+		for _, sr := range op.Returned {
+			cur[sr.Record.Key()] = true
+		}
+		if prev, ok := lastSet[op.Node]; ok {
+			for rec := range prev {
+				if !cur[rec] {
+					violations = append(violations,
+						fmt.Sprintf("node %d's read shrank: lost record %x", op.Node, rec))
+				}
+			}
+		}
+		lastSet[op.Node] = cur
+	}
+	return violations
+}
+
+// InstrumentedAppend wraps Node.Append with history recording.
+func (n *Node) InstrumentedAppend(s *sim.Sim, h *History, value int64, round int32, done func()) Record {
+	// Append only schedules traffic on the simulator; its completion
+	// callback cannot fire before control returns here, so assigning the
+	// history hook right after the call is safe (and the nil guard makes
+	// the ordering assumption explicit).
+	var complete func()
+	rec := n.Append(value, round, func() {
+		if complete != nil {
+			complete()
+		}
+		if done != nil {
+			done()
+		}
+	})
+	complete = h.BeginAppend(s, int(n.id), rec)
+	return rec
+}
+
+// InstrumentedRead wraps Node.Read with history recording.
+func (n *Node) InstrumentedRead(s *sim.Sim, h *History, done func([]SignedRecord)) {
+	complete := h.BeginRead(s, int(n.id))
+	n.Read(func(view []SignedRecord) {
+		complete(view)
+		if done != nil {
+			done(view)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package abdsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/msgnet"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// The executable Lemmas 4.1/4.2: random workloads over the simulated
+// memory produce histories that satisfy the append-memory contract.
+func TestHistoryRandomWorkloadsConsistent(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		s := sim.New()
+		rng := xrand.New(seed, 0xAB1)
+		nw := msgnet.New(s, rng.Split(), 5, 1.0)
+		c := NewCluster(nw, nil)
+		h := NewHistory()
+
+		// Random interleaved appends and reads over virtual time.
+		for i := 0; i < 40; i++ {
+			at := sim.Time(rng.Float64() * 30)
+			nodeID := rng.Intn(5)
+			if rng.Bool() {
+				val := int64(1)
+				if rng.Bool() {
+					val = -1
+				}
+				i := i
+				s.At(at, func() {
+					c.Nodes[nodeID].InstrumentedAppend(s, h, val, int32(i), nil)
+				})
+			} else {
+				s.At(at, func() {
+					c.Nodes[nodeID].InstrumentedRead(s, h, nil)
+				})
+			}
+		}
+		s.Run()
+		if violations := h.Check(); len(violations) != 0 {
+			t.Fatalf("seed %d: history violations:\n%s", seed, strings.Join(violations, "\n"))
+		}
+	}
+}
+
+func TestHistoryConsistentUnderMinorityCrash(t *testing.T) {
+	s := sim.New()
+	rng := xrand.New(3, 3)
+	nw := msgnet.New(s, rng.Split(), 5, 1.0)
+	c := NewCluster(nw, nil)
+	h := NewHistory()
+	for i := 0; i < 20; i++ {
+		at := sim.Time(rng.Float64() * 20)
+		nodeID := rng.Intn(4) // node 4 will crash
+		i := i
+		if rng.Bool() {
+			s.At(at, func() { c.Nodes[nodeID].InstrumentedAppend(s, h, 1, int32(i), nil) })
+		} else {
+			s.At(at, func() { c.Nodes[nodeID].InstrumentedRead(s, h, nil) })
+		}
+	}
+	s.At(10, func() { c.Nodes[4].Crash() })
+	s.Run()
+	if violations := h.Check(); len(violations) != 0 {
+		t.Fatalf("violations under crash:\n%s", strings.Join(violations, "\n"))
+	}
+}
+
+// The checker itself must detect violations — feed it corrupted histories.
+func TestHistoryCheckerDetectsPhantom(t *testing.T) {
+	s := sim.New()
+	h := NewHistory()
+	doneRead := h.BeginRead(s, 0)
+	doneRead([]SignedRecord{{Record: Record{Author: 1, Seq: 0, Value: 9}}})
+	v := h.Check()
+	if len(v) == 0 || !strings.Contains(v[0], "phantom") {
+		t.Fatalf("phantom not detected: %v", v)
+	}
+}
+
+func TestHistoryCheckerDetectsLostAppend(t *testing.T) {
+	s := sim.New()
+	h := NewHistory()
+	rec := Record{Author: 0, Seq: 0, Value: 1}
+	finish := h.BeginAppend(s, 0, rec)
+	finish() // completed at time 0
+	s.At(5, func() {
+		done := h.BeginRead(s, 1)
+		done(nil) // read at time 5 returns nothing: violation
+	})
+	s.Run()
+	v := h.Check()
+	if len(v) == 0 || !strings.Contains(v[0], "missed append") {
+		t.Fatalf("lost append not detected: %v", v)
+	}
+}
+
+func TestHistoryCheckerDetectsShrinkingRead(t *testing.T) {
+	s := sim.New()
+	h := NewHistory()
+	rec := Record{Author: 0, Seq: 0, Value: 1}
+	finishA := h.BeginAppend(s, 0, rec)
+	finishA()
+	r1 := h.BeginRead(s, 1)
+	r1([]SignedRecord{{Record: rec}})
+	s.At(1, func() {
+		r2 := h.BeginRead(s, 1)
+		r2(nil) // second read by same node loses the record
+	})
+	s.Run()
+	v := h.Check()
+	found := false
+	for _, msg := range v {
+		if strings.Contains(msg, "shrank") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shrinking read not detected: %v", v)
+	}
+}
+
+func TestHistoryIncompleteOpsIgnored(t *testing.T) {
+	s := sim.New()
+	h := NewHistory()
+	h.BeginAppend(s, 0, Record{Author: 0}) // never completes
+	h.BeginRead(s, 1)                      // never completes
+	if v := h.Check(); len(v) != 0 {
+		t.Fatalf("incomplete ops flagged: %v", v)
+	}
+}

@@ -1,0 +1,159 @@
+package abdsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/agreement/syncba"
+	"repro/internal/appendmem"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// This file carries the paper's Section 4 claim to its conclusion:
+// Algorithm 1 — Byzantine agreement with synchronous nodes, defined over
+// the append memory — runs unchanged over the SIMULATED memory, with
+// every append a quorum-acked broadcast and every read a quorum-merged
+// view. Rounds are realized by draining the network between phases (the
+// simulation's Δ); the decision rule is literally the same code as the
+// native protocol (syncba.AcceptedValues over a reconstructed view).
+
+// SyncOverResult is the outcome of RunSyncBA.
+type SyncOverResult struct {
+	Outcome *node.Outcome
+	Verdict node.Verdict
+	Roster  node.Roster
+	Stats   struct {
+		Messages int
+		Bytes    int
+	}
+}
+
+// RunSyncBA executes Algorithm 1 with `rounds` rounds (use t+1) over the
+// cluster's simulated append memory. Byzantine members of the cluster stay
+// silent (crash-equivalent); the run demonstrates simulation fidelity, not
+// adversarial timing — sub-round Byzantine delivery games live in the
+// native append-memory harness.
+func RunSyncBA(s *sim.Sim, c *Cluster, inputs []int64, rounds int) (*SyncOverResult, error) {
+	n := c.NW.N()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("abdsim: %d inputs for %d nodes", len(inputs), n)
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("abdsim: rounds must be >= 1")
+	}
+
+	// lastL[i] holds node i's L_{r-1} as refs.
+	lastL := make([][]Ref, n)
+	finalViews := make([][]SignedRecord, n)
+
+	for r := 1; r <= rounds; r++ {
+		// Phase 1: append (val, L_{r-1}).
+		for i, nd := range c.Nodes {
+			if nd == nil || nd.crashed {
+				continue
+			}
+			nd.AppendRefs(inputs[i], int32(r), lastL[i], nil)
+		}
+		s.Run()
+		// Phase 2: read; L_r := round-r records seen.
+		for i, nd := range c.Nodes {
+			if nd == nil || nd.crashed {
+				continue
+			}
+			i := i
+			r := r
+			nd.Read(func(view []SignedRecord) {
+				var lr []Ref
+				for _, sr := range view {
+					if sr.Record.Round == int32(r) {
+						lr = append(lr, Ref{Author: sr.Record.Author, Seq: sr.Record.Seq})
+					}
+				}
+				sort.Slice(lr, func(a, b int) bool {
+					if lr[a].Author != lr[b].Author {
+						return lr[a].Author < lr[b].Author
+					}
+					return lr[a].Seq < lr[b].Seq
+				})
+				lastL[i] = lr
+				if r == rounds {
+					finalViews[i] = view
+				}
+			})
+		}
+		s.Run()
+	}
+
+	roster := node.NewRoster(n, len(c.Byz))
+	// NewRoster marks the LAST t ids Byzantine; remap to the cluster's
+	// actual Byzantine set by building the roster manually when they are
+	// not the suffix. For simplicity we require the suffix convention.
+	for id := range c.Byz {
+		if int(id) < n-len(c.Byz) {
+			return nil, fmt.Errorf("abdsim: RunSyncBA requires Byzantine ids to be the last ones (got %d)", id)
+		}
+	}
+
+	res := &SyncOverResult{Outcome: node.NewOutcome(n), Roster: roster}
+	for i, nd := range c.Nodes {
+		if nd == nil || nd.crashed || finalViews[i] == nil {
+			continue
+		}
+		view, err := reconstruct(n, finalViews[i])
+		if err != nil {
+			return nil, err
+		}
+		accepted := syncba.AcceptedValues(view, rounds)
+		var sum int64
+		for _, v := range accepted {
+			sum += v
+		}
+		res.Outcome.Decide(appendmem.NodeID(i), node.Sign(sum))
+	}
+	res.Verdict = node.Evaluate(roster, node.Inputs(inputs), res.Outcome)
+	st := c.NW.Stats()
+	res.Stats.Messages = st.Messages
+	res.Stats.Bytes = st.Bytes
+	return res, nil
+}
+
+// reconstruct rebuilds an appendmem view from a set of signed records so
+// the native decision rule (syncba.AcceptedValues) can run on it. Records
+// are inserted in round order (refs always point to earlier rounds);
+// references to records outside the set are dropped, matching a view that
+// never saw them.
+func reconstruct(n int, records []SignedRecord) (appendmem.View, error) {
+	recs := make([]Record, len(records))
+	for i, sr := range records {
+		recs[i] = sr.Record
+	}
+	sort.Slice(recs, func(a, b int) bool {
+		if recs[a].Round != recs[b].Round {
+			return recs[a].Round < recs[b].Round
+		}
+		if recs[a].Author != recs[b].Author {
+			return recs[a].Author < recs[b].Author
+		}
+		return recs[a].Seq < recs[b].Seq
+	})
+	m := appendmem.New(n)
+	idOf := make(map[Ref]appendmem.MsgID, len(recs))
+	// Per-author sequence remapping: the memory assigns its own Seq in
+	// insertion order; acceptance chains only need Round labels and parent
+	// links, both preserved.
+	for _, rec := range recs {
+		var parents []appendmem.MsgID
+		for _, ref := range rec.Refs {
+			if id, ok := idOf[ref]; ok {
+				parents = append(parents, id)
+			}
+		}
+		msg, err := m.Writer(rec.Author).Append(rec.Value, int(rec.Round), parents)
+		if err != nil {
+			return appendmem.View{}, fmt.Errorf("abdsim: reconstruct: %w", err)
+		}
+		idOf[Ref{Author: rec.Author, Seq: rec.Seq}] = msg.ID
+	}
+	return m.Read(), nil
+}

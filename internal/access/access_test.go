@@ -1,0 +1,285 @@
+package access
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestRoundClockOrdering(t *testing.T) {
+	rng := xrand.New(1, 1)
+	rc := NewRoundClock(rng, 8, 1.0)
+	for r := 1; r <= 5; r++ {
+		start := rc.RoundStart(r)
+		next := rc.RoundStart(r + 1)
+		for i := 0; i < 8; i++ {
+			id := appendmem.NodeID(i)
+			at := rc.AppendTime(id, r)
+			rt := rc.ReadTime(id, r)
+			if at < start || at >= next {
+				t.Fatalf("append time %v outside round %d", at, r)
+			}
+			if rt < start || rt >= next {
+				t.Fatalf("read time %v outside round %d", rt, r)
+			}
+			// Every correct append of round r precedes every read of round r.
+			for j := 0; j < 8; j++ {
+				if at >= rc.ReadTime(appendmem.NodeID(j), r) {
+					t.Fatalf("round-%d append of %d not before read of %d", r, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundClockReadsDiffer(t *testing.T) {
+	// The residual asynchrony must exist: not all reads coincide.
+	rng := xrand.New(2, 2)
+	rc := NewRoundClock(rng, 8, 1.0)
+	distinct := map[sim.Time]bool{}
+	for i := 0; i < 8; i++ {
+		distinct[rc.ReadTime(appendmem.NodeID(i), 1)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("all nodes read at the same instant; Byzantine split impossible")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	rng := xrand.New(3, 3)
+	rc := NewRoundClock(rng, 5, 2.0)
+	dl := rc.ReadDeadline(1)
+	for i := 0; i < 5; i++ {
+		if rc.ReadTime(appendmem.NodeID(i), 1) > dl {
+			t.Fatal("deadline before some read")
+		}
+	}
+}
+
+func TestRoundClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params did not panic")
+		}
+	}()
+	NewRoundClock(xrand.New(1, 1), 0, 1)
+}
+
+func TestPoissonAuthorityRate(t *testing.T) {
+	const (
+		n       = 10
+		lambda  = 0.5
+		delta   = 1.0
+		horizon = 2000.0
+	)
+	s := sim.New()
+	rng := xrand.New(4, 4)
+	counts := make([]int, n)
+	a := NewPoissonAuthority(s, rng, n, lambda, delta, func(g Grant) {
+		counts[g.Node]++
+	})
+	a.Start()
+	s.RunUntil(sim.Time(horizon))
+	a.Stop()
+
+	perNode := make([]float64, n)
+	for i, c := range counts {
+		perNode[i] = float64(c)
+	}
+	sum := stats.Summarize(perNode)
+	want := lambda * horizon / delta
+	if math.Abs(sum.Mean-want) > 0.05*want {
+		t.Fatalf("per-node grant mean = %v, want about %v", sum.Mean, want)
+	}
+	// Poisson: variance ≈ mean across nodes.
+	if sum.Variance > 3*want || sum.Variance < want/3 {
+		t.Fatalf("per-node variance = %v, want near %v", sum.Variance, want)
+	}
+}
+
+func TestPoissonAuthoritySeqTotalOrder(t *testing.T) {
+	s := sim.New()
+	rng := xrand.New(5, 5)
+	var grants []Grant
+	a := NewPoissonAuthority(s, rng, 3, 1, 1, func(g Grant) { grants = append(grants, g) })
+	a.Start()
+	s.RunUntil(100)
+	a.Stop()
+	if len(grants) < 100 {
+		t.Fatalf("only %d grants in 100Δ at aggregate rate 3", len(grants))
+	}
+	for i, g := range grants {
+		if g.Seq != i {
+			t.Fatalf("grant %d has seq %d", i, g.Seq)
+		}
+		if i > 0 && g.At < grants[i-1].At {
+			t.Fatal("grant times not monotone")
+		}
+	}
+	if a.Issued() != len(grants) {
+		t.Fatalf("Issued() = %d, want %d", a.Issued(), len(grants))
+	}
+}
+
+func TestPoissonAuthorityStop(t *testing.T) {
+	s := sim.New()
+	rng := xrand.New(6, 6)
+	count := 0
+	var a *PoissonAuthority
+	a = NewPoissonAuthority(s, rng, 2, 1, 1, func(Grant) {
+		count++
+		if count == 5 {
+			a.Stop()
+		}
+	})
+	a.Start()
+	s.Run() // must terminate because Stop halts rescheduling
+	if count != 5 {
+		t.Fatalf("grants after Stop: count = %d", count)
+	}
+}
+
+func TestPoissonAuthorityDeterministic(t *testing.T) {
+	run := func() []Grant {
+		s := sim.New()
+		rng := xrand.New(7, 7)
+		var grants []Grant
+		a := NewPoissonAuthority(s, rng, 4, 2, 1, func(g Grant) { grants = append(grants, g) })
+		a.Start()
+		s.RunUntil(50)
+		a.Stop()
+		return grants
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different grant counts for same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPoissonInterArrivalExponential(t *testing.T) {
+	s := sim.New()
+	rng := xrand.New(8, 8)
+	var times []float64
+	a := NewPoissonAuthority(s, rng, 5, 1, 1, func(g Grant) { times = append(times, float64(g.At)) })
+	a.Start()
+	s.RunUntil(4000)
+	a.Stop()
+	gaps := make([]float64, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		gaps[i-1] = times[i] - times[i-1]
+	}
+	sum := stats.Summarize(gaps)
+	want := 1.0 / 5.0 // merged rate nλ/Δ = 5
+	if math.Abs(sum.Mean-want) > 0.05*want {
+		t.Fatalf("mean gap = %v, want %v", sum.Mean, want)
+	}
+	// Exponential: stddev ≈ mean.
+	if math.Abs(sum.Stddev()-want) > 0.15*want {
+		t.Fatalf("gap stddev = %v, want about %v", sum.Stddev(), want)
+	}
+}
+
+func TestRoundRobinAuthorityCadence(t *testing.T) {
+	s := sim.New()
+	var grants []Grant
+	a := NewRoundRobinAuthority(s, 4, 0.5, 1.0, func(g Grant) { grants = append(grants, g) })
+	a.Start()
+	s.RunUntil(20)
+	a.Stop()
+	// gap = Δ/(nλ) = 0.5; expect ~40 grants.
+	if len(grants) < 39 || len(grants) > 41 {
+		t.Fatalf("grants = %d, want about 40", len(grants))
+	}
+	for i, g := range grants {
+		if int(g.Node) != i%4 {
+			t.Fatalf("grant %d to node %d, want %d", i, g.Node, i%4)
+		}
+		if g.Seq != i {
+			t.Fatalf("seq %d at %d", g.Seq, i)
+		}
+	}
+	// Perfectly even spacing.
+	for i := 1; i < len(grants); i++ {
+		gap := grants[i].At - grants[i-1].At
+		if gap < 0.499 || gap > 0.501 {
+			t.Fatalf("uneven gap %v", gap)
+		}
+	}
+	if a.Issued() != len(grants) {
+		t.Fatal("Issued mismatch")
+	}
+}
+
+func TestRoundRobinStop(t *testing.T) {
+	s := sim.New()
+	count := 0
+	var a *RoundRobinAuthority
+	a = NewRoundRobinAuthority(s, 2, 1, 1, func(Grant) {
+		count++
+		if count == 3 {
+			a.Stop()
+		}
+	})
+	a.Start()
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d after Stop", count)
+	}
+}
+
+func TestRoundRobinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params did not panic")
+		}
+	}()
+	NewRoundRobinAuthority(sim.New(), 0, 1, 1, nil)
+}
+
+func TestWeightedPoissonAuthorityShares(t *testing.T) {
+	s := sim.New()
+	rng := xrand.New(13, 13)
+	rates := []float64{0.2, 0.8, 1.0} // total 2.0 per Δ
+	counts := make([]int, 3)
+	a := NewWeightedPoissonAuthority(s, rng, rates, 1.0, func(g Grant) { counts[g.Node]++ })
+	a.Start()
+	s.RunUntil(2000)
+	a.Stop()
+	total := counts[0] + counts[1] + counts[2]
+	if total < 3800 || total > 4200 {
+		t.Fatalf("total grants = %d, want about 4000", total)
+	}
+	for i, r := range rates {
+		want := r / 2.0
+		got := float64(counts[i]) / float64(total)
+		if got < want-0.03 || got > want+0.03 {
+			t.Fatalf("node %d share = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedPoissonAuthorityPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewWeightedPoissonAuthority(sim.New(), xrand.New(1, 1), nil, 1, nil) },
+		func() { NewWeightedPoissonAuthority(sim.New(), xrand.New(1, 1), []float64{1, 0}, 1, nil) },
+		func() { NewWeightedPoissonAuthority(sim.New(), xrand.New(1, 1), []float64{1}, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,256 @@
+// Package adversary implements the Byzantine strategies the paper's
+// Section 5 analyses use to derive the resilience bounds:
+//
+//   - ChainForker (Theorem 5.3): against deterministic tie-breaking, every
+//     Byzantine append forks the chain by appending a sibling of the
+//     deepest correct block; with worst-case (adversarial) tie-breaking
+//     the fork wins and the correct block is orphaned, so the longest
+//     chain carries a Byzantine fraction of t/(n−t) — a majority as soon
+//     as t ≥ n/3.
+//   - ChainTieBreaker (Theorem 5.4): against randomized tie-breaking, the
+//     adversary "plays the role of a tie-breaker among the concurrent
+//     correct appends": reading the memory fresh (no staleness handicap),
+//     it immediately extends the first correct append of the current Δ
+//     interval, prolonging the chain so that the remaining correct appends
+//     of the interval — made against an outdated state — are wasted.
+//   - DagChainExtender (Lemma 5.5): on the DAG, the adversary cannot orphan
+//     correct values (they are included inclusively), but it can append
+//     private chains on top of the pivot during intervals in which no
+//     correct node appends, inserting runs of Θ(λ log n) Byzantine values
+//     into the first k positions of the decision ordering.
+//
+// All strategies exploit exactly the powers the model grants Byzantine
+// nodes: free fresh reads at any instant, free choice of referenced state,
+// and the same Poisson access rationing as everyone else.
+package adversary
+
+import (
+	"repro/internal/access"
+	"repro/internal/agreement"
+	"repro/internal/agreement/dagba"
+	"repro/internal/appendmem"
+	"repro/internal/chain"
+	"repro/internal/dag"
+)
+
+// ChainForker implements the Theorem 5.3 strategy. Pair it with honest
+// nodes using chain.AdversarialTieBreaker (the worst case over all
+// deterministic rules) to reproduce the t ≥ n/3 validity failure; pair it
+// with chain.FirstTieBreaker to see the attack lose its force.
+type ChainForker struct {
+	// Value is the vote Byzantine blocks carry; 0 means -1.
+	Value int64
+	env   *agreement.Env
+}
+
+// Init implements agreement.Adversary.
+func (a *ChainForker) Init(env *agreement.Env) {
+	a.env = env
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// OnGrant appends a sibling of the deepest correct block ("its value to the
+// same append as the last correct node"), producing two longest chains.
+func (a *ChainForker) OnGrant(g access.Grant) {
+	view := a.env.Mem.Read()
+	tree := chain.Build(view)
+	w := a.env.Writer(g.Node)
+	tips := tree.LongestTips()
+	if len(tips) == 0 {
+		w.MustAppend(a.Value, 0, []appendmem.MsgID{appendmem.None})
+		return
+	}
+	// Fork the first correct-authored longest tip; if every longest tip is
+	// already Byzantine, extend ours instead (no point forking ourselves).
+	for _, tip := range tips {
+		if !a.env.Roster.IsByzantine(view.Message(tip).Author) {
+			w.MustAppend(a.Value, 0, []appendmem.MsgID{chain.Parent(view.Message(tip))})
+			return
+		}
+	}
+	w.MustAppend(a.Value, 0, []appendmem.MsgID{tips[0]})
+}
+
+// ChainTieBreaker implements the Theorem 5.4 strategy against randomized
+// tie-breaking: with a perfectly fresh view it extends the deepest tip the
+// moment it appears, so concurrent correct appends (working against views
+// up to Δ stale) land one level short and fall off the longest chain.
+type ChainTieBreaker struct {
+	// Value is the vote Byzantine blocks carry; 0 means -1.
+	Value int64
+	env   *agreement.Env
+}
+
+// Init implements agreement.Adversary.
+func (a *ChainTieBreaker) Init(env *agreement.Env) {
+	a.env = env
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// OnGrant extends the first-arrived longest tip of the *fresh* memory.
+func (a *ChainTieBreaker) OnGrant(g access.Grant) {
+	view := a.env.Mem.Read()
+	tip, ok := chain.SelectTip(view, chain.FirstTieBreaker{}, nil)
+	if !ok {
+		tip = appendmem.None
+	}
+	a.env.Writer(g.Node).MustAppend(a.Value, 0, []appendmem.MsgID{tip})
+}
+
+// DagChainExtender implements the Lemma 5.5 strategy. Every Byzantine
+// grant extends the current pivot tip with a block that references *only*
+// its selected parent — never the other tips — so the adversary's blocks
+// form chains that enter the ordering early while contributing nothing to
+// the inclusion of correct values. During a correct-silent interval the
+// Byzantine chain grows unobstructed, inserting a consecutive run of
+// Byzantine values into the first k ordered positions.
+type DagChainExtender struct {
+	// Pivot must match the honest nodes' pivot rule so the private chain
+	// lands on the pivot they will order by.
+	Pivot dagba.PivotRule
+	// Value is the vote Byzantine blocks carry; 0 means -1.
+	Value int64
+	env   *agreement.Env
+}
+
+// Init implements agreement.Adversary.
+func (a *DagChainExtender) Init(env *agreement.Env) {
+	a.env = env
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// OnGrant extends the fresh pivot tip with a single-parent block.
+func (a *DagChainExtender) OnGrant(g access.Grant) {
+	view := a.env.Mem.Read()
+	d := dag.Build(view)
+	pivot := a.Pivot.Pivot(d)
+	w := a.env.Writer(g.Node)
+	if len(pivot) == 0 {
+		w.MustAppend(a.Value, 0, nil)
+		return
+	}
+	w.MustAppend(a.Value, 0, []appendmem.MsgID{pivot[len(pivot)-1]})
+}
+
+// Equivocator appends two conflicting chain blocks per grant-pair: it
+// alternates extending the two deepest distinct tips it can find, keeping
+// forks alive as long as possible. Used in robustness tests — the chain
+// protocols must still terminate (the paper's termination argument only
+// needs *some* longest chain to reach k).
+type Equivocator struct {
+	env  *agreement.Env
+	flip bool
+}
+
+// Init implements agreement.Adversary.
+func (a *Equivocator) Init(env *agreement.Env) { a.env = env }
+
+// OnGrant alternately extends the two earliest longest tips.
+func (a *Equivocator) OnGrant(g access.Grant) {
+	view := a.env.Mem.Read()
+	tree := chain.Build(view)
+	tips := tree.LongestTips()
+	w := a.env.Writer(g.Node)
+	switch {
+	case len(tips) == 0:
+		w.MustAppend(-1, 0, []appendmem.MsgID{appendmem.None})
+	case len(tips) == 1 || !a.flip:
+		// Fork: sibling of the unique/first longest tip.
+		w.MustAppend(-1, 0, []appendmem.MsgID{chain.Parent(view.Message(tips[0]))})
+	default:
+		w.MustAppend(-1, 0, []appendmem.MsgID{tips[0]})
+	}
+	a.flip = !a.flip
+}
+
+// DagLastMinute is the literal Lemma 5.5 strategy: the Byzantine nodes
+// stay silent while the correct nodes fill the ordering, and only once the
+// decision threshold k is within Margin values do they start extending the
+// pivot with private chains — "append a chain of values in the last
+// interval just before the decision". With zero confirmation depth the
+// burst occupies the tail of the first k ordered values; with a
+// confirmation depth larger than the burst, the prefix is sealed before
+// the attack can reach it (experiment E19).
+type DagLastMinute struct {
+	// Pivot must match the honest pivot rule.
+	Pivot dagba.PivotRule
+	// Margin is how close (in ordered values) the decision must be before
+	// the attack starts; 0 means 6.
+	Margin int
+	// Value is the vote of the private blocks; 0 means -1.
+	Value int64
+	env   *agreement.Env
+}
+
+// Init implements agreement.Adversary.
+func (a *DagLastMinute) Init(env *agreement.Env) {
+	a.env = env
+	if a.Margin == 0 {
+		a.Margin = 6
+	}
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// OnGrant stays silent until the ordering is within Margin of k, then
+// extends the pivot tip with single-parent blocks.
+func (a *DagLastMinute) OnGrant(g access.Grant) {
+	view := a.env.Mem.Read()
+	d := dag.Build(view)
+	pivot := a.Pivot.Pivot(d)
+	if len(d.Linearize(pivot)) < a.env.Cfg.K-a.Margin {
+		return // too early: wasting the token IS the strategy
+	}
+	w := a.env.Writer(g.Node)
+	if len(pivot) == 0 {
+		w.MustAppend(a.Value, 0, nil)
+		return
+	}
+	w.MustAppend(a.Value, 0, []appendmem.MsgID{pivot[len(pivot)-1]})
+}
+
+// DagPrivateFork is the classic GHOST-motivating attack (Sompolinsky &
+// Zohar [22], the paper's DAG tie-breaking reference): the Byzantine nodes
+// build a single private chain from the genesis that never references any
+// honest block. Honest staleness forks dilute the honest nodes' *longest*
+// selected-parent chain, so at high rates the compact Byzantine chain can
+// out-length it and hijack a longest-chain pivot — while GHOST, which
+// weighs entire subtrees, keeps following the (heavier) honest side. This
+// is exactly why Algorithm 6's correctness leans on GHOST-style rules.
+type DagPrivateFork struct {
+	// Value is the vote of the private blocks; 0 means -1.
+	Value int64
+	env   *agreement.Env
+	tip   appendmem.MsgID
+	have  bool
+}
+
+// Init implements agreement.Adversary.
+func (a *DagPrivateFork) Init(env *agreement.Env) {
+	a.env = env
+	a.tip = appendmem.None
+	a.have = false
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// OnGrant extends the private genesis-rooted chain.
+func (a *DagPrivateFork) OnGrant(g access.Grant) {
+	w := a.env.Writer(g.Node)
+	var msg *appendmem.Message
+	if !a.have {
+		msg = w.MustAppend(a.Value, 0, nil)
+		a.have = true
+	} else {
+		msg = w.MustAppend(a.Value, 0, []appendmem.MsgID{a.tip})
+	}
+	a.tip = msg.ID
+}

@@ -1,0 +1,50 @@
+package adversary
+
+import (
+	"repro/internal/access"
+	"repro/internal/agreement"
+	"repro/internal/appendmem"
+)
+
+// Random is the fuzzing adversary: on every grant it appends a
+// syntactically arbitrary but well-formed message — random value in
+// {-1, +1}, random round label, and a random set of parent references
+// drawn from the whole memory (including duplicates, stale ancestors and
+// the genesis). It exercises no strategy; its purpose is robustness: no
+// input a Byzantine node can write into the memory may crash a protocol,
+// block termination, or break agreement among correct nodes beyond what
+// the model allows.
+type Random struct {
+	// MaxParents bounds the parent list; 0 means 4.
+	MaxParents int
+	env        *agreement.Env
+}
+
+// Init implements agreement.Adversary.
+func (a *Random) Init(env *agreement.Env) {
+	a.env = env
+	if a.MaxParents == 0 {
+		a.MaxParents = 4
+	}
+}
+
+// OnGrant appends structured noise.
+func (a *Random) OnGrant(g access.Grant) {
+	rng := a.env.Rng
+	memLen := a.env.Mem.Len()
+	numParents := rng.Intn(a.MaxParents + 1)
+	parents := make([]appendmem.MsgID, 0, numParents)
+	for i := 0; i < numParents; i++ {
+		if memLen == 0 || rng.Intn(8) == 0 {
+			parents = append(parents, appendmem.None)
+			continue
+		}
+		parents = append(parents, appendmem.MsgID(rng.Intn(memLen)))
+	}
+	value := int64(-1)
+	if rng.Bool() {
+		value = +1
+	}
+	round := rng.Intn(4)
+	a.env.Writer(g.Node).MustAppend(value, round, parents)
+}

@@ -1,0 +1,81 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/agreement/chainba"
+	"repro/internal/agreement/dagba"
+	"repro/internal/agreement/timestamp"
+	"repro/internal/chain"
+)
+
+// Fuzz-style robustness: every protocol must terminate with agreement
+// among correct nodes under arbitrary well-formed Byzantine appends, at a
+// Byzantine share where validity is guaranteed only weakly.
+func TestRandomAdversaryRobustness(t *testing.T) {
+	type proto struct {
+		name string
+		rule agreement.HonestRule
+	}
+	protos := []proto{
+		{"timestamp", timestamp.Rule{}},
+		{"chain", chainba.Rule{TB: chain.RandomTieBreaker{}}},
+		{"dag-ghost", dagba.Rule{Pivot: dagba.Ghost}},
+		{"dag-longest", dagba.Rule{Pivot: dagba.Longest}},
+	}
+	for _, p := range protos {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < 25; seed++ {
+				r, err := agreement.RunRandomized(agreement.RandomizedConfig{
+					N: 9, T: 3, Lambda: 0.7, K: 15, Seed: seed,
+				}, p.rule, &Random{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !r.Verdict.Termination {
+					t.Fatalf("seed %d: random noise blocked termination", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestRandomAdversaryActuallyAppends(t *testing.T) {
+	r := agreement.MustRun(agreement.RandomizedConfig{
+		N: 6, T: 2, Lambda: 1, K: 15, Seed: 3,
+	}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &Random{})
+	if r.ByzAppends == 0 {
+		t.Fatal("random adversary appended nothing")
+	}
+	// Its messages must include some with multiple or no parents.
+	multi, none := false, false
+	for _, msg := range r.FinalView.Messages() {
+		if !r.Roster.IsByzantine(msg.Author) {
+			continue
+		}
+		if len(msg.Parents) > 1 {
+			multi = true
+		}
+		if len(msg.Parents) == 0 {
+			none = true
+		}
+	}
+	if !multi || !none {
+		t.Fatalf("random adversary not diverse: multi=%v none=%v", multi, none)
+	}
+}
+
+func TestRandomAdversaryCrashSafetyWithCrashes(t *testing.T) {
+	// Noise + crashes together must still terminate for the survivors.
+	for seed := uint64(0); seed < 10; seed++ {
+		r := agreement.MustRun(agreement.RandomizedConfig{
+			N: 9, T: 2, Crashes: 2, Lambda: 0.7, K: 15, Seed: seed,
+		}, dagba.Rule{Pivot: dagba.Ghost}, &Random{})
+		if !r.Verdict.Termination || !r.Verdict.Agreement {
+			t.Fatalf("seed %d: %+v", seed, r.Verdict)
+		}
+	}
+}

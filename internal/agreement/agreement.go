@@ -1,0 +1,473 @@
+// Package agreement provides the shared execution harness for the
+// randomized-access Byzantine agreement protocols of Section 5: the
+// timestamp baseline (Algorithm 4), the Chain (Algorithm 5) and the DAG
+// (Algorithm 6). The three protocols differ only in how an honest node
+// appends and when/how it decides; everything else — the Poisson token
+// authority, the bounded-staleness read schedule of synchronous nodes, the
+// crash model, outcome collection — is identical and lives here.
+//
+// # Timing model
+//
+// Nodes are synchronous with bound Δ (§1.1): the interval between two local
+// operations of one node is at most Δ. Reads are free; append access is
+// rationed by the Poisson authority (rate λ per node per Δ). The harness
+// realizes the synchrony bound as bounded staleness: each correct node
+// refreshes its view of the memory every Δ (at a fixed per-node phase) and,
+// when granted access, appends based on its most recent refresh. An append
+// may therefore reference a view up to Δ old — this is exactly the source
+// of honest forks in Theorem 5.4's analysis ("appends by correct nodes
+// inside the same interval Δ will be concurrent and therefore generate a
+// fork").
+//
+// Byzantine nodes are bound by nothing except the access rationing: the
+// Adversary sees the memory fresh at every instant and appends whatever
+// well-formed message it likes when granted access.
+package agreement
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/appendmem"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// RandomizedConfig configures one run under randomized memory access.
+type RandomizedConfig struct {
+	N      int     // total nodes
+	T      int     // Byzantine nodes (the last T ids)
+	Lambda float64 // token rate per node per Delta
+	// Rates, when non-nil, gives each node its own token rate per Delta —
+	// heterogeneous "hashing power". Overrides Lambda; len must equal N.
+	Rates []float64
+	Delta float64 // synchrony bound; 0 means 1.0
+	K     int     // decision threshold (number of values); should be odd
+	Seed  uint64
+
+	// Inputs are the per-node input values; nil means all correct nodes
+	// hold +1 (the all-same-validity workload, with Byzantine inputs
+	// irrelevant).
+	Inputs node.Inputs
+
+	// Crashes marks this many correct nodes crash-faulty; each stops at a
+	// uniformly random time within the expected run duration.
+	Crashes int
+
+	// MaxAppends aborts the run (termination failure) once the memory
+	// holds this many messages; 0 means 64*K + 64*N.
+	MaxAppends int
+
+	// FreshHonestReads removes the Δ staleness of honest nodes: appends
+	// use a view read at the grant instant. This is an ablation knob — it
+	// deletes the fork source of Theorem 5.4's analysis, so the chain's
+	// rate-dependent collapse should disappear (experiment E12).
+	FreshHonestReads bool
+
+	// StallAtSize > 0 injects the temporal asynchrony discussed at the end
+	// of Section 5.3: once the memory reaches StallAtSize messages, honest
+	// nodes stop refreshing their views (and deciding) for StallFor·Δ,
+	// while Byzantine nodes keep reading fresh. The paper argues this
+	// reduces the DAG's Byzantine-agreement resilience — unlike Nakamoto
+	// consensus, the decision prefix is fixed, so the adversary stuffs it
+	// during the blackout (experiment E11).
+	StallAtSize int
+	StallFor    float64 // in multiples of Delta; 0 means 8
+
+	// RoundRobinAccess replaces the Poisson token authority with the
+	// burst-free deterministic round-robin authority at the same aggregate
+	// rate — the access-discipline ablation of experiment E17.
+	RoundRobinAccess bool
+
+	// AsyncDelayMax > 0 makes the honest nodes asynchronous in the sense
+	// of Theorem 5.1: the time between receiving an access token and
+	// performing the append is no longer negligible but uniform in
+	// (0, AsyncDelayMax·Δ], and the append is made against the view the
+	// node held when the token arrived. The access order defined by the
+	// authority then loses its meaning ("the delays are significantly
+	// larger than the append rate, such that the access order ... becomes
+	// insignificant"), and deterministic agreement degrades at ANY rate —
+	// experiment E16.
+	AsyncDelayMax float64
+
+	// Trace, when non-nil, records every grant, append, read, decision,
+	// crash and blackout of the run (see internal/trace). Nil disables
+	// tracing with no overhead.
+	Trace *trace.Recorder
+}
+
+func (c *RandomizedConfig) fill() error {
+	if c.Delta == 0 {
+		c.Delta = 1
+	}
+	if c.N <= 0 || c.T < 0 || c.T >= c.N {
+		return fmt.Errorf("agreement: invalid n=%d t=%d", c.N, c.T)
+	}
+	if c.Rates != nil {
+		if len(c.Rates) != c.N {
+			return fmt.Errorf("agreement: %d rates for %d nodes", len(c.Rates), c.N)
+		}
+		total := 0.0
+		for _, r := range c.Rates {
+			if r <= 0 {
+				return fmt.Errorf("agreement: non-positive per-node rate %v", r)
+			}
+			total += r
+		}
+		c.Lambda = total / float64(c.N) // effective mean rate, for durations
+	}
+	if c.Lambda <= 0 || c.Delta <= 0 {
+		return fmt.Errorf("agreement: invalid lambda=%v delta=%v", c.Lambda, c.Delta)
+	}
+	if c.K <= 0 {
+		return fmt.Errorf("agreement: invalid k=%d", c.K)
+	}
+	if c.MaxAppends == 0 {
+		c.MaxAppends = 64*c.K + 64*c.N
+	}
+	if c.StallAtSize > 0 && c.StallFor == 0 {
+		c.StallFor = 8
+	}
+	if c.Inputs == nil {
+		c.Inputs = node.AllSame(c.N, +1)
+	}
+	if len(c.Inputs) != c.N {
+		return fmt.Errorf("agreement: %d inputs for %d nodes", len(c.Inputs), c.N)
+	}
+	return nil
+}
+
+// HonestRule is the protocol-specific behaviour of a correct node.
+type HonestRule interface {
+	// Append performs the node's append given its (possibly stale) view.
+	// Implementations must append exactly once via w.
+	Append(view appendmem.View, w *appendmem.Writer, input int64, rng *xrand.PCG)
+	// Decide inspects the node's freshly read view and returns the node's
+	// decision when the protocol's condition (e.g. a longest chain of
+	// length k) is met.
+	Decide(view appendmem.View, k int, rng *xrand.PCG) (int64, bool)
+}
+
+// Env is the run environment handed to adversaries: full fresh access to
+// the memory, the roster and the configuration.
+type Env struct {
+	Sim    *sim.Sim
+	Mem    *appendmem.Memory
+	Roster node.Roster
+	Cfg    RandomizedConfig
+	Rng    *xrand.PCG // the adversary's private randomness
+	// Inputs as handed to the nodes (the adversary knows everything).
+	Inputs node.Inputs
+}
+
+// Writer returns the append capability of a Byzantine node. It panics when
+// asked for a correct node's writer — the adversary controls only its own
+// registers.
+func (e *Env) Writer(id appendmem.NodeID) *appendmem.Writer {
+	if !e.Roster.IsByzantine(id) {
+		panic("agreement: adversary requested an honest writer")
+	}
+	return e.Mem.Writer(id)
+}
+
+// Adversary drives the Byzantine nodes. OnGrant is invoked whenever the
+// authority grants access to a Byzantine node; the adversary may use the
+// grant, bank it, or waste it.
+type Adversary interface {
+	Init(env *Env)
+	OnGrant(g access.Grant)
+}
+
+// Silent is the adversary that never appends (Byzantine nodes crash-mute).
+type Silent struct{}
+
+// Init implements Adversary.
+func (Silent) Init(*Env) {}
+
+// OnGrant implements Adversary.
+func (Silent) OnGrant(access.Grant) {}
+
+// ValueFlip is the generic adversary of the validity analyses: Byzantine
+// nodes follow the honest structure rule — but always vote the opposite of
+// the correct nodes' common input, and with a perfectly fresh view (no
+// staleness handicap).
+type ValueFlip struct {
+	Rule  HonestRule
+	Value int64 // the vote to cast; 0 means -1
+	env   *Env
+}
+
+// Init implements Adversary.
+func (a *ValueFlip) Init(env *Env) {
+	a.env = env
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// OnGrant implements Adversary.
+func (a *ValueFlip) OnGrant(g access.Grant) {
+	a.Rule.Append(a.env.Mem.Read(), a.env.Writer(g.Node), a.Value, a.env.Rng)
+}
+
+// Result collects everything an experiment wants from one run.
+type Result struct {
+	Cfg     RandomizedConfig // the filled configuration the run used
+	Roster  node.Roster
+	Inputs  node.Inputs
+	Outcome *node.Outcome
+	Verdict node.Verdict
+
+	Grants         int // tokens issued
+	TotalAppends   int
+	CorrectAppends int
+	ByzAppends     int
+
+	// DecideTime[i] is when node i decided (correct nodes only; zero when
+	// undecided).
+	DecideTime []sim.Time
+	// DecideViewSize[i] is the size of the view node i decided on; with
+	// Memory.ViewAt it reconstructs each node's exact decision view for
+	// post-hoc analysis (e.g. the backbone common-prefix property).
+	DecideViewSize []int
+	// FinalView is the memory at the end of the run, for structure
+	// analysis by experiments.
+	FinalView appendmem.View
+	// Mem is the underlying memory; combined with DecideViewSize it
+	// reconstructs per-node decision views via Mem.ViewAt.
+	Mem *appendmem.Memory
+	// Duration is the virtual time when the run ended.
+	Duration sim.Time
+}
+
+// RunRandomized executes one protocol run and returns its Result.
+func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	root := xrand.New(cfg.Seed, 0xA11CE)
+	rngAuthority := root.Split()
+	rngAdv := root.Split()
+	nodeRngs := make([]*xrand.PCG, cfg.N)
+	for i := range nodeRngs {
+		nodeRngs[i] = root.Split()
+	}
+
+	s := sim.New()
+	mem := appendmem.New(cfg.N)
+	roster := node.NewRoster(cfg.N, cfg.T).WithCrashes(cfg.Crashes)
+	outcome := node.NewOutcome(cfg.N)
+	result := &Result{
+		Cfg:            cfg,
+		Roster:         roster,
+		Inputs:         cfg.Inputs,
+		Outcome:        outcome,
+		DecideTime:     make([]sim.Time, cfg.N),
+		DecideViewSize: make([]int, cfg.N),
+	}
+
+	// Expected run duration: K appends at aggregate rate Nλ/Δ, doubled for
+	// slack; used only to place crash times.
+	expDuration := sim.Time(2 * float64(cfg.K) * cfg.Delta / (cfg.Lambda * float64(cfg.N)))
+	crashAt := make([]sim.Time, cfg.N)
+	for i := range crashAt {
+		crashAt[i] = sim.Time(math.Inf(1))
+		if roster.Role(appendmem.NodeID(i)) == node.Crash {
+			crashAt[i] = sim.Time(root.Float64()) * expDuration
+		}
+	}
+	alive := func(id appendmem.NodeID) bool { return s.Now() < crashAt[id] }
+
+	lastView := make([]appendmem.View, cfg.N)
+	for i := range lastView {
+		lastView[i] = mem.ViewAt(0)
+	}
+
+	// Only non-crash correct nodes are expected to decide; crash nodes may
+	// stop at any time and are excluded from the consensus properties.
+	undecided := len(roster.Correct())
+	done := false
+	finish := func() {
+		if !done {
+			done = true
+			s.Stop()
+		}
+	}
+	// Hard horizon: even a silent adversary with crashed correct nodes must
+	// not spin the run forever.
+	s.At(64*expDuration+sim.Time(64*cfg.Delta), finish)
+
+	env := &Env{Sim: s, Mem: mem, Roster: roster, Cfg: cfg, Rng: rngAdv, Inputs: cfg.Inputs}
+	adv.Init(env)
+
+	// Temporal-asynchrony injection (§5.3 discussion): honest view
+	// refreshes blackout for StallFor·Δ once the memory reaches
+	// StallAtSize.
+	stallUntil := sim.Time(-1)
+	stallFired := false
+	maybeStall := func() {
+		if cfg.StallAtSize > 0 && !stallFired && mem.Len() >= cfg.StallAtSize {
+			stallFired = true
+			stallUntil = s.Now() + sim.Time(cfg.StallFor*cfg.Delta)
+			cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.StallStart, Node: trace.System,
+				Note: fmt.Sprintf("honest views blacked out until %.3f", float64(stallUntil))})
+			s.At(stallUntil, func() {
+				cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.StallEnd, Node: trace.System})
+			})
+		}
+	}
+
+	// Crash events for the trace.
+	if cfg.Trace.Enabled() {
+		for i := range crashAt {
+			if roster.Role(appendmem.NodeID(i)) == node.Crash {
+				id := appendmem.NodeID(i)
+				s.At(crashAt[i], func() {
+					cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Crash, Node: id})
+				})
+			}
+		}
+	}
+	recordAppends := func(before int, note string) {
+		if !cfg.Trace.Enabled() {
+			return
+		}
+		for l := before; l < mem.Len(); l++ {
+			msg := mem.Message(appendmem.MsgID(l))
+			cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Append, Node: msg.Author,
+				Msg: msg.ID, Val: msg.Value, Note: note})
+		}
+	}
+
+	onGrant := func(g access.Grant) {
+		if done {
+			return
+		}
+		result.Grants++
+		id := g.Node
+		cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Grant, Node: id})
+		before := mem.Len()
+		switch {
+		case roster.IsByzantine(id):
+			adv.OnGrant(g)
+			recordAppends(before, "byzantine")
+		case alive(id):
+			if !outcome.Decided[id] { // Algorithm 5/6: stop appending after deciding
+				view := lastView[id]
+				if cfg.FreshHonestReads {
+					view = mem.Read()
+				}
+				if cfg.AsyncDelayMax > 0 {
+					// Asynchronous node: the append lands after an
+					// arbitrary delay, committed to the view held at
+					// token receipt.
+					delay := sim.Time(nodeRngs[id].Float64() * cfg.AsyncDelayMax * cfg.Delta)
+					s.After(delay, func() {
+						if done || !alive(id) {
+							return
+						}
+						b := mem.Len()
+						rule.Append(view, mem.Writer(id), cfg.Inputs[id], nodeRngs[id])
+						recordAppends(b, "delayed")
+						maybeStall()
+						if mem.Len() >= cfg.MaxAppends {
+							finish()
+						}
+					})
+				} else {
+					rule.Append(view, mem.Writer(id), cfg.Inputs[id], nodeRngs[id])
+					recordAppends(before, "")
+				}
+			}
+		}
+		maybeStall()
+		if mem.Len() >= cfg.MaxAppends {
+			finish()
+		}
+	}
+	type authorityIface interface {
+		Start()
+		Stop()
+	}
+	var authority authorityIface
+	switch {
+	case cfg.Rates != nil:
+		authority = access.NewWeightedPoissonAuthority(s, rngAuthority, cfg.Rates, cfg.Delta, onGrant)
+	case cfg.RoundRobinAccess:
+		authority = access.NewRoundRobinAuthority(s, cfg.N, cfg.Lambda, cfg.Delta, onGrant)
+	default:
+		authority = access.NewPoissonAuthority(s, rngAuthority, cfg.N, cfg.Lambda, cfg.Delta, onGrant)
+	}
+
+	// Per-node read schedule: refresh view and attempt decision every Δ at
+	// a fixed per-node phase.
+	var scheduleRead func(id appendmem.NodeID, at sim.Time)
+	scheduleRead = func(id appendmem.NodeID, at sim.Time) {
+		s.At(at, func() {
+			if done || !alive(id) || roster.IsByzantine(id) {
+				return
+			}
+			if s.Now() < stallUntil {
+				// Blacked out: no refresh, no decision; try again later.
+				scheduleRead(id, at+sim.Time(cfg.Delta))
+				return
+			}
+			lastView[id] = mem.Read()
+			cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Read, Node: id})
+			if !outcome.Decided[id] {
+				if v, ok := rule.Decide(lastView[id], cfg.K, nodeRngs[id]); ok {
+					outcome.Decide(id, v)
+					result.DecideTime[id] = s.Now()
+					result.DecideViewSize[id] = lastView[id].Size()
+					cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Decide, Node: id, Val: v})
+					if roster.IsCorrect(id) {
+						undecided--
+						if undecided == 0 {
+							finish()
+							return
+						}
+					}
+				}
+			}
+			scheduleRead(id, at+sim.Time(cfg.Delta))
+		})
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := appendmem.NodeID(i)
+		if roster.IsByzantine(id) {
+			continue
+		}
+		scheduleRead(id, sim.Time(root.Float64()*cfg.Delta))
+	}
+
+	authority.Start()
+	s.Run()
+	authority.Stop()
+
+	result.FinalView = mem.Read()
+	result.Mem = mem
+	result.Duration = s.Now()
+	result.TotalAppends = mem.Len()
+	for _, msg := range result.FinalView.Messages() {
+		if roster.IsByzantine(msg.Author) {
+			result.ByzAppends++
+		} else {
+			result.CorrectAppends++
+		}
+	}
+	result.Verdict = node.Evaluate(roster, cfg.Inputs, outcome)
+	return result, nil
+}
+
+// MustRun is RunRandomized but panics on configuration errors; for
+// experiment code with vetted configs.
+func MustRun(cfg RandomizedConfig, rule HonestRule, adv Adversary) *Result {
+	r, err := RunRandomized(cfg, rule, adv)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,390 @@
+package agreement
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/appendmem"
+	"repro/internal/node"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// countRule is a trivial HonestRule: append the input with no references,
+// decide +1 once the view holds k messages. Exercises the runner mechanics
+// without protocol logic.
+type countRule struct{}
+
+func (countRule) Append(_ appendmem.View, w *appendmem.Writer, input int64, _ *xrand.PCG) {
+	w.MustAppend(input, 0, nil)
+}
+
+func (countRule) Decide(view appendmem.View, k int, _ *xrand.PCG) (int64, bool) {
+	if view.Size() < k {
+		return 0, false
+	}
+	return 1, true
+}
+
+func TestRunnerBasic(t *testing.T) {
+	r, err := RunRandomized(RandomizedConfig{N: 5, Lambda: 1, K: 11, Seed: 1}, countRule{}, Silent{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verdict.OK() {
+		t.Fatalf("verdict = %+v", r.Verdict)
+	}
+	if r.TotalAppends < 11 {
+		t.Fatalf("appends = %d, want >= 11", r.TotalAppends)
+	}
+	if r.ByzAppends != 0 {
+		t.Fatalf("byz appends = %d with t=0", r.ByzAppends)
+	}
+	for _, id := range r.Roster.Correct() {
+		if r.DecideTime[id] <= 0 {
+			t.Fatalf("node %d has no decide time", id)
+		}
+	}
+}
+
+func TestRunnerConfigValidation(t *testing.T) {
+	bad := []RandomizedConfig{
+		{N: 0, Lambda: 1, K: 1},
+		{N: 3, T: 3, Lambda: 1, K: 1}, // t must be < n
+		{N: 3, T: -1, Lambda: 1, K: 1},
+		{N: 3, Lambda: 0, K: 1},
+		{N: 3, Lambda: 1, K: 0},
+		{N: 3, Lambda: 1, K: 1, Inputs: node.AllSame(2, 1)}, // wrong input length
+	}
+	for i, cfg := range bad {
+		if _, err := RunRandomized(cfg, countRule{}, Silent{}); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRunnerDeterminism(t *testing.T) {
+	run := func() *Result {
+		r, err := RunRandomized(RandomizedConfig{N: 6, T: 2, Lambda: 0.7, K: 15, Seed: 99}, countRule{}, &ValueFlip{Rule: countRule{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.TotalAppends != b.TotalAppends || a.Grants != b.Grants || a.Duration != b.Duration {
+		t.Fatalf("nondeterministic: %d/%d/%v vs %d/%d/%v",
+			a.TotalAppends, a.Grants, a.Duration, b.TotalAppends, b.Grants, b.Duration)
+	}
+	for i := range a.DecideTime {
+		if a.DecideTime[i] != b.DecideTime[i] {
+			t.Fatalf("decide time %d differs", i)
+		}
+	}
+	am, bm := a.FinalView.Messages(), b.FinalView.Messages()
+	for i := range am {
+		if am[i].Author != bm[i].Author || am[i].Value != bm[i].Value {
+			t.Fatalf("memory content differs at %d", i)
+		}
+	}
+}
+
+func TestRunnerSeedsDiffer(t *testing.T) {
+	mk := func(seed uint64) *Result {
+		return MustRun(RandomizedConfig{N: 6, Lambda: 0.7, K: 15, Seed: seed}, countRule{}, Silent{})
+	}
+	if mk(1).Duration == mk(2).Duration {
+		t.Fatal("different seeds gave identical durations (suspicious)")
+	}
+}
+
+func TestRunnerByzantineAppendsCounted(t *testing.T) {
+	r := MustRun(RandomizedConfig{N: 6, T: 2, Lambda: 1, K: 21, Seed: 3}, countRule{}, &ValueFlip{Rule: countRule{}})
+	if r.ByzAppends == 0 {
+		t.Fatal("ValueFlip adversary appended nothing")
+	}
+	if r.CorrectAppends+r.ByzAppends != r.TotalAppends {
+		t.Fatal("append accounting inconsistent")
+	}
+	// ByzAppends should be roughly t/n of the total.
+	frac := float64(r.ByzAppends) / float64(r.TotalAppends)
+	if frac < 0.1 || frac > 0.6 {
+		t.Fatalf("byz append fraction = %v, expected near 1/3", frac)
+	}
+}
+
+func TestRunnerSilentAdversary(t *testing.T) {
+	r := MustRun(RandomizedConfig{N: 6, T: 2, Lambda: 1, K: 11, Seed: 4}, countRule{}, Silent{})
+	if r.ByzAppends != 0 {
+		t.Fatalf("Silent adversary appended %d times", r.ByzAppends)
+	}
+	if !r.Verdict.OK() {
+		t.Fatalf("verdict = %+v", r.Verdict)
+	}
+}
+
+func TestRunnerCrashes(t *testing.T) {
+	r := MustRun(RandomizedConfig{N: 8, Crashes: 3, Lambda: 1, K: 11, Seed: 5}, countRule{}, Silent{})
+	if !r.Verdict.OK() {
+		t.Fatalf("crashes broke consensus for the survivors: %+v", r.Verdict)
+	}
+	if len(r.Roster.Correct()) != 5 {
+		t.Fatalf("correct = %d, want 5", len(r.Roster.Correct()))
+	}
+}
+
+func TestRunnerHorizonTerminates(t *testing.T) {
+	// All correct nodes crash immediately-ish and the adversary is silent:
+	// nothing ever decides, yet the run must end (hard horizon).
+	r := MustRun(RandomizedConfig{N: 3, Crashes: 3, Lambda: 0.5, K: 1000, Seed: 6}, countRule{}, Silent{})
+	if len(r.Roster.Correct()) != 0 {
+		t.Fatal("expected all correct nodes crashed")
+	}
+	_ = r // reaching here is the assertion
+}
+
+func TestRunnerMaxAppendsAborts(t *testing.T) {
+	// K unreachable before MaxAppends: termination must fail, run must end.
+	r := MustRun(RandomizedConfig{N: 4, Lambda: 1, K: 1 << 20, MaxAppends: 50, Seed: 7}, countRule{}, Silent{})
+	if r.Verdict.Termination {
+		t.Fatal("termination verdict true despite abort")
+	}
+	if r.TotalAppends < 50 || r.TotalAppends > 60 {
+		t.Fatalf("aborted at %d appends, want about 50", r.TotalAppends)
+	}
+}
+
+func TestEnvWriterGuards(t *testing.T) {
+	var captured *Env
+	grab := adversaryFunc{
+		init: func(e *Env) { captured = e },
+	}
+	MustRun(RandomizedConfig{N: 4, T: 1, Lambda: 1, K: 5, Seed: 8}, countRule{}, grab)
+	if captured == nil {
+		t.Fatal("Init not called")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adversary obtained an honest writer")
+		}
+	}()
+	captured.Writer(0) // node 0 is honest
+}
+
+// adversaryFunc adapts closures to the Adversary interface.
+type adversaryFunc struct {
+	init    func(*Env)
+	onGrant func(access.Grant)
+}
+
+func (a adversaryFunc) Init(e *Env) {
+	if a.init != nil {
+		a.init(e)
+	}
+}
+
+func (a adversaryFunc) OnGrant(g access.Grant) {
+	if a.onGrant != nil {
+		a.onGrant(g)
+	}
+}
+
+// tipRule appends referencing the newest message in the node's view; used
+// to observe how stale the runner's honest views are.
+type tipRule struct{}
+
+func (tipRule) Append(view appendmem.View, w *appendmem.Writer, input int64, _ *xrand.PCG) {
+	tip := appendmem.None
+	if view.Size() > 0 {
+		tip = appendmem.MsgID(view.Size() - 1)
+	}
+	w.MustAppend(input, 0, []appendmem.MsgID{tip})
+}
+
+func (tipRule) Decide(view appendmem.View, k int, _ *xrand.PCG) (int64, bool) {
+	if view.Size() < k {
+		return 0, false
+	}
+	return 1, true
+}
+
+func TestHonestViewsAreStale(t *testing.T) {
+	// The synchrony bound Δ must make honest appends reference views up to
+	// Δ old (the fork source of Theorem 5.4). With λ=4 the memory receives
+	// ~32 appends per Δ, so an honest append referencing the latest message
+	// it saw must frequently miss recent appends: Parents[0] < ID-1.
+	r := MustRun(RandomizedConfig{N: 8, Lambda: 4, K: 201, Seed: 11}, tipRule{}, Silent{})
+	stale := 0
+	total := 0
+	for _, msg := range r.FinalView.Messages() {
+		if len(msg.Parents) == 0 || msg.Parents[0] == appendmem.None {
+			continue
+		}
+		total++
+		if msg.Parents[0] < msg.ID-1 {
+			stale++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no parented appends")
+	}
+	if frac := float64(stale) / float64(total); frac < 0.5 {
+		t.Fatalf("stale-reference fraction = %v; staleness not modelled", frac)
+	}
+}
+
+func TestFreshHonestReadsRemoveStaleness(t *testing.T) {
+	// With FreshHonestReads, a tipRule append always references the
+	// immediately preceding message: no stale parents at all.
+	r := MustRun(RandomizedConfig{N: 8, Lambda: 4, K: 101, Seed: 12, FreshHonestReads: true}, tipRule{}, Silent{})
+	for _, msg := range r.FinalView.Messages() {
+		if len(msg.Parents) == 0 || msg.Parents[0] == appendmem.None {
+			continue
+		}
+		if msg.Parents[0] != msg.ID-1 {
+			t.Fatalf("fresh read still produced a stale parent: %d -> %d", msg.ID, msg.Parents[0])
+		}
+	}
+}
+
+func TestStallDelaysDecisions(t *testing.T) {
+	base := MustRun(RandomizedConfig{N: 6, Lambda: 1, K: 21, Seed: 13}, countRule{}, Silent{})
+	stalled := MustRun(RandomizedConfig{N: 6, Lambda: 1, K: 21, Seed: 13, StallAtSize: 10, StallFor: 6}, countRule{}, Silent{})
+	if !stalled.Verdict.Termination {
+		t.Fatalf("stall broke termination: %+v", stalled.Verdict)
+	}
+	if stalled.Duration <= base.Duration {
+		t.Fatalf("stall did not delay the run: %v vs %v", stalled.Duration, base.Duration)
+	}
+}
+
+func TestStallDefaults(t *testing.T) {
+	cfg := RandomizedConfig{N: 4, Lambda: 1, K: 5, StallAtSize: 3}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StallFor != 8 {
+		t.Fatalf("default StallFor = %v, want 8", cfg.StallFor)
+	}
+}
+
+func TestTraceRecordsRun(t *testing.T) {
+	rec := trace.New()
+	r := MustRun(RandomizedConfig{N: 6, T: 2, Lambda: 1, K: 11, Seed: 21, Trace: rec},
+		countRule{}, &ValueFlip{Rule: countRule{}})
+	sum := rec.Summary()
+	if sum[trace.Grant] != r.Grants {
+		t.Fatalf("traced %d grants, result says %d", sum[trace.Grant], r.Grants)
+	}
+	if sum[trace.Append] != r.TotalAppends {
+		t.Fatalf("traced %d appends, memory has %d", sum[trace.Append], r.TotalAppends)
+	}
+	if sum[trace.Decide] == 0 || sum[trace.Read] == 0 {
+		t.Fatalf("missing reads/decisions: %v", sum)
+	}
+	// Byzantine appends are annotated.
+	byzNoted := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.Append && e.Note == "byzantine" {
+			byzNoted++
+		}
+	}
+	if byzNoted != r.ByzAppends {
+		t.Fatalf("byzantine annotations %d, byz appends %d", byzNoted, r.ByzAppends)
+	}
+}
+
+func TestTraceReplayIdentical(t *testing.T) {
+	run := func() *trace.Recorder {
+		rec := trace.New()
+		MustRun(RandomizedConfig{N: 6, T: 2, Lambda: 1, K: 11, Seed: 22, Trace: rec},
+			countRule{}, &ValueFlip{Rule: countRule{}})
+		return rec
+	}
+	if !trace.Equal(run(), run()) {
+		t.Fatal("identical runs produced different traces")
+	}
+}
+
+func TestTraceRecordsStallAndCrash(t *testing.T) {
+	rec := trace.New()
+	MustRun(RandomizedConfig{N: 6, Crashes: 2, Lambda: 1, K: 21, Seed: 23,
+		StallAtSize: 8, StallFor: 2, Trace: rec}, countRule{}, Silent{})
+	sum := rec.Summary()
+	if sum[trace.StallStart] != 1 {
+		t.Fatalf("stall-start events: %d", sum[trace.StallStart])
+	}
+	if sum[trace.Crash] == 0 {
+		t.Fatalf("no crash events recorded")
+	}
+}
+
+// Catch-all determinism property: for random combinations of every config
+// knob, two runs with the same seed produce byte-identical traces.
+func TestDeterminismAcrossAllKnobs(t *testing.T) {
+	metaRng := xrand.New(0xDE7, 1)
+	for trial := 0; trial < 25; trial++ {
+		cfg := RandomizedConfig{
+			N:                4 + metaRng.Intn(8),
+			Lambda:           0.1 + metaRng.Float64(),
+			K:                5 + 2*metaRng.Intn(10),
+			Seed:             metaRng.Uint64(),
+			FreshHonestReads: metaRng.Bool(),
+			RoundRobinAccess: metaRng.Bool(),
+		}
+		cfg.T = metaRng.Intn(cfg.N / 2)
+		if metaRng.Bool() {
+			cfg.Crashes = metaRng.Intn(cfg.N - cfg.T)
+		}
+		if metaRng.Bool() {
+			cfg.StallAtSize = 1 + metaRng.Intn(cfg.K)
+			cfg.StallFor = 1 + metaRng.Float64()*4
+		}
+		if metaRng.Bool() {
+			cfg.AsyncDelayMax = metaRng.Float64() * 4
+		}
+		run := func() *trace.Recorder {
+			c := cfg
+			c.Trace = trace.New()
+			MustRun(c, countRule{}, &ValueFlip{Rule: countRule{}})
+			return c.Trace
+		}
+		a, b := run(), run()
+		if !trace.Equal(a, b) {
+			t.Fatalf("trial %d: nondeterministic under %+v", trial, cfg)
+		}
+		if a.Len() == 0 {
+			t.Fatalf("trial %d: empty trace", trial)
+		}
+	}
+}
+
+func TestRatesConfig(t *testing.T) {
+	// Heterogeneous rates: the whale should author far more appends.
+	r := MustRun(RandomizedConfig{
+		N: 4, Rates: []float64{2.0, 0.1, 0.1, 0.1}, K: 41, Seed: 31,
+	}, countRule{}, Silent{})
+	counts := make(map[appendmem.NodeID]int)
+	for _, msg := range r.FinalView.Messages() {
+		counts[msg.Author]++
+	}
+	if counts[0] < 3*counts[1] {
+		t.Fatalf("whale not dominant: %v", counts)
+	}
+	if !r.Verdict.OK() {
+		t.Fatalf("%+v", r.Verdict)
+	}
+}
+
+func TestRatesValidation(t *testing.T) {
+	bad := []RandomizedConfig{
+		{N: 3, Rates: []float64{1, 1}, K: 5},
+		{N: 2, Rates: []float64{1, 0}, K: 5},
+		{N: 2, Rates: []float64{1, -1}, K: 5},
+	}
+	for i, cfg := range bad {
+		if _, err := RunRandomized(cfg, countRule{}, Silent{}); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

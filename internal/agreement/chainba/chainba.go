@@ -1,0 +1,59 @@
+// Package chainba implements Algorithm 5 of the paper: Byzantine agreement
+// on the Chain. An honest node, when granted memory access, appends its
+// input value to the tip of a longest chain of its current (up to Δ stale)
+// view, breaking ties between equally long chains by a pluggable rule
+// (Algorithm 5 Lines 5–7). Once some longest chain reaches length k, the
+// node decides on the sign of the sum of the first k values in that chain
+// (Line 10).
+//
+// The paper analyses two tie-breaking rules:
+//
+//   - deterministic (Garay et al.): Theorem 5.3 — weak Byzantine agreement
+//     is impossible for t ≥ n/3 because the adversary can assume every tie
+//     goes its way (chain.AdversarialTieBreaker);
+//   - randomized (Ren): Theorem 5.4 — resilience degrades with the correct
+//     append rate, t/n ≤ 1/(1+λ(n−t)).
+package chainba
+
+import (
+	"repro/internal/appendmem"
+	"repro/internal/chain"
+	"repro/internal/node"
+	"repro/internal/xrand"
+)
+
+// Rule is the honest-node behaviour of Algorithm 5, parameterized by the
+// tie-breaking rule. It implements agreement.HonestRule.
+//
+// Confirm is an extension beyond the paper's Algorithm 5: the familiar
+// blockchain "confirmation depth". With Confirm = c > 0 a node decides on
+// the first k chain values only once the longest chain has length k+c, so
+// the decision prefix is c blocks deep at decision time. Deep prefixes are
+// harder to perturb late — experiment E19 measures how much that buys each
+// structure.
+type Rule struct {
+	TB      chain.TieBreaker
+	Confirm int
+}
+
+// Append extends the tie-broken longest chain of the node's view with the
+// node's input value. On an empty view the block attaches to the genesis.
+func (r Rule) Append(view appendmem.View, w *appendmem.Writer, input int64, rng *xrand.PCG) {
+	tip, ok := chain.SelectTip(view, r.TB, rng)
+	if !ok {
+		tip = appendmem.None
+	}
+	w.MustAppend(input, 0, []appendmem.MsgID{tip})
+}
+
+// Decide fires once the view contains a longest chain of length at least k
+// and returns the sign of the sum of that chain's first k values.
+func (r Rule) Decide(view appendmem.View, k int, rng *xrand.PCG) (int64, bool) {
+	tree := chain.Build(view)
+	if tree.Height() < k+r.Confirm {
+		return 0, false
+	}
+	tips := tree.LongestTips()
+	tip := r.TB.Pick(tips, view, rng)
+	return node.SumSign(tree.PrefixValues(tip, k)), true
+}

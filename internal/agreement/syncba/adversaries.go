@@ -1,0 +1,112 @@
+package syncba
+
+import (
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+)
+
+// DelayedChain is the Lemma 3.1 lower-bound adversary. A different
+// Byzantine node acts in each round r ≤ t, building a chain of Byzantine
+// messages that is hidden from every correct node until the final round:
+// each link is appended *after* all correct round-r reads (so it never
+// enters any correct L_r and is never referenced by correct nodes), except
+// the last link, which is appended *between* two correct nodes' final
+// reads. The nodes that read late accept the Byzantine value; the nodes
+// that read early do not.
+//
+// Running Algorithm 1 with rounds ≤ t therefore splits the accepted sets
+// and — with a balanced input assignment — the decisions. With the full
+// t+1 rounds the chain cannot be completed by Byzantine authors alone
+// (only t of them exist), so either a correct node joins the chain (making
+// it visible to everyone one round before the end) or the value is
+// accepted by nobody; agreement survives, exactly as the paper's Theorem
+// 3.2 argues.
+type DelayedChain struct {
+	// Value is the vote the Byzantine chain carries; 0 means -1.
+	Value int64
+	env   *Env
+	prev  appendmem.MsgID // last chain link appended
+}
+
+// Init implements Adversary.
+func (a *DelayedChain) Init(env *Env) {
+	a.env = env
+	a.prev = appendmem.None
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// Round schedules the round-r chain link.
+func (a *DelayedChain) Round(r int) {
+	byz := a.env.Roster.Byzantines()
+	if r > len(byz) {
+		return // out of distinct Byzantine authors; chain cannot grow
+	}
+	author := byz[r-1]
+	env := a.env
+
+	var at sim.Time
+	reads := env.CorrectReadTimes(r)
+	if r < env.Cfg.Rounds {
+		// Hide the link: append after every correct round-r read but still
+		// within round r.
+		roundEnd := env.Clock.RoundStart(r + 1)
+		last := reads[len(reads)-1]
+		at = last + (roundEnd-last)/2
+	} else {
+		// Final round: split the correct readers down the middle.
+		if len(reads) < 2 {
+			return // nobody to split
+		}
+		m := len(reads) / 2
+		at = reads[m-1] + (reads[m]-reads[m-1])/2
+	}
+
+	round := r
+	env.Sim.At(at, func() {
+		var parents []appendmem.MsgID
+		if a.prev != appendmem.None {
+			parents = []appendmem.MsgID{a.prev}
+		}
+		msg := env.Writer(author).MustAppend(a.Value, round, parents)
+		a.prev = msg.ID
+	})
+}
+
+// LoudFlip is the brute-force validity adversary: every Byzantine node
+// appends the flipped value (−1) in every round, on the honest schedule,
+// referencing the previous round's appends like a correct node would. All
+// Byzantine values are seen, supported and accepted by everyone, so the
+// decision is the sign of (n−t)·(+1) + t·(−1) — validity survives exactly
+// when the correct nodes outnumber the Byzantine ones (Theorem 3.2's
+// t < n/2).
+type LoudFlip struct {
+	// Value is the vote to cast; 0 means -1.
+	Value int64
+	env   *Env
+}
+
+// Init implements Adversary.
+func (a *LoudFlip) Init(env *Env) {
+	a.env = env
+	if a.Value == 0 {
+		a.Value = -1
+	}
+}
+
+// Round schedules one on-time append per Byzantine node.
+func (a *LoudFlip) Round(r int) {
+	env := a.env
+	round := r
+	for _, id := range env.Roster.Byzantines() {
+		id := id
+		env.Sim.At(env.Clock.AppendTime(id, r), func() {
+			var parents []appendmem.MsgID
+			for _, msg := range env.Mem.Read().ByRound(round - 1) {
+				parents = append(parents, msg.ID)
+			}
+			env.Writer(id).MustAppend(a.Value, round, parents)
+		})
+	}
+}

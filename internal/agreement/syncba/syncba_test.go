@@ -1,0 +1,234 @@
+package syncba
+
+import (
+	"testing"
+
+	"repro/internal/appendmem"
+	"repro/internal/node"
+	"repro/internal/trace"
+)
+
+// balancedInputs gives the correct nodes a +1 majority of exactly one
+// (requires an odd number of correct nodes), the knife's edge where a
+// single hidden Byzantine value flips the decision.
+func balancedInputs(n, t int) node.Inputs {
+	c := n - t
+	if c%2 == 0 {
+		panic("balancedInputs needs an odd number of correct nodes")
+	}
+	return node.SplitInputs(n, (c+1)/2)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, T: 0},
+		{N: 65, T: 0}, // author bitmask limit
+		{N: 4, T: 4},
+		{N: 4, T: -1},
+		{N: 4, T: 1, Rounds: -1},
+		{N: 4, T: 1, Inputs: node.AllSame(3, 1)},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, Silent{}); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDefaultRoundsIsTPlusOne(t *testing.T) {
+	r := MustRun(Config{N: 5, T: 2, Seed: 1}, Silent{})
+	if r.Rounds != 3 {
+		t.Fatalf("rounds = %d, want t+1 = 3", r.Rounds)
+	}
+}
+
+func TestDurationIsLinearInRounds(t *testing.T) {
+	// Theorem 3.2: O(tΔ) time. The run must finish within (t+1)·Δ.
+	r := MustRun(Config{N: 5, T: 3, Delta: 2.0, Seed: 1}, Silent{})
+	if float64(r.Duration) > float64(r.Rounds)*2.0 {
+		t.Fatalf("duration %v exceeds rounds·Δ = %v", r.Duration, float64(r.Rounds)*2.0)
+	}
+}
+
+func TestNoFaultsAllDecideInput(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := MustRun(Config{N: 6, T: 0, Rounds: 1, Seed: seed}, Silent{})
+		if !r.Verdict.OK() {
+			t.Fatalf("seed %d: %+v", seed, r.Verdict)
+		}
+		for _, id := range r.Roster.Correct() {
+			if r.Outcome.Decision[id] != +1 {
+				t.Fatalf("node %d decided %d", id, r.Outcome.Decision[id])
+			}
+		}
+	}
+}
+
+func TestCrashFailuresToleratedInOneRound(t *testing.T) {
+	// Section 3: "agreement with crash failures can be solved in the
+	// append memory with synchronous nodes within one round only" — all
+	// appends that reach the memory are visible to everyone.
+	for seed := uint64(0); seed < 10; seed++ {
+		r := MustRun(Config{N: 7, T: 0, Rounds: 1, Crashes: 3, Seed: seed}, Silent{})
+		if !r.Verdict.OK() {
+			t.Fatalf("seed %d: %+v", seed, r.Verdict)
+		}
+	}
+}
+
+func TestSilentByzantineHarmless(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		r := MustRun(Config{N: 7, T: 3, Seed: seed}, Silent{})
+		if !r.Verdict.OK() {
+			t.Fatalf("seed %d: %+v", seed, r.Verdict)
+		}
+	}
+}
+
+// Lemma 3.1 / the t+1 lower bound: under the DelayedChain adversary with a
+// balanced input assignment, every truncated round count r ≤ t breaks
+// agreement, and the full t+1 rounds never does.
+func TestRoundLowerBoundStaircase(t *testing.T) {
+	cases := []struct{ n, tt int }{{4, 1}, {5, 2}, {8, 3}}
+	for _, tc := range cases {
+		for rounds := 1; rounds <= tc.tt+1; rounds++ {
+			fails := 0
+			const trials = 20
+			for seed := uint64(0); seed < trials; seed++ {
+				r := MustRun(Config{
+					N: tc.n, T: tc.tt, Rounds: rounds, Seed: seed,
+					Inputs: balancedInputs(tc.n, tc.tt),
+				}, &DelayedChain{})
+				if !r.Verdict.Agreement {
+					fails++
+				}
+			}
+			if rounds <= tc.tt && fails == 0 {
+				t.Errorf("n=%d t=%d rounds=%d: agreement never failed; lower bound not exercised",
+					tc.n, tc.tt, rounds)
+			}
+			if rounds == tc.tt+1 && fails != 0 {
+				t.Errorf("n=%d t=%d rounds=%d: agreement failed %d/%d at t+1 rounds",
+					tc.n, tc.tt, rounds, fails, trials)
+			}
+		}
+	}
+}
+
+// Theorem 3.2: with t+1 rounds the protocol solves Byzantine agreement for
+// t < n/2 and collapses at t >= n/2 under the LoudFlip adversary.
+func TestResilienceThresholdHalf(t *testing.T) {
+	failures := func(n, tt int) int {
+		fails := 0
+		for seed := uint64(0); seed < 15; seed++ {
+			r := MustRun(Config{N: n, T: tt, Seed: seed}, &LoudFlip{})
+			if !r.Verdict.OK() {
+				fails++
+			}
+		}
+		return fails
+	}
+	if got := failures(9, 4); got != 0 { // t < n/2
+		t.Errorf("t=4 < n/2=4.5: %d/15 failures", got)
+	}
+	if got := failures(9, 5); got != 15 { // t > n/2
+		t.Errorf("t=5 > n/2: only %d/15 failures", got)
+	}
+	if got := failures(8, 4); got != 15 { // t = n/2 (sign convention -1)
+		t.Errorf("t=n/2: only %d/15 failures", got)
+	}
+}
+
+func TestDelayedChainHarmlessWithFullRounds(t *testing.T) {
+	// Validity-flavoured check too: all-correct-same inputs, full rounds.
+	for seed := uint64(0); seed < 15; seed++ {
+		r := MustRun(Config{N: 7, T: 3, Seed: seed}, &DelayedChain{})
+		if !r.Verdict.OK() {
+			t.Fatalf("seed %d: %+v", seed, r.Verdict)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		return MustRun(Config{N: 8, T: 3, Rounds: 3, Seed: 42, Inputs: balancedInputs(8, 3)}, &DelayedChain{})
+	}
+	a, b := run(), run()
+	for i := range a.Outcome.Decision {
+		if a.Outcome.Decision[i] != b.Outcome.Decision[i] || a.Outcome.Decided[i] != b.Outcome.Decided[i] {
+			t.Fatal("decisions differ across identical runs")
+		}
+	}
+	if a.FinalView.Size() != b.FinalView.Size() {
+		t.Fatal("memory sizes differ across identical runs")
+	}
+}
+
+func TestAcceptedValuesChainLogic(t *testing.T) {
+	// Hand-built view, n=4, rounds=2. Value of node 0 supported by node 1;
+	// value of node 3 unsupported.
+	m := appendmem.New(4)
+	v0 := m.Writer(0).MustAppend(+1, 1, nil)
+	m.Writer(3).MustAppend(-1, 1, nil)
+	m.Writer(1).MustAppend(+1, 2, []appendmem.MsgID{v0.ID})
+	got := AcceptedValues(m.Read(), 2)
+	if len(got) != 1 || got[0] != +1 {
+		t.Fatalf("accepted = %v, want [+1]", got)
+	}
+}
+
+func TestAcceptedValuesDistinctAuthors(t *testing.T) {
+	// A chain that reuses an author must not count: node 0's value
+	// "supported" by node 0 itself across rounds.
+	m := appendmem.New(2)
+	v0 := m.Writer(0).MustAppend(+1, 1, nil)
+	m.Writer(0).MustAppend(+1, 2, []appendmem.MsgID{v0.ID})
+	if got := AcceptedValues(m.Read(), 2); len(got) != 0 {
+		t.Fatalf("self-supported chain accepted: %v", got)
+	}
+	// With a distinct supporter it counts.
+	m2 := appendmem.New(2)
+	w0 := m2.Writer(0).MustAppend(+1, 1, nil)
+	m2.Writer(1).MustAppend(+1, 2, []appendmem.MsgID{w0.ID})
+	if got := AcceptedValues(m2.Read(), 2); len(got) != 1 {
+		t.Fatalf("properly supported chain rejected: %v", got)
+	}
+}
+
+func TestAcceptedValuesRoundGaps(t *testing.T) {
+	// A supporter must be exactly one round later; a round-3 message
+	// referencing a round-1 message is not a valid link for rounds=2... it
+	// is simply not a link at all.
+	m := appendmem.New(3)
+	v0 := m.Writer(0).MustAppend(+1, 1, nil)
+	m.Writer(1).MustAppend(+1, 3, []appendmem.MsgID{v0.ID})
+	if got := AcceptedValues(m.Read(), 2); len(got) != 0 {
+		t.Fatalf("round-gap chain accepted: %v", got)
+	}
+}
+
+func TestAcceptedSumExposed(t *testing.T) {
+	r := MustRun(Config{N: 5, T: 0, Rounds: 1, Seed: 3}, Silent{})
+	for _, id := range r.Roster.Correct() {
+		if r.AcceptedSum[id] != 5 {
+			t.Fatalf("node %d accepted sum %d, want 5", id, r.AcceptedSum[id])
+		}
+	}
+}
+
+func TestSyncTraceRecordsRounds(t *testing.T) {
+	rec := trace.New()
+	r := MustRun(Config{N: 5, T: 1, Seed: 4, Trace: rec}, &LoudFlip{})
+	sum := rec.Summary()
+	if sum[trace.RoundStart] != r.Rounds {
+		t.Fatalf("round-start events = %d, want %d", sum[trace.RoundStart], r.Rounds)
+	}
+	// 4 correct nodes append each round; the adversary's appends go
+	// through env.Writer directly (not traced by the runner).
+	if sum[trace.Append] != 4*r.Rounds {
+		t.Fatalf("append events = %d, want %d", sum[trace.Append], 4*r.Rounds)
+	}
+	if sum[trace.Decide] != 4 {
+		t.Fatalf("decide events = %d, want 4", sum[trace.Decide])
+	}
+}

@@ -1,0 +1,43 @@
+// Package timestamp implements Algorithm 4 of the paper: Byzantine
+// agreement with absolute timestamps. Every append is stamped by the
+// central authority (the Poisson token issuer), giving all appends a unique
+// total order visible to every node. A node appends its input value
+// whenever granted access, waits until k appends exist, orders them by
+// timestamp, and decides on the sign of the sum of the first k values.
+//
+// This is the paper's best-case baseline (Section 5.1): agreement and
+// termination hold deterministically; validity holds with high probability
+// with failure probability decaying like exp(-k(n-2t)²/n²) (Theorem 5.2).
+package timestamp
+
+import (
+	"repro/internal/appendmem"
+	"repro/internal/node"
+	"repro/internal/xrand"
+)
+
+// Rule is the honest-node behaviour of Algorithm 4. It implements
+// agreement.HonestRule.
+type Rule struct{}
+
+// Append writes the node's input value; no references are needed because
+// the authority's timestamps order everything (Algorithm 4 Line 5).
+func (Rule) Append(_ appendmem.View, w *appendmem.Writer, input int64, _ *xrand.PCG) {
+	w.MustAppend(input, 0, nil)
+}
+
+// Decide waits for k appends (Algorithm 4 Line 2), orders all appends by
+// timestamp (Line 8) and decides on the sign of the sum of the first k
+// (Line 9). The ArrivalOrder accessor is exactly the authority's timestamp
+// order; this is the one protocol permitted to use it.
+func (Rule) Decide(view appendmem.View, k int, _ *xrand.PCG) (int64, bool) {
+	if view.Size() < k {
+		return 0, false
+	}
+	first := view.ArrivalOrder()[:k]
+	vals := make([]int64, k)
+	for i, msg := range first {
+		vals[i] = msg.Value
+	}
+	return node.SumSign(vals), true
+}

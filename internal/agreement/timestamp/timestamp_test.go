@@ -1,0 +1,154 @@
+package timestamp
+
+import (
+	"testing"
+
+	"repro/internal/agreement"
+	"repro/internal/appendmem"
+	"repro/internal/node"
+)
+
+func TestDecideBeforeK(t *testing.T) {
+	m := appendmem.New(2)
+	m.Writer(0).MustAppend(1, 0, nil)
+	if _, ok := (Rule{}).Decide(m.Read(), 3, nil); ok {
+		t.Fatal("decided with fewer than k appends")
+	}
+}
+
+func TestDecideUsesArrivalOrder(t *testing.T) {
+	// First 3 arrivals sum to +1; a later burst of -1s must not matter.
+	m := appendmem.New(3)
+	m.Writer(2).MustAppend(+1, 0, nil) // arrival 0
+	m.Writer(0).MustAppend(+1, 0, nil) // arrival 1
+	m.Writer(1).MustAppend(-1, 0, nil) // arrival 2
+	for i := 0; i < 5; i++ {
+		m.Writer(1).MustAppend(-1, 0, nil)
+	}
+	v, ok := (Rule{}).Decide(m.Read(), 3, nil)
+	if !ok || v != +1 {
+		t.Fatalf("decide = (%d, %v), want (+1, true)", v, ok)
+	}
+}
+
+func TestAppendHasNoReferences(t *testing.T) {
+	m := appendmem.New(1)
+	(Rule{}).Append(m.Read(), m.Writer(0), +1, nil)
+	msg := m.Message(0)
+	if len(msg.Parents) != 0 {
+		t.Fatalf("timestamp append carries references: %v", msg.Parents)
+	}
+}
+
+func TestNoByzantineAllDecideInput(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		r := agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 0, Lambda: 0.5, K: 21, Seed: seed,
+		}, Rule{}, agreement.Silent{})
+		if !r.Verdict.OK() {
+			t.Fatalf("seed %d: verdict = %+v", seed, r.Verdict)
+		}
+		for _, id := range r.Roster.Correct() {
+			if r.Outcome.Decision[id] != +1 {
+				t.Fatalf("seed %d: node %d decided %d", seed, id, r.Outcome.Decision[id])
+			}
+		}
+	}
+}
+
+func TestAgreementAlwaysHolds(t *testing.T) {
+	// Theorem 5.2: agreement and termination are deterministic — the
+	// timestamps uniquely determine the first k writes — even under attack.
+	for seed := uint64(0); seed < 30; seed++ {
+		r := agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 4, Lambda: 0.5, K: 5, Seed: seed,
+		}, Rule{}, &agreement.ValueFlip{Rule: Rule{}})
+		if !r.Verdict.Agreement {
+			t.Fatalf("seed %d: agreement failed", seed)
+		}
+		if !r.Verdict.Termination {
+			t.Fatalf("seed %d: termination failed", seed)
+		}
+	}
+}
+
+func TestValidityHighKMargin(t *testing.T) {
+	// n-2t = 4 (comfortable margin), k = 41: validity should hold in the
+	// vast majority of runs (Theorem 5.2's exponential decay in k).
+	fails := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		r := agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 3, Lambda: 0.5, K: 41, Seed: seed,
+		}, Rule{}, &agreement.ValueFlip{Rule: Rule{}})
+		if !r.Verdict.Validity {
+			fails++
+		}
+	}
+	if fails > 2 {
+		t.Fatalf("validity failed %d/20 despite wide margin and large k", fails)
+	}
+}
+
+func TestValidityTightMarginSmallK(t *testing.T) {
+	// n-2t = 2, k = 5: the Byzantine nodes win the first-k majority with
+	// non-negligible probability — weak validity only.
+	fails := 0
+	const trials = 40
+	for seed := uint64(0); seed < trials; seed++ {
+		r := agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 4, Lambda: 0.5, K: 5, Seed: seed,
+		}, Rule{}, &agreement.ValueFlip{Rule: Rule{}})
+		if !r.Verdict.Validity {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("validity never failed at tight margin; weak-validity regime not reproduced")
+	}
+	if fails > trials/2 {
+		t.Fatalf("validity failed %d/%d; correct majority should usually win", fails, trials)
+	}
+}
+
+func TestValidityImprovesWithK(t *testing.T) {
+	failRate := func(k int) int {
+		fails := 0
+		for seed := uint64(0); seed < 40; seed++ {
+			r := agreement.MustRun(agreement.RandomizedConfig{
+				N: 10, T: 4, Lambda: 0.5, K: k, Seed: seed,
+			}, Rule{}, &agreement.ValueFlip{Rule: Rule{}})
+			if !r.Verdict.Validity {
+				fails++
+			}
+		}
+		return fails
+	}
+	small, large := failRate(5), failRate(81)
+	if large > small {
+		t.Fatalf("failures at k=81 (%d) exceed k=5 (%d); no exponential decay in k", large, small)
+	}
+	if large > 2 {
+		t.Fatalf("validity failed %d/40 at k=81", large)
+	}
+}
+
+func TestInputsMixedMajorityWins(t *testing.T) {
+	// 7 nodes hold +1, 3 hold -1 (all correct): the decision tracks the
+	// majority with high probability at large k.
+	wins := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		r := agreement.MustRun(agreement.RandomizedConfig{
+			N: 10, T: 0, Lambda: 0.5, K: 41, Seed: seed,
+			Inputs: node.SplitInputs(10, 7),
+		}, Rule{}, agreement.Silent{})
+		if !r.Verdict.Agreement || !r.Verdict.Termination {
+			t.Fatalf("seed %d: %+v", seed, r.Verdict)
+		}
+		if r.Outcome.Decision[0] == +1 {
+			wins++
+		}
+	}
+	if wins < 15 {
+		t.Fatalf("majority input won only %d/20 runs", wins)
+	}
+}

@@ -1,0 +1,302 @@
+// Package appendmem implements the append memory model of Melnyk and
+// Wattenhofer (SPAA 2020, Section 1.1): n unbounded single-writer registers
+// R_1..R_n supporting R_i.read() and R_i.append(msg), equivalently viewed as
+// one register M that every node appends to and reads in full.
+//
+// The memory enforces exactly the powers the paper grants and no more:
+//
+//   - Single-writer order. Register R_i totally orders the messages of node
+//     v_i; this is enforced structurally through the Writer capability.
+//   - No overwrites. Appended messages are immutable and never removed.
+//   - Instant visibility. An appended message is part of every later read.
+//   - No cross-register ordering. The memory "withdraws the power of
+//     ordering messages": a View iterates messages in (author, sequence)
+//     order, which conveys no information about real arrival interleaving.
+//     The arrival order exists internally (it defines what a read at time τ
+//     returns) but is only exposed through the Timestamps accessor, which
+//     models the central timestamp authority of Section 5.1 and must only
+//     be used by the timestamp baseline protocol.
+//
+// All ordering semantics protocols care about (chain parents, DAG parents,
+// round labels) travel inside Message payloads, exactly as in the paper
+// where a message "contains some value from this node and a reference to a
+// previous state of the memory".
+//
+// A Memory is not safe for concurrent use; the deterministic simulator
+// drives each run from a single goroutine, and parallel trials use disjoint
+// Memory instances.
+package appendmem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (register owner) in [0, n).
+type NodeID int
+
+// MsgID is the internal identity of an appended message. IDs are assigned
+// in arrival order but protocols must not use them to infer cross-register
+// ordering; they are opaque handles for parent references.
+type MsgID int
+
+// None is the null MsgID, used e.g. as the chain-genesis parent marker.
+const None MsgID = -1
+
+// Message is one appended command. Fields are set at append time and
+// immutable afterwards.
+type Message struct {
+	ID      MsgID
+	Author  NodeID
+	Seq     int     // position within the author's register R_Author
+	Value   int64   // protocol value (input bit, ±1 vote, ...)
+	Round   int     // protocol round label; 0 when unused
+	Parents []MsgID // references to previous appends (the "previous state")
+}
+
+// Errors returned by Append.
+var (
+	ErrCrashed       = errors.New("appendmem: writer has crashed")
+	ErrUnknownParent = errors.New("appendmem: parent reference not in memory")
+)
+
+// Memory is the shared append memory for n nodes.
+type Memory struct {
+	n       int
+	log     []*Message // arrival order; index == MsgID
+	regs    [][]MsgID  // per-author registers, in author order
+	writers []*Writer
+}
+
+// New creates an append memory for n nodes. It panics when n <= 0.
+func New(n int) *Memory {
+	if n <= 0 {
+		panic("appendmem: New with non-positive n")
+	}
+	m := &Memory{n: n, regs: make([][]MsgID, n), writers: make([]*Writer, n)}
+	for i := range m.writers {
+		m.writers[i] = &Writer{mem: m, owner: NodeID(i)}
+	}
+	return m
+}
+
+// NumNodes returns n.
+func (m *Memory) NumNodes() int { return m.n }
+
+// Len returns the total number of messages appended so far.
+func (m *Memory) Len() int { return len(m.log) }
+
+// Writer returns the append capability of node id. There is exactly one
+// Writer per register; handing it to one node enforces the single-writer
+// rule structurally. It panics for an out-of-range id.
+func (m *Memory) Writer(id NodeID) *Writer {
+	if id < 0 || int(id) >= m.n {
+		panic(fmt.Sprintf("appendmem: Writer(%d) out of range [0,%d)", id, m.n))
+	}
+	return m.writers[id]
+}
+
+// Message returns the message with the given id, or nil when the id is
+// invalid or None.
+func (m *Memory) Message(id MsgID) *Message {
+	if id < 0 || int(id) >= len(m.log) {
+		return nil
+	}
+	return m.log[id]
+}
+
+// Read returns the current full view of the memory, M.read() in the paper.
+// The view is an immutable snapshot: later appends do not affect it.
+func (m *Memory) Read() View { return View{mem: m, size: len(m.log)} }
+
+// ViewAt returns the view consisting of the first size appended messages.
+// It panics when size is negative or exceeds Len. ViewAt(0) is the empty
+// initial memory state M(0).
+func (m *Memory) ViewAt(size int) View {
+	if size < 0 || size > len(m.log) {
+		panic(fmt.Sprintf("appendmem: ViewAt(%d) out of range [0,%d]", size, len(m.log)))
+	}
+	return View{mem: m, size: size}
+}
+
+// Register returns the ids of node id's messages in append order — the
+// contents of register R_id. The returned slice is a copy.
+func (m *Memory) Register(id NodeID) []MsgID {
+	if id < 0 || int(id) >= m.n {
+		panic(fmt.Sprintf("appendmem: Register(%d) out of range [0,%d)", id, m.n))
+	}
+	return append([]MsgID(nil), m.regs[id]...)
+}
+
+// Timestamps exposes the global arrival order of all messages. This models
+// the central authority of Section 5.1 that stamps every append; only the
+// timestamp baseline protocol (Algorithm 4) may use it. The returned slice
+// is a copy in arrival order.
+func (m *Memory) Timestamps() []MsgID {
+	ids := make([]MsgID, len(m.log))
+	for i, msg := range m.log {
+		ids[i] = msg.ID
+	}
+	return ids
+}
+
+// Writer is the exclusive append capability for one register.
+type Writer struct {
+	mem     *Memory
+	owner   NodeID
+	crashed bool
+}
+
+// Owner returns the register this writer appends to.
+func (w *Writer) Owner() NodeID { return w.owner }
+
+// Crashed reports whether Crash has been called.
+func (w *Writer) Crashed() bool { return w.crashed }
+
+// Crash permanently disables the writer, modelling a crash failure: the
+// node stops executing the protocol at an arbitrary point.
+func (w *Writer) Crash() { w.crashed = true }
+
+// Append appends a message carrying value, round and parent references to
+// the owner's register and returns it. Parents must already be in memory
+// (a node may reference an obsolete state, but never a future one). The
+// append is visible to all subsequent reads.
+func (w *Writer) Append(value int64, round int, parents []MsgID) (*Message, error) {
+	if w.crashed {
+		return nil, ErrCrashed
+	}
+	for _, p := range parents {
+		if p == None {
+			continue
+		}
+		if w.mem.Message(p) == nil {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownParent, p)
+		}
+	}
+	msg := &Message{
+		ID:      MsgID(len(w.mem.log)),
+		Author:  w.owner,
+		Seq:     len(w.mem.regs[w.owner]),
+		Value:   value,
+		Round:   round,
+		Parents: append([]MsgID(nil), parents...),
+	}
+	w.mem.log = append(w.mem.log, msg)
+	w.mem.regs[w.owner] = append(w.mem.regs[w.owner], msg.ID)
+	return msg, nil
+}
+
+// MustAppend is Append but panics on error; for protocol code where a
+// failure indicates a bug rather than a modelled fault.
+func (w *Writer) MustAppend(value int64, round int, parents []MsgID) *Message {
+	msg, err := w.Append(value, round, parents)
+	if err != nil {
+		panic(err)
+	}
+	return msg
+}
+
+// View is an immutable snapshot of the memory: the set of messages
+// appended before some point in (simulated) time. Views are totally
+// ordered by inclusion, matching the paper's M(τ) ⊆ M(τ') for τ ≤ τ'.
+type View struct {
+	mem  *Memory
+	size int
+}
+
+// Size returns the number of messages in the view.
+func (v View) Size() int { return v.size }
+
+// Empty reports whether the view is the initial empty memory state.
+func (v View) Empty() bool { return v.size == 0 }
+
+// Contains reports whether the message with the given id is in the view.
+func (v View) Contains(id MsgID) bool { return id >= 0 && int(id) < v.size }
+
+// Message returns the message with the given id when it is in the view,
+// else nil.
+func (v View) Message(id MsgID) *Message {
+	if !v.Contains(id) {
+		return nil
+	}
+	return v.mem.log[id]
+}
+
+// Messages returns all messages in the view sorted by (author, seq). This
+// order is deterministic but deliberately independent of arrival
+// interleaving across registers, so protocols cannot extract a total order
+// the model forbids.
+func (v View) Messages() []*Message {
+	msgs := make([]*Message, v.size)
+	copy(msgs, v.mem.log[:v.size])
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].Author != msgs[j].Author {
+			return msgs[i].Author < msgs[j].Author
+		}
+		return msgs[i].Seq < msgs[j].Seq
+	})
+	return msgs
+}
+
+// ByAuthor returns the messages of one author inside the view, in the
+// author's register order.
+func (v View) ByAuthor(id NodeID) []*Message {
+	var msgs []*Message
+	for _, mid := range v.mem.regs[id] {
+		if !v.Contains(mid) {
+			break // register order equals arrival order per author
+		}
+		msgs = append(msgs, v.mem.log[mid])
+	}
+	return msgs
+}
+
+// ByRound returns all messages in the view labelled with the given round,
+// sorted by (author, seq).
+func (v View) ByRound(round int) []*Message {
+	var msgs []*Message
+	for _, msg := range v.mem.log[:v.size] {
+		if msg.Round == round {
+			msgs = append(msgs, msg)
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].Author != msgs[j].Author {
+			return msgs[i].Author < msgs[j].Author
+		}
+		return msgs[i].Seq < msgs[j].Seq
+	})
+	return msgs
+}
+
+// ArrivalOrder returns the view's messages in the global arrival order.
+// Like Memory.Timestamps, this models the absolute-timestamp authority of
+// Section 5.1 and must only be used by the timestamp baseline protocol
+// (Algorithm 4); chain and DAG protocols are forbidden this information.
+func (v View) ArrivalOrder() []*Message {
+	msgs := make([]*Message, v.size)
+	copy(msgs, v.mem.log[:v.size])
+	return msgs
+}
+
+// SubsetOf reports whether v is contained in other. Views over the same
+// memory are totally ordered by inclusion.
+func (v View) SubsetOf(other View) bool {
+	return v.mem == other.mem && v.size <= other.size
+}
+
+// Diff returns the messages in v that are not in older, i.e. the appends
+// between the two reads, in arrival order. It panics when the views come
+// from different memories or older is larger.
+func (v View) Diff(older View) []*Message {
+	if v.mem != older.mem {
+		panic("appendmem: Diff across memories")
+	}
+	if older.size > v.size {
+		panic("appendmem: Diff with newer 'older' view")
+	}
+	msgs := make([]*Message, v.size-older.size)
+	copy(msgs, v.mem.log[older.size:v.size])
+	return msgs
+}

@@ -1,0 +1,366 @@
+package appendmem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNewPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAppendAndRead(t *testing.T) {
+	m := New(3)
+	w0 := m.Writer(0)
+	msg, err := w0.Append(+1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.ID != 0 || msg.Author != 0 || msg.Seq != 0 || msg.Value != +1 || msg.Round != 1 {
+		t.Fatalf("unexpected message %+v", msg)
+	}
+	v := m.Read()
+	if v.Size() != 1 || !v.Contains(msg.ID) {
+		t.Fatalf("view missing appended message")
+	}
+}
+
+func TestSingleWriterSeq(t *testing.T) {
+	m := New(2)
+	w := m.Writer(1)
+	for i := 0; i < 5; i++ {
+		msg := w.MustAppend(int64(i), 0, nil)
+		if msg.Seq != i {
+			t.Fatalf("seq = %d, want %d", msg.Seq, i)
+		}
+	}
+	reg := m.Register(1)
+	if len(reg) != 5 {
+		t.Fatalf("register length = %d", len(reg))
+	}
+	for i := 1; i < len(reg); i++ {
+		if m.Message(reg[i]).Seq != m.Message(reg[i-1]).Seq+1 {
+			t.Fatal("register order broken")
+		}
+	}
+	if len(m.Register(0)) != 0 {
+		t.Fatal("wrong register received appends")
+	}
+}
+
+func TestWriterIsStable(t *testing.T) {
+	m := New(2)
+	if m.Writer(0) != m.Writer(0) {
+		t.Fatal("Writer not a stable capability")
+	}
+}
+
+func TestCrash(t *testing.T) {
+	m := New(2)
+	w := m.Writer(0)
+	w.MustAppend(1, 0, nil)
+	w.Crash()
+	if !w.Crashed() {
+		t.Fatal("Crashed() false after Crash")
+	}
+	if _, err := w.Append(2, 0, nil); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append after crash: err = %v, want ErrCrashed", err)
+	}
+	if m.Len() != 1 {
+		t.Fatal("crashed append reached memory")
+	}
+}
+
+func TestUnknownParentRejected(t *testing.T) {
+	m := New(2)
+	w := m.Writer(0)
+	if _, err := w.Append(1, 0, []MsgID{42}); !errors.Is(err, ErrUnknownParent) {
+		t.Fatalf("err = %v, want ErrUnknownParent", err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("invalid append reached memory")
+	}
+}
+
+func TestNoneParentAllowed(t *testing.T) {
+	m := New(1)
+	if _, err := m.Writer(0).Append(1, 0, []MsgID{None}); err != nil {
+		t.Fatalf("genesis parent rejected: %v", err)
+	}
+}
+
+func TestObsoleteParentAllowed(t *testing.T) {
+	// A node may append referencing an old state of the memory (async model).
+	m := New(3)
+	first := m.Writer(0).MustAppend(1, 0, nil)
+	for i := 0; i < 10; i++ {
+		m.Writer(1).MustAppend(1, 0, nil)
+	}
+	msg, err := m.Writer(2).Append(1, 0, []MsgID{first.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Parents[0] != first.ID {
+		t.Fatal("obsolete parent not recorded")
+	}
+}
+
+func TestParentsAreCopied(t *testing.T) {
+	m := New(2)
+	a := m.Writer(0).MustAppend(1, 0, nil)
+	parents := []MsgID{a.ID}
+	msg := m.Writer(1).MustAppend(1, 0, parents)
+	parents[0] = 99
+	if msg.Parents[0] != a.ID {
+		t.Fatal("Append aliased the caller's parents slice")
+	}
+}
+
+func TestViewImmutableSnapshot(t *testing.T) {
+	m := New(2)
+	m.Writer(0).MustAppend(1, 0, nil)
+	v := m.Read()
+	m.Writer(1).MustAppend(2, 0, nil)
+	if v.Size() != 1 {
+		t.Fatal("view grew after later append")
+	}
+	if m.Read().Size() != 2 {
+		t.Fatal("new read missing later append")
+	}
+}
+
+func TestViewMonotonicity(t *testing.T) {
+	// Views are totally ordered by inclusion: M(τ) ⊆ M(τ') for τ ≤ τ'.
+	m := New(4)
+	rng := xrand.New(1, 1)
+	var views []View
+	for i := 0; i < 100; i++ {
+		m.Writer(NodeID(rng.Intn(4))).MustAppend(int64(i), 0, nil)
+		views = append(views, m.Read())
+	}
+	for i := 1; i < len(views); i++ {
+		if !views[i-1].SubsetOf(views[i]) {
+			t.Fatal("earlier view not subset of later view")
+		}
+	}
+}
+
+func TestViewMessagesOrderIndependentOfArrival(t *testing.T) {
+	// Two memories receive the same per-author messages in different
+	// arrival interleavings; Messages() must look identical.
+	build := func(order []NodeID) []*Message {
+		m := New(3)
+		seq := map[NodeID]int64{}
+		for _, a := range order {
+			m.Writer(a).MustAppend(seq[a], 0, nil)
+			seq[a]++
+		}
+		return m.Read().Messages()
+	}
+	a := build([]NodeID{0, 1, 2, 0, 1, 2})
+	b := build([]NodeID{2, 1, 0, 2, 1, 0})
+	if len(a) != len(b) {
+		t.Fatal("different sizes")
+	}
+	for i := range a {
+		if a[i].Author != b[i].Author || a[i].Seq != b[i].Seq || a[i].Value != b[i].Value {
+			t.Fatalf("Messages() leaks arrival order at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestByAuthor(t *testing.T) {
+	m := New(3)
+	m.Writer(0).MustAppend(10, 0, nil)
+	m.Writer(1).MustAppend(20, 0, nil)
+	m.Writer(0).MustAppend(11, 0, nil)
+	v := m.ViewAt(2) // only first two appends visible
+	got := v.ByAuthor(0)
+	if len(got) != 1 || got[0].Value != 10 {
+		t.Fatalf("ByAuthor(0) in partial view = %v", got)
+	}
+	full := m.Read().ByAuthor(0)
+	if len(full) != 2 || full[1].Value != 11 {
+		t.Fatalf("ByAuthor(0) full = %v", full)
+	}
+}
+
+func TestByRound(t *testing.T) {
+	m := New(2)
+	m.Writer(0).MustAppend(1, 1, nil)
+	m.Writer(1).MustAppend(2, 2, nil)
+	m.Writer(0).MustAppend(3, 2, nil)
+	r2 := m.Read().ByRound(2)
+	if len(r2) != 2 {
+		t.Fatalf("ByRound(2) = %d messages, want 2", len(r2))
+	}
+	if r2[0].Author != 0 || r2[1].Author != 1 {
+		t.Fatal("ByRound not sorted by author")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	m := New(2)
+	m.Writer(0).MustAppend(1, 0, nil)
+	old := m.Read()
+	m.Writer(1).MustAppend(2, 0, nil)
+	m.Writer(0).MustAppend(3, 0, nil)
+	diff := m.Read().Diff(old)
+	if len(diff) != 2 || diff[0].Value != 2 || diff[1].Value != 3 {
+		t.Fatalf("Diff = %v", diff)
+	}
+}
+
+func TestTimestampsArrivalOrder(t *testing.T) {
+	m := New(3)
+	m.Writer(2).MustAppend(1, 0, nil)
+	m.Writer(0).MustAppend(2, 0, nil)
+	m.Writer(1).MustAppend(3, 0, nil)
+	ts := m.Timestamps()
+	if len(ts) != 3 {
+		t.Fatal("wrong length")
+	}
+	for i, id := range ts {
+		if int(id) != i {
+			t.Fatalf("Timestamps()[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestViewAtBounds(t *testing.T) {
+	m := New(1)
+	m.Writer(0).MustAppend(1, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ViewAt out of range did not panic")
+		}
+	}()
+	m.ViewAt(2)
+}
+
+func TestPropertyAppendMonotone(t *testing.T) {
+	// Property: after any sequence of appends, (a) Len equals sum of
+	// register lengths, (b) every register's messages have contiguous Seq,
+	// (c) every parent reference points to a smaller MsgID.
+	rng := xrand.New(7, 7)
+	if err := quick.Check(func(steps uint8) bool {
+		n := 4
+		m := New(n)
+		var ids []MsgID
+		for s := 0; s < int(steps%64)+1; s++ {
+			author := NodeID(rng.Intn(n))
+			var parents []MsgID
+			if len(ids) > 0 && rng.Bool() {
+				parents = []MsgID{ids[rng.Intn(len(ids))]}
+			}
+			msg, err := m.Writer(author).Append(1, 0, parents)
+			if err != nil {
+				return false
+			}
+			ids = append(ids, msg.ID)
+		}
+		total := 0
+		for i := 0; i < n; i++ {
+			reg := m.Register(NodeID(i))
+			total += len(reg)
+			for j, id := range reg {
+				if m.Message(id).Seq != j {
+					return false
+				}
+			}
+		}
+		if total != m.Len() {
+			return false
+		}
+		for _, msg := range m.Read().Messages() {
+			for _, p := range msg.Parents {
+				if p >= msg.ID {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessorsAndPanics(t *testing.T) {
+	m := New(3)
+	if m.NumNodes() != 3 {
+		t.Fatal("NumNodes wrong")
+	}
+	w := m.Writer(1)
+	if w.Owner() != 1 {
+		t.Fatal("Owner wrong")
+	}
+	v := m.Read()
+	if !v.Empty() {
+		t.Fatal("fresh view not empty")
+	}
+	if v.Message(0) != nil {
+		t.Fatal("Message on empty view not nil")
+	}
+	msg := w.MustAppend(5, 0, nil)
+	v2 := m.Read()
+	if v2.Empty() || v2.Message(msg.ID) == nil {
+		t.Fatal("view accessors broken after append")
+	}
+
+	for _, f := range []func(){
+		func() { m.Writer(9) },
+		func() { m.Register(9) },
+		func() { v.Diff(v2) },                         // newer "older" view
+		func() { w.Crash(); w.MustAppend(1, 0, nil) }, // MustAppend panics on error
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArrivalOrderAccessor(t *testing.T) {
+	m := New(3)
+	m.Writer(2).MustAppend(1, 0, nil)
+	m.Writer(0).MustAppend(2, 0, nil)
+	m.Writer(1).MustAppend(3, 0, nil)
+	got := m.Read().ArrivalOrder()
+	if len(got) != 3 {
+		t.Fatal("wrong length")
+	}
+	for i, msg := range got {
+		if int(msg.ID) != i {
+			t.Fatalf("arrival order broken at %d", i)
+		}
+	}
+	// Partial view truncates.
+	partial := m.ViewAt(2).ArrivalOrder()
+	if len(partial) != 2 {
+		t.Fatal("partial arrival order wrong")
+	}
+}
+
+func TestDiffAcrossMemoriesPanics(t *testing.T) {
+	a, b := New(1), New(1)
+	a.Writer(0).MustAppend(1, 0, nil)
+	b.Writer(0).MustAppend(1, 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-memory Diff did not panic")
+		}
+	}()
+	a.Read().Diff(b.Read())
+}

@@ -1,0 +1,424 @@
+// Package bivalence is a bounded model checker for deterministic consensus
+// protocols in the append memory, implementing the machinery of Section 2
+// of the paper (and of Loui–Abu-Amara, which the paper's proof follows).
+//
+// A protocol is a deterministic state machine per node: given its state,
+// the node's next operation is fixed (a read or an append of a determined
+// value); the *scheduler* only chooses which node steps next. This matches
+// the paper's event model: read events always apply; append events append
+// to the current memory; a read of an unchanged memory leaves the
+// configuration unchanged (the self-loop of property (b) in §2.1).
+// Configurations are canonical — the memory is kept as per-register
+// sequences with no cross-register order, exactly the information content
+// the append memory exposes.
+//
+// The checker explores the full computation graph (finite for protocols
+// with bounded appends) and decides, exactly:
+//
+//   - Valency of every configuration (which decision values are reachable),
+//     giving Lemma 2.2's bivalent initial configurations;
+//   - Lemma 2.3's extension property: from a bivalent configuration, for
+//     any node p, a bivalent configuration is reachable via a path
+//     containing a p-step — and from it, Theorem 2.1's explicit infinite
+//     non-deciding schedule (any finite prefix of it);
+//   - violations of agreement (two nodes decided differently in some
+//     reachable configuration), validity (a reachable decision contradicts
+//     unanimous inputs) and 1-resilient termination (a fair cycle in the
+//     v-free subgraph on which some correct node never decides, found via
+//     SCC analysis).
+//
+// Theorem 2.1 becomes the executable statement: every protocol in a
+// candidate family violates at least one of the three properties.
+package bivalence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Msg is one appended message in the checker's memory model.
+type Msg struct {
+	Author, Seq, Value int
+}
+
+// Op is a node's next operation.
+type Op struct {
+	Append bool
+	Value  int // appended value, when Append
+}
+
+// State is a node's local state. Data must canonically encode everything
+// the node remembers; two states with equal fields are THE SAME state.
+type State struct {
+	Data     string
+	Decided  bool
+	Decision int
+}
+
+// Protocol is a deterministic consensus protocol in the append memory.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Init returns node id's state given its binary input.
+	Init(id, input int) State
+	// Next returns the node's next operation. Deterministic in (id, s).
+	Next(id int, s State) Op
+	// OnRead returns the node's state after reading view (the complete
+	// memory, sorted by (author, seq)). Deterministic.
+	OnRead(id int, s State, view []Msg) State
+	// OnAppend returns the node's state after its append lands.
+	OnAppend(id int, s State) State
+}
+
+// Config is a configuration: all node states plus the memory content.
+type Config struct {
+	States []State
+	Mem    []Msg // sorted by (author, seq); canonical
+}
+
+// Key returns the canonical string identity of the configuration.
+func (c Config) Key() string {
+	var b strings.Builder
+	for _, s := range c.States {
+		fmt.Fprintf(&b, "[%s|%v|%d]", s.Data, s.Decided, s.Decision)
+	}
+	b.WriteByte('#')
+	for _, m := range c.Mem {
+		fmt.Fprintf(&b, "(%d,%d,%d)", m.Author, m.Seq, m.Value)
+	}
+	return b.String()
+}
+
+// Initial returns the initial configuration for the given inputs.
+func Initial(p Protocol, inputs []int) Config {
+	states := make([]State, len(inputs))
+	for i, in := range inputs {
+		states[i] = p.Init(i, in)
+	}
+	return Config{States: states}
+}
+
+// Apply performs node's next operation on c and returns the successor.
+// The returned changed flag is false for no-op reads (property (b)).
+func Apply(p Protocol, c Config, node int) (Config, bool) {
+	s := c.States[node]
+	if s.Decided {
+		return c, false // decided nodes halt (their steps are no-ops)
+	}
+	op := p.Next(node, s)
+	if op.Append {
+		seq := 0
+		for _, m := range c.Mem {
+			if m.Author == node {
+				seq++
+			}
+		}
+		mem := make([]Msg, len(c.Mem), len(c.Mem)+1)
+		copy(mem, c.Mem)
+		mem = append(mem, Msg{Author: node, Seq: seq, Value: op.Value})
+		sort.Slice(mem, func(i, j int) bool {
+			if mem[i].Author != mem[j].Author {
+				return mem[i].Author < mem[j].Author
+			}
+			return mem[i].Seq < mem[j].Seq
+		})
+		states := append([]State(nil), c.States...)
+		states[node] = p.OnAppend(node, s)
+		return Config{States: states, Mem: mem}, true
+	}
+	ns := p.OnRead(node, s, c.Mem)
+	if ns == s {
+		return c, false
+	}
+	states := append([]State(nil), c.States...)
+	states[node] = ns
+	return Config{States: states, Mem: c.Mem}, true
+}
+
+// Graph is the fully explored computation graph from one initial
+// configuration.
+type Graph struct {
+	p         Protocol
+	n         int
+	configs   []Config
+	index     map[string]int
+	succ      [][]int // succ[i][node] = successor config index
+	valency   []uint8 // bit0: decision 0 reachable; bit1: decision 1
+	truncated bool
+}
+
+// Explore builds the computation graph from c0, bounded by maxConfigs.
+// When the bound is hit, Truncated reports true and valencies are lower
+// bounds (a "bivalent" verdict is still sound; "univalent" may not be).
+func Explore(p Protocol, c0 Config, maxConfigs int) *Graph {
+	g := &Graph{p: p, n: len(c0.States), index: make(map[string]int)}
+	add := func(c Config) int {
+		k := c.Key()
+		if i, ok := g.index[k]; ok {
+			return i
+		}
+		i := len(g.configs)
+		g.index[k] = i
+		g.configs = append(g.configs, c)
+		g.succ = append(g.succ, nil)
+		return i
+	}
+	root := add(c0)
+	queue := []int{root}
+	for len(queue) > 0 {
+		if len(g.configs) > maxConfigs {
+			g.truncated = true
+			break
+		}
+		i := queue[0]
+		queue = queue[1:]
+		if g.succ[i] != nil {
+			continue
+		}
+		succs := make([]int, g.n)
+		for node := 0; node < g.n; node++ {
+			nc, _ := Apply(p, g.configs[i], node)
+			j := add(nc)
+			succs[node] = j
+			if g.succ[j] == nil && j != i {
+				queue = append(queue, j)
+			}
+		}
+		g.succ[i] = succs
+	}
+	// Backward-propagate decision reachability to a fixpoint.
+	g.valency = make([]uint8, len(g.configs))
+	for i, c := range g.configs {
+		for _, s := range c.States {
+			if s.Decided {
+				g.valency[i] |= 1 << uint(s.Decision)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range g.configs {
+			if g.succ[i] == nil {
+				continue
+			}
+			for _, j := range g.succ[i] {
+				if v := g.valency[i] | g.valency[j]; v != g.valency[i] {
+					g.valency[i] = v
+					changed = true
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Size returns the number of explored configurations.
+func (g *Graph) Size() int { return len(g.configs) }
+
+// Truncated reports whether exploration hit the configuration bound.
+func (g *Graph) Truncated() bool { return g.truncated }
+
+// Root returns the initial configuration's index (always 0).
+func (g *Graph) Root() int { return 0 }
+
+// Config returns configuration i.
+func (g *Graph) Config(i int) Config { return g.configs[i] }
+
+// Valency returns the set of decision values reachable from configuration
+// i, as a bitmask (bit v set: decision v reachable).
+func (g *Graph) Valency(i int) uint8 { return g.valency[i] }
+
+// Bivalent reports whether both decisions are reachable from i.
+func (g *Graph) Bivalent(i int) bool { return g.valency[i] == 3 }
+
+// Succ returns the successor of configuration i under a step of node
+// (i itself for halted/no-op steps on frontier configs).
+func (g *Graph) Succ(i, node int) int {
+	if g.succ[i] == nil {
+		return i
+	}
+	return g.succ[i][node]
+}
+
+// AgreementViolation scans for a reachable configuration in which two
+// nodes decided different values and returns its index, or -1.
+func (g *Graph) AgreementViolation() int {
+	for i, c := range g.configs {
+		saw := -1
+		for _, s := range c.States {
+			if !s.Decided {
+				continue
+			}
+			if saw >= 0 && saw != s.Decision {
+				return i
+			}
+			saw = s.Decision
+		}
+	}
+	return -1
+}
+
+// DecisionReached reports whether value v is decided in any reachable
+// configuration.
+func (g *Graph) DecisionReached(v int) bool {
+	return g.valency[0]&(1<<uint(v)) != 0
+}
+
+// Undecided reports whether no node has decided in configuration i.
+func (g *Graph) Undecided(i int) bool {
+	for _, s := range g.configs[i].States {
+		if s.Decided {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendBivalence implements Lemma 2.3 operationally: starting from
+// bivalent configuration i, find a path on which node p takes at least one
+// step, ending in a bivalent configuration. Returns the path (config
+// indices, starting at i) and ok.
+func (g *Graph) ExtendBivalence(i, p int) ([]int, bool) {
+	return g.extend(i, p, g.Bivalent)
+}
+
+func (g *Graph) extend(i, p int, accept func(int) bool) ([]int, bool) {
+	type item struct {
+		cfg     int
+		stepped bool
+	}
+	seen := map[item]bool{}
+	prev := map[item]struct {
+		from item
+		ok   bool
+	}{}
+	start := item{i, false}
+	queue := []item{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.stepped && accept(cur.cfg) {
+			// Reconstruct path.
+			var rev []int
+			for at := cur; ; {
+				rev = append(rev, at.cfg)
+				pr, ok := prev[at]
+				if !ok || !pr.ok {
+					break
+				}
+				at = pr.from
+			}
+			path := make([]int, len(rev))
+			for k := range rev {
+				path[k] = rev[len(rev)-1-k]
+			}
+			return path, true
+		}
+		if g.succ[cur.cfg] == nil {
+			continue // truncation frontier: successors unknown
+		}
+		for node := 0; node < g.n; node++ {
+			j := g.Succ(cur.cfg, node)
+			stepped := cur.stepped || node == p
+			if j == cur.cfg && node != p {
+				continue
+			}
+			next := item{j, stepped}
+			if !seen[next] {
+				seen[next] = true
+				prev[next] = struct {
+					from item
+					ok   bool
+				}{cur, true}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil, false
+}
+
+// NonDecidingSchedule constructs a prefix of Theorem 2.1's infinite
+// computation: starting from a bivalent undecided configuration, it
+// repeatedly extends round-robin over all nodes, each time reaching a
+// configuration that is bivalent AND fully undecided. Because decision
+// flags are monotone along steps, every configuration on the resulting
+// schedule is undecided — this is the explicit computation in which every
+// correct node performs infinitely many events and the algorithm never
+// terminates. Returns the visited configuration indices and ok=false if
+// the construction gets stuck (which, for a protocol satisfying agreement
+// and validity, would falsify Lemma 2.3).
+func (g *Graph) NonDecidingSchedule(start, cycles int) ([]int, bool) {
+	if !g.Bivalent(start) || !g.Undecided(start) {
+		return nil, false
+	}
+	goal := func(i int) bool { return g.Bivalent(i) && g.Undecided(i) }
+	cur := start
+	trace := []int{cur}
+	for c := 0; c < cycles; c++ {
+		for p := 0; p < g.n; p++ {
+			path, ok := g.extend(cur, p, goal)
+			if !ok {
+				return trace, false
+			}
+			trace = append(trace, path[1:]...)
+			cur = path[len(path)-1]
+		}
+	}
+	return trace, true
+}
+
+// Dot renders the explored computation graph as Graphviz DOT, up to
+// maxConfigs configurations (breadth-first from the root). Valency is
+// colour-coded: bivalent orange, 0-valent blue, 1-valent green, dead
+// (no decision reachable) grey; configurations with a decided node are
+// double-ringed. Self-loop (no-op) edges are omitted for readability.
+func (g *Graph) Dot(maxConfigs int) string {
+	var b strings.Builder
+	b.WriteString("digraph computation {\n  rankdir=TB;\n  node [shape=box, fontsize=8];\n")
+	include := make(map[int]bool)
+	order := []int{0}
+	include[0] = true
+	for i := 0; i < len(order) && len(order) < maxConfigs; i++ {
+		cur := order[i]
+		if g.succ[cur] == nil {
+			continue
+		}
+		for _, j := range g.succ[cur] {
+			if !include[j] && len(order) < maxConfigs {
+				include[j] = true
+				order = append(order, j)
+			}
+		}
+	}
+	for _, i := range order {
+		color := "grey"
+		switch g.valency[i] {
+		case 1:
+			color = "lightblue"
+		case 2:
+			color = "lightgreen"
+		case 3:
+			color = "orange"
+		}
+		shape := "box"
+		for _, s := range g.configs[i].States {
+			if s.Decided {
+				shape = "doubleoctagon"
+			}
+		}
+		fmt.Fprintf(&b, "  c%d [label=\"#%d\", style=filled, fillcolor=%s, shape=%s];\n", i, i, color, shape)
+		if g.succ[i] == nil {
+			continue
+		}
+		for node, j := range g.succ[i] {
+			if j == i || !include[j] {
+				continue
+			}
+			fmt.Fprintf(&b, "  c%d -> c%d [label=\"%d\", fontsize=7];\n", i, j, node)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,266 @@
+package bivalence
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyAppendAndSeq(t *testing.T) {
+	p := NewThresholdVote(2, DecideMajority)
+	c := Initial(p, []int{1, 0})
+	c1, changed := Apply(p, c, 0)
+	if !changed {
+		t.Fatal("append reported no change")
+	}
+	if len(c1.Mem) != 1 || c1.Mem[0] != (Msg{Author: 0, Seq: 0, Value: 1}) {
+		t.Fatalf("mem = %v", c1.Mem)
+	}
+	// Original config untouched (value semantics).
+	if len(c.Mem) != 0 {
+		t.Fatal("Apply mutated the input configuration")
+	}
+}
+
+func TestApplyNoOpRead(t *testing.T) {
+	p := NewThresholdVote(2, DecideMajority)
+	c := Initial(p, []int{1, 0})
+	c1, _ := Apply(p, c, 0) // 0 appends
+	c2, _ := Apply(p, c1, 0)
+	// Node 0 now reads; only its own append is visible (< θ=2): state
+	// unchanged → property (b) self-loop.
+	c3, changed := Apply(p, c2, 0)
+	if changed {
+		t.Fatal("read below threshold changed the configuration")
+	}
+	if c3.Key() != c2.Key() {
+		t.Fatal("no-op read altered the configuration key")
+	}
+}
+
+func TestDecidedNodesHalt(t *testing.T) {
+	p := NewThresholdVote(1, DecideMajority)
+	c := Initial(p, []int{1, 1})
+	c, _ = Apply(p, c, 0) // append
+	c, _ = Apply(p, c, 0) // read, sees 1 author >= θ=1 → decides
+	if !c.States[0].Decided || c.States[0].Decision != 1 {
+		t.Fatalf("state = %+v", c.States[0])
+	}
+	c2, changed := Apply(p, c, 0)
+	if changed || c2.Key() != c.Key() {
+		t.Fatal("decided node still takes effective steps")
+	}
+}
+
+func TestKeyIgnoresCrossRegisterOrder(t *testing.T) {
+	// Two schedules: node 0 appends then node 1, and vice versa. The
+	// memories must be identical — the append memory cannot order appends
+	// from different nodes.
+	p := NewThresholdVote(2, DecideMajority)
+	c0 := Initial(p, []int{1, 0})
+	a, _ := Apply(p, c0, 0)
+	a, _ = Apply(p, a, 1)
+	b, _ := Apply(p, c0, 1)
+	b, _ = Apply(p, b, 0)
+	if a.Key() != b.Key() {
+		t.Fatalf("append order leaked into configuration:\n%s\n%s", a.Key(), b.Key())
+	}
+}
+
+func TestExploreCompleteAndValency(t *testing.T) {
+	p := NewThresholdVote(1, DecideMajority)
+	g := Explore(p, Initial(p, []int{0, 1}), 100000)
+	if g.Truncated() {
+		t.Fatal("tiny graph truncated")
+	}
+	if !g.Bivalent(g.Root()) {
+		t.Fatal("θ=1 with split inputs must be bivalent (each node can decide its own value first)")
+	}
+}
+
+func TestUnanimousInputsUnivalent(t *testing.T) {
+	p := NewThresholdVote(1, DecideMajority)
+	g := Explore(p, Initial(p, []int{1, 1}), 100000)
+	if g.Bivalent(g.Root()) {
+		t.Fatal("unanimous inputs produced a bivalent initial configuration")
+	}
+	if !g.DecisionReached(1) || g.DecisionReached(0) {
+		t.Fatal("validity broken on unanimous inputs")
+	}
+}
+
+func TestAgreementViolationFound(t *testing.T) {
+	// θ=1: both nodes can decide their own value before seeing the other.
+	p := NewThresholdVote(1, DecideMajority)
+	g := Explore(p, Initial(p, []int{0, 1}), 100000)
+	if g.AgreementViolation() < 0 {
+		t.Fatal("known agreement violation not found")
+	}
+}
+
+func TestTerminationViolationForWaitAll(t *testing.T) {
+	// θ=n: if one node is silent the others wait forever.
+	p := NewThresholdVote(3, DecideMajority)
+	g := Explore(p, Initial(p, []int{0, 1, 1}), 200000)
+	found := false
+	for v := 0; v < 3; v++ {
+		if g.TerminationViolation(v) >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("wait-for-all protocol passed 1-resilient termination")
+	}
+}
+
+func TestNoFalseTerminationViolation(t *testing.T) {
+	// θ=1 decides after its own append: no v-free computation can stall
+	// an undecided correct node forever.
+	p := NewThresholdVote(1, DecideMajority)
+	g := Explore(p, Initial(p, []int{0, 1}), 100000)
+	for v := 0; v < 2; v++ {
+		if i := g.TerminationViolation(v); i >= 0 {
+			t.Fatalf("false termination violation at config %d with faulty %d", i, v)
+		}
+	}
+}
+
+func TestExtendBivalence(t *testing.T) {
+	// Lemma 2.3 on a concrete bivalent configuration.
+	p := &RetryVote{N: 3}
+	g := Explore(p, Initial(p, []int{0, 1, 1}), 30000)
+	if !g.Bivalent(g.Root()) {
+		t.Fatal("root not bivalent")
+	}
+	for node := 0; node < 3; node++ {
+		path, ok := g.ExtendBivalence(g.Root(), node)
+		if !ok {
+			t.Fatalf("no bivalent extension with a step of node %d", node)
+		}
+		if len(path) < 1 || !g.Bivalent(path[len(path)-1]) {
+			t.Fatalf("extension path does not end bivalent: %v", path)
+		}
+	}
+}
+
+func TestNonDecidingSchedule(t *testing.T) {
+	// Theorem 2.1's construction on the FLP-style RetryVote protocol: a
+	// schedule prefix in which every node steps repeatedly and every
+	// configuration stays bivalent and undecided.
+	p := &RetryVote{N: 3}
+	g := Explore(p, Initial(p, []int{0, 1, 1}), 30000)
+	if !g.Bivalent(g.Root()) {
+		t.Fatal("RetryVote root not bivalent for split inputs")
+	}
+	trace, ok := g.NonDecidingSchedule(g.Root(), 4)
+	if !ok {
+		t.Fatal("non-deciding schedule construction got stuck (falsifies Lemma 2.3)")
+	}
+	if len(trace) < 5 {
+		t.Fatalf("suspiciously short schedule: %v", trace)
+	}
+	for _, i := range trace {
+		if !g.Bivalent(i) {
+			t.Fatalf("schedule visited a univalent configuration %d", i)
+		}
+		for _, s := range g.Config(i).States {
+			if s.Decided {
+				t.Fatal("schedule visited a decided configuration")
+			}
+		}
+	}
+}
+
+func TestRetryVoteValidityAndDecidability(t *testing.T) {
+	p := &RetryVote{N: 3}
+	// Unanimous inputs: only that value is ever decided.
+	g1 := Explore(p, Initial(p, []int{1, 1, 1}), 30000)
+	if g1.DecisionReached(0) || !g1.DecisionReached(1) {
+		t.Fatal("RetryVote violates validity on unanimous 1s")
+	}
+	g0 := Explore(p, Initial(p, []int{0, 0, 0}), 30000)
+	if g0.DecisionReached(1) || !g0.DecisionReached(0) {
+		t.Fatal("RetryVote violates validity on unanimous 0s")
+	}
+	// Split inputs: both decisions reachable (bivalent), so the protocol
+	// does decide under some schedules — the impossibility is about ALL
+	// schedules, not about never deciding.
+	g := Explore(p, Initial(p, []int{0, 1, 1}), 30000)
+	if !g.DecisionReached(0) || !g.DecisionReached(1) {
+		t.Fatal("RetryVote never decides under split inputs")
+	}
+}
+
+// The executable Theorem 2.1: every member of the candidate family fails
+// at least one consensus property, for n = 2, 3 and 4, exhaustively.
+func TestTheoremTwoOneOverFamily(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		for _, p := range Family(n) {
+			v := CheckTheorem(p, n, 2000000)
+			if v.OK() {
+				t.Errorf("n=%d: %s solves 1-resilient consensus — impossibility violated", n, v.Protocol)
+			}
+		}
+	}
+}
+
+func TestFamilyShapes(t *testing.T) {
+	// Below-threshold members break agreement with a bivalent initial
+	// configuration; the wait-for-all members break termination instead.
+	for _, p := range Family(3) {
+		tv := p.(*ThresholdVote)
+		v := CheckTheorem(p, 3, 300000)
+		if tv.Theta < 3 {
+			if v.Agreement {
+				t.Errorf("%s: agreement unexpectedly holds", v.Protocol)
+			}
+			if !v.BivalentInitial {
+				t.Errorf("%s: no bivalent initial configuration found", v.Protocol)
+			}
+		} else {
+			if !v.Agreement {
+				t.Errorf("%s: agreement fails for wait-all", v.Protocol)
+			}
+			if v.Termination {
+				t.Errorf("%s: termination unexpectedly holds", v.Protocol)
+			}
+		}
+		if !v.Validity {
+			t.Errorf("%s: validity fails (decision functions respect unanimity)", v.Protocol)
+		}
+	}
+}
+
+func TestViewString(t *testing.T) {
+	s := ViewString([]Msg{{Author: 1, Seq: 0, Value: 1}, {Author: 0, Seq: 0, Value: 0}})
+	if s != "{0:0 1:1}" {
+		t.Fatalf("ViewString = %q", s)
+	}
+}
+
+func TestExploreTruncation(t *testing.T) {
+	p := NewThresholdVote(3, DecideMajority)
+	g := Explore(p, Initial(p, []int{0, 1, 1}), 5)
+	if !g.Truncated() {
+		t.Fatal("bound of 5 configs not reported as truncation")
+	}
+	// Truncated graphs refuse unsound termination verdicts.
+	if g.TerminationViolation(0) != -1 {
+		t.Fatal("truncated graph returned a termination verdict")
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	p := NewThresholdVote(1, DecideMajority) // bivalent root: orange appears
+	g := Explore(p, Initial(p, []int{0, 1}), 100000)
+	out := g.Dot(50)
+	for _, want := range []string{"digraph computation", "c0", "orange", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q", want)
+		}
+	}
+	// Bounded output respects the cap.
+	small := g.Dot(3)
+	if strings.Count(small, "[label=\"#") > 3 {
+		t.Error("dot exceeded maxConfigs")
+	}
+}

@@ -1,0 +1,237 @@
+package bivalence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file defines the candidate protocol family the Theorem 2.1
+// experiment sweeps. Each protocol follows the natural shape of a
+// read-write consensus attempt in the append memory: append your input
+// once, then read until a decision criterion fires. The family varies the
+// wait threshold θ (how many appends a node must see before deciding) and
+// the decision function. Theorem 2.1 predicts that every member fails
+// agreement, validity or 1-resilient termination — the checker verifies it
+// exhaustively for small n.
+
+// DecisionFunc maps the multiset of seen messages to a decision value.
+type DecisionFunc struct {
+	Name string
+	F    func(view []Msg) int
+}
+
+// DecideMajority decides the majority value, ties broken towards the value
+// of the smallest author seen.
+var DecideMajority = DecisionFunc{
+	Name: "majority",
+	F: func(view []Msg) int {
+		count := [2]int{}
+		minAuthor, minVal := 1<<30, 0
+		for _, m := range view {
+			count[m.Value]++
+			if m.Author < minAuthor {
+				minAuthor, minVal = m.Author, m.Value
+			}
+		}
+		switch {
+		case count[0] > count[1]:
+			return 0
+		case count[1] > count[0]:
+			return 1
+		default:
+			return minVal
+		}
+	},
+}
+
+// DecideMinAuthor decides the value appended by the smallest author seen.
+var DecideMinAuthor = DecisionFunc{
+	Name: "min-author",
+	F: func(view []Msg) int {
+		best, val := 1<<30, 0
+		for _, m := range view {
+			if m.Author < best {
+				best, val = m.Author, m.Value
+			}
+		}
+		return val
+	},
+}
+
+// DecideMaxValue decides 1 if any 1 was seen (OR of the inputs seen).
+var DecideMaxValue = DecisionFunc{
+	Name: "max-value",
+	F: func(view []Msg) int {
+		for _, m := range view {
+			if m.Value == 1 {
+				return 1
+			}
+		}
+		return 0
+	},
+}
+
+// ThresholdVote is the family member: append the input once, then read
+// until at least Theta distinct authors are visible, then decide
+// Decide.F(view).
+type ThresholdVote struct {
+	Theta  int
+	Decide DecisionFunc
+}
+
+// NewThresholdVote constructs a family member.
+func NewThresholdVote(theta int, decide DecisionFunc) *ThresholdVote {
+	return &ThresholdVote{Theta: theta, Decide: decide}
+}
+
+// Name implements Protocol.
+func (t *ThresholdVote) Name() string {
+	return fmt.Sprintf("threshold-vote(θ=%d,%s)", t.Theta, t.Decide.Name)
+}
+
+// State encoding: "A:<input>" before the append, "R:<input>" after.
+// Everything else the node knows is read fresh from the memory, so no
+// more needs to be remembered.
+
+// Init implements Protocol.
+func (t *ThresholdVote) Init(_, input int) State {
+	return State{Data: fmt.Sprintf("A:%d", input)}
+}
+
+// Next implements Protocol.
+func (t *ThresholdVote) Next(_ int, s State) Op {
+	if strings.HasPrefix(s.Data, "A:") {
+		return Op{Append: true, Value: int(s.Data[2] - '0')}
+	}
+	return Op{}
+}
+
+// OnAppend implements Protocol.
+func (t *ThresholdVote) OnAppend(_ int, s State) State {
+	return State{Data: "R:" + s.Data[2:]}
+}
+
+// OnRead implements Protocol.
+func (t *ThresholdVote) OnRead(_ int, s State, view []Msg) State {
+	if strings.HasPrefix(s.Data, "A:") {
+		return s // still has to append; reads before that change nothing
+	}
+	authors := map[int]bool{}
+	for _, m := range view {
+		authors[m.Author] = true
+	}
+	if len(authors) < t.Theta {
+		return s
+	}
+	return State{Data: s.Data, Decided: true, Decision: t.Decide.F(view)}
+}
+
+// Family returns the candidate protocols checked in the Theorem 2.1
+// experiment for n nodes: all thresholds 1..n crossed with the three
+// decision functions.
+func Family(n int) []Protocol {
+	var ps []Protocol
+	for theta := 1; theta <= n; theta++ {
+		for _, d := range []DecisionFunc{DecideMajority, DecideMinAuthor, DecideMaxValue} {
+			ps = append(ps, NewThresholdVote(theta, d))
+		}
+	}
+	return ps
+}
+
+// ViewString renders a view compactly for debugging and reports.
+func ViewString(view []Msg) string {
+	msgs := append([]Msg(nil), view...)
+	sort.Slice(msgs, func(i, j int) bool {
+		if msgs[i].Author != msgs[j].Author {
+			return msgs[i].Author < msgs[j].Author
+		}
+		return msgs[i].Seq < msgs[j].Seq
+	})
+	parts := make([]string, len(msgs))
+	for i, m := range msgs {
+		parts[i] = fmt.Sprintf("%d:%d", m.Author, m.Value)
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// RetryVote is the FLP-style adaptive protocol on which the paper's
+// bivalence argument bites in its full form: nodes vote in phases
+// (a node's phase-p vote is its (p+1)-th append), wait until n−1 distinct
+// authors have voted in their current phase, decide on unanimity and
+// otherwise adopt the majority and move to the next phase. It satisfies
+// validity, pursues termination — and therefore, by Theorem 2.1, must
+// admit schedules on which it never decides. The computation graph is
+// infinite (phases are unbounded); the checker explores it truncated and
+// exhibits arbitrarily long non-deciding bivalent schedules.
+type RetryVote struct {
+	// N is the number of nodes (the wait threshold is N−1).
+	N int
+}
+
+// Name implements Protocol.
+func (r *RetryVote) Name() string { return fmt.Sprintf("retry-vote(n=%d)", r.N) }
+
+// State encoding: "V:<phase>:<vote>:<a|r>" — a: must append its phase vote,
+// r: appended, reading.
+
+// Init implements Protocol.
+func (r *RetryVote) Init(_, input int) State {
+	return State{Data: fmt.Sprintf("V:0:%d:a", input)}
+}
+
+func parseRetry(data string) (phase, vote int, appended bool) {
+	var mode string
+	fmt.Sscanf(data, "V:%d:%d:%s", &phase, &vote, &mode)
+	return phase, vote, mode == "r"
+}
+
+// Next implements Protocol.
+func (r *RetryVote) Next(_ int, s State) Op {
+	_, vote, appended := parseRetry(s.Data)
+	if !appended {
+		return Op{Append: true, Value: vote}
+	}
+	return Op{}
+}
+
+// OnAppend implements Protocol.
+func (r *RetryVote) OnAppend(_ int, s State) State {
+	phase, vote, _ := parseRetry(s.Data)
+	return State{Data: fmt.Sprintf("V:%d:%d:r", phase, vote)}
+}
+
+// OnRead implements Protocol.
+func (r *RetryVote) OnRead(_ int, s State, view []Msg) State {
+	phase, _, appended := parseRetry(s.Data)
+	if !appended {
+		return s
+	}
+	// Phase-p votes are the appends with Seq == p.
+	var votes []int
+	for _, m := range view {
+		if m.Seq == phase {
+			votes = append(votes, m.Value)
+		}
+	}
+	if len(votes) < r.N-1 {
+		return s
+	}
+	count := [2]int{}
+	for _, v := range votes {
+		count[v]++
+	}
+	if count[0] == len(votes) || count[1] == len(votes) {
+		d := 0
+		if count[1] > 0 {
+			d = 1
+		}
+		return State{Data: s.Data, Decided: true, Decision: d}
+	}
+	adopt := 0
+	if count[1] > count[0] {
+		adopt = 1
+	}
+	return State{Data: fmt.Sprintf("V:%d:%d:a", phase+1, adopt)}
+}

@@ -1,0 +1,229 @@
+package bivalence
+
+// Termination analysis: 1-resilient termination fails for faulty node v
+// when there exists a fair infinite v-free computation in which some
+// correct node never decides. On the finite computation graph this is a
+// reachable strongly connected component of the v-free step graph in
+// which (a) every node w ≠ v has at least one step (no-op self-steps
+// count — reading an unchanged memory is an operation, the paper's
+// property (b)), and (b) some node w ≠ v is undecided. Decision flags are
+// monotone along edges, so all configurations of one SCC agree on who has
+// decided.
+
+// TerminationViolation searches for such an SCC with node v silent.
+// It returns a configuration index inside a violating SCC, or -1.
+func (g *Graph) TerminationViolation(v int) int {
+	if g.truncated {
+		return -1 // sound answers only on fully explored graphs
+	}
+	n := len(g.configs)
+
+	// v-free reachability from the root.
+	reach := make([]bool, n)
+	stack := []int{0}
+	reach[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for node := 0; node < g.n; node++ {
+			if node == v {
+				continue
+			}
+			j := g.Succ(i, node)
+			if !reach[j] {
+				reach[j] = true
+				stack = append(stack, j)
+			}
+		}
+	}
+
+	// Tarjan SCC over the v-free edges restricted to reachable configs.
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var tarStack []int
+	counter := 0
+	comps := 0
+
+	type frame struct {
+		node int
+		edge int
+	}
+	for start := 0; start < n; start++ {
+		if !reach[start] || index[start] != -1 {
+			continue
+		}
+		var frames []frame
+		push := func(i int) {
+			index[i] = counter
+			low[i] = counter
+			counter++
+			tarStack = append(tarStack, i)
+			onStack[i] = true
+			frames = append(frames, frame{node: i})
+		}
+		push(start)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.edge < g.n {
+				step := f.edge
+				f.edge++
+				if step == v {
+					continue
+				}
+				j := g.Succ(f.node, step)
+				if !reach[j] {
+					continue
+				}
+				if index[j] == -1 {
+					push(j)
+					advanced = true
+					break
+				}
+				if onStack[j] && index[j] < low[f.node] {
+					low[f.node] = index[j]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Pop frame.
+			i := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if low[i] < low[frames[len(frames)-1].node] {
+					low[frames[len(frames)-1].node] = low[i]
+				}
+			}
+			if low[i] == index[i] {
+				for {
+					j := tarStack[len(tarStack)-1]
+					tarStack = tarStack[:len(tarStack)-1]
+					onStack[j] = false
+					comp[j] = comps
+					if j == i {
+						break
+					}
+				}
+				comps++
+			}
+		}
+	}
+
+	// Per SCC: which nodes step internally, and is someone undecided.
+	type sccInfo struct {
+		steps     []bool
+		undecided bool
+		rep       int
+		hasEdge   bool
+	}
+	infos := make([]*sccInfo, comps)
+	for i := 0; i < n; i++ {
+		if !reach[i] || comp[i] == -1 {
+			continue
+		}
+		ci := comp[i]
+		if infos[ci] == nil {
+			infos[ci] = &sccInfo{steps: make([]bool, g.n), rep: i}
+		}
+		info := infos[ci]
+		for _, s := range g.configs[i].States {
+			_ = s
+		}
+		for w := 0; w < g.n; w++ {
+			if w == v {
+				continue
+			}
+			j := g.Succ(i, w)
+			if reach[j] && comp[j] == ci {
+				info.steps[w] = true
+				info.hasEdge = true
+			}
+		}
+		for w := 0; w < g.n; w++ {
+			if w != v && !g.configs[i].States[w].Decided {
+				info.undecided = true
+			}
+		}
+	}
+	for _, info := range infos {
+		if info == nil || !info.hasEdge || !info.undecided {
+			continue
+		}
+		ok := true
+		for w := 0; w < g.n; w++ {
+			if w != v && !info.steps[w] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return info.rep
+		}
+	}
+	return -1
+}
+
+// Verdict summarizes a full Theorem 2.1 check of one protocol on one node
+// count: which consensus property fails (at least one must, by the
+// impossibility result).
+type Verdict struct {
+	Protocol  string
+	N         int
+	Agreement bool // true = holds on all explored input assignments
+	Validity  bool
+	// Termination is 1-resilient termination: false when some faulty-node
+	// choice admits a fair non-deciding computation.
+	Termination bool
+	// BivalentInitial reports whether some input assignment yields a
+	// bivalent initial configuration (Lemma 2.2's premise for protocols
+	// with both decisions reachable).
+	BivalentInitial bool
+	// Configs is the total number of configurations explored.
+	Configs int
+}
+
+// OK reports whether the protocol would solve 1-resilient consensus —
+// Theorem 2.1 says this must never be true.
+func (v Verdict) OK() bool { return v.Agreement && v.Validity && v.Termination }
+
+// CheckTheorem runs the full analysis of one protocol for n nodes over all
+// 2^n input assignments, exploring at most maxConfigs configurations per
+// assignment.
+func CheckTheorem(p Protocol, n, maxConfigs int) Verdict {
+	v := Verdict{Protocol: p.Name(), N: n, Agreement: true, Validity: true, Termination: true}
+	for bits := 0; bits < 1<<uint(n); bits++ {
+		inputs := make([]int, n)
+		allSame := true
+		for i := range inputs {
+			inputs[i] = (bits >> uint(i)) & 1
+			if inputs[i] != inputs[0] {
+				allSame = false
+			}
+		}
+		g := Explore(p, Initial(p, inputs), maxConfigs)
+		v.Configs += g.Size()
+		if g.AgreementViolation() >= 0 {
+			v.Agreement = false
+		}
+		if allSame && g.DecisionReached(1-inputs[0]) {
+			v.Validity = false
+		}
+		if g.Bivalent(g.Root()) {
+			v.BivalentInitial = true
+		}
+		for faulty := 0; faulty < n; faulty++ {
+			if g.TerminationViolation(faulty) >= 0 {
+				v.Termination = false
+				break
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,267 @@
+// Package chain implements the blockchain structure of Section 5.2 on top
+// of the append memory: every appended message designates exactly one
+// parent (Parents[0], or appendmem.None for blocks attached to the virtual
+// genesis), forming a tree; protocols follow a longest chain and break ties
+// between equally long chains by a pluggable rule.
+//
+// The three tie-breaking rules mirror the paper's discussion:
+//
+//   - Deterministic "first" (Garay et al. [9]): the first of the longest
+//     tips in memory-arrival order. In the append memory arrival order is
+//     not observable by nodes, but since appends are instantly visible,
+//     "first seen" coincides with arrival order for every node, so this is
+//     the faithful simulation of the first-seen rule.
+//   - Adversarial: the worst case over all deterministic rules, used by
+//     Theorem 5.3 ("one can assume that all ties will be broken in favor of
+//     the adversary"): whenever a Byzantine tip ties, it wins.
+//   - Randomized (Ren [21]): a uniformly random longest tip.
+//
+// A Tree is an immutable index built from a View; rebuilding per read is
+// O(view size) and keeps protocols stateless between reads, matching the
+// model where a read returns the complete memory.
+package chain
+
+import (
+	"sort"
+
+	"repro/internal/appendmem"
+	"repro/internal/xrand"
+)
+
+// Tree indexes the parent structure of a view. Blocks whose parent is not
+// visible in the view are "dangling" and excluded from depth computations;
+// with the append memory this only happens for malformed (Byzantine)
+// references, since parents must be appended before children.
+type Tree struct {
+	view     appendmem.View
+	depth    map[appendmem.MsgID]int // genesis-adjacent blocks have depth 1
+	children map[appendmem.MsgID][]appendmem.MsgID
+	roots    []appendmem.MsgID // blocks with parent None
+	height   int
+}
+
+// Parent returns the chain parent of msg: Parents[0], or None when the
+// block hangs off the genesis.
+func Parent(msg *appendmem.Message) appendmem.MsgID {
+	if len(msg.Parents) == 0 {
+		return appendmem.None
+	}
+	return msg.Parents[0]
+}
+
+// Build indexes the chain structure of view.
+func Build(view appendmem.View) *Tree {
+	t := &Tree{
+		view:     view,
+		depth:    make(map[appendmem.MsgID]int, view.Size()),
+		children: make(map[appendmem.MsgID][]appendmem.MsgID),
+	}
+	// MsgIDs are assigned in arrival order and parents always precede
+	// children, so one increasing-ID pass computes all depths.
+	for id := appendmem.MsgID(0); int(id) < view.Size(); id++ {
+		msg := view.Message(id)
+		p := Parent(msg)
+		switch {
+		case p == appendmem.None:
+			t.depth[id] = 1
+			t.roots = append(t.roots, id)
+		default:
+			pd, ok := t.depth[p]
+			if !ok {
+				continue // dangling: parent invisible or itself dangling
+			}
+			t.depth[id] = pd + 1
+		}
+		t.children[p] = append(t.children[p], id)
+		if t.depth[id] > t.height {
+			t.height = t.depth[id]
+		}
+	}
+	return t
+}
+
+// View returns the view the tree was built from.
+func (t *Tree) View() appendmem.View { return t.view }
+
+// Height returns the length of the longest chain (0 for an empty view).
+func (t *Tree) Height() int { return t.height }
+
+// Depth returns the depth of a block (1 for genesis children) and whether
+// the block is in the tree (visible and not dangling).
+func (t *Tree) Depth(id appendmem.MsgID) (int, bool) {
+	d, ok := t.depth[id]
+	return d, ok
+}
+
+// Children returns the blocks whose parent is id (use None for the genesis
+// level), in arrival order.
+func (t *Tree) Children(id appendmem.MsgID) []appendmem.MsgID {
+	return append([]appendmem.MsgID(nil), t.children[id]...)
+}
+
+// LongestTips returns the tips of all longest chains — every block at
+// maximal depth — in arrival order. Empty when the view is empty.
+func (t *Tree) LongestTips() []appendmem.MsgID {
+	if t.height == 0 {
+		return nil
+	}
+	var tips []appendmem.MsgID
+	for id := appendmem.MsgID(0); int(id) < t.view.Size(); id++ {
+		if t.depth[id] == t.height {
+			tips = append(tips, id)
+		}
+	}
+	return tips
+}
+
+// ChainTo returns the chain from the genesis child down to tip, inclusive,
+// oldest first. It returns nil when tip is not in the tree.
+func (t *Tree) ChainTo(tip appendmem.MsgID) []appendmem.MsgID {
+	d, ok := t.depth[tip]
+	if !ok {
+		return nil
+	}
+	chain := make([]appendmem.MsgID, d)
+	cur := tip
+	for i := d - 1; i >= 0; i-- {
+		chain[i] = cur
+		cur = Parent(t.view.Message(cur))
+	}
+	return chain
+}
+
+// Subtree returns the number of blocks in the subtree rooted at id,
+// including id itself. Returns 0 when id is not in the tree.
+func (t *Tree) Subtree(id appendmem.MsgID) int {
+	if _, ok := t.depth[id]; !ok {
+		return 0
+	}
+	count := 0
+	stack := []appendmem.MsgID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		stack = append(stack, t.children[cur]...)
+	}
+	return count
+}
+
+// Forks returns the number of blocks that are not on any longest chain —
+// the "wasted" appends of Theorem 5.4's analysis.
+func (t *Tree) Forks() int {
+	onLongest := make(map[appendmem.MsgID]bool)
+	for _, tip := range t.LongestTips() {
+		for _, id := range t.ChainTo(tip) {
+			onLongest[id] = true
+		}
+	}
+	wasted := 0
+	for id := range t.depth {
+		if !onLongest[id] {
+			wasted++
+		}
+	}
+	return wasted
+}
+
+// TieBreaker selects one tip among the longest tips. Implementations must
+// handle a non-empty tips slice (in arrival order) and return an element
+// of it.
+type TieBreaker interface {
+	// Pick chooses among tips; view gives access to the blocks' contents
+	// and rng supplies the calling node's private randomness (ignored by
+	// deterministic rules).
+	Pick(tips []appendmem.MsgID, view appendmem.View, rng *xrand.PCG) appendmem.MsgID
+}
+
+// FirstTieBreaker implements the deterministic first-seen rule of Garay et
+// al.: the earliest-arrived longest tip wins.
+type FirstTieBreaker struct{}
+
+// Pick returns the first tip.
+func (FirstTieBreaker) Pick(tips []appendmem.MsgID, _ appendmem.View, _ *xrand.PCG) appendmem.MsgID {
+	return tips[0]
+}
+
+// RandomTieBreaker implements Ren's randomized rule: a uniformly random
+// longest tip, drawn from the calling node's randomness.
+type RandomTieBreaker struct{}
+
+// Pick returns a uniformly random tip.
+func (RandomTieBreaker) Pick(tips []appendmem.MsgID, _ appendmem.View, rng *xrand.PCG) appendmem.MsgID {
+	return tips[rng.Intn(len(tips))]
+}
+
+// AdversarialTieBreaker is the worst case over all deterministic rules used
+// in Theorem 5.3's analysis: if any tip was authored by a Byzantine node,
+// the earliest such tip wins; otherwise the first tip.
+type AdversarialTieBreaker struct {
+	// IsByzantine reports whether the author is Byzantine.
+	IsByzantine func(appendmem.NodeID) bool
+}
+
+// Pick prefers Byzantine-authored tips.
+func (a AdversarialTieBreaker) Pick(tips []appendmem.MsgID, view appendmem.View, _ *xrand.PCG) appendmem.MsgID {
+	for _, tip := range tips {
+		if a.IsByzantine(view.Message(tip).Author) {
+			return tip
+		}
+	}
+	return tips[0]
+}
+
+// SelectTip builds the tree of view and returns the tip chosen by tb among
+// the longest chains, or (None, false) for an empty/all-dangling view.
+func SelectTip(view appendmem.View, tb TieBreaker, rng *xrand.PCG) (appendmem.MsgID, bool) {
+	tips := Build(view).LongestTips()
+	if len(tips) == 0 {
+		return appendmem.None, false
+	}
+	return tb.Pick(tips, view, rng), true
+}
+
+// PrefixValues returns the values of the first k blocks of the chain ending
+// at tip (oldest first); fewer when the chain is shorter. This is the
+// decision input of Algorithm 5 Line 10.
+func (t *Tree) PrefixValues(tip appendmem.MsgID, k int) []int64 {
+	chain := t.ChainTo(tip)
+	if len(chain) > k {
+		chain = chain[:k]
+	}
+	vals := make([]int64, len(chain))
+	for i, id := range chain {
+		vals[i] = t.view.Message(id).Value
+	}
+	return vals
+}
+
+// CommonPrefix returns the longest common prefix of the chains ending at
+// the two tips (oldest first). Used to check consistency-style properties.
+func (t *Tree) CommonPrefix(a, b appendmem.MsgID) []appendmem.MsgID {
+	ca, cb := t.ChainTo(a), t.ChainTo(b)
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	var prefix []appendmem.MsgID
+	for i := 0; i < n; i++ {
+		if ca[i] != cb[i] {
+			break
+		}
+		prefix = append(prefix, ca[i])
+	}
+	return prefix
+}
+
+// SortByDepth orders ids by (depth, arrival) ascending; a deterministic
+// helper for rendering and tests.
+func (t *Tree) SortByDepth(ids []appendmem.MsgID) {
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := t.depth[ids[i]], t.depth[ids[j]]
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunEachProtocol(t *testing.T) {
+	for _, cfg := range []Config{
+		{Protocol: Sync, N: 7, T: 2, Seed: 1},
+		{Protocol: Timestamp, N: 8, T: 2, Lambda: 0.5, K: 11, Seed: 1},
+		{Protocol: Chain, N: 8, T: 2, Lambda: 0.2, K: 11, Seed: 1},
+		{Protocol: Dag, N: 8, T: 2, Lambda: 0.5, K: 11, Seed: 1},
+	} {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Protocol, err)
+		}
+		if !r.Verdict.OK() {
+			t.Errorf("%s with silent adversary: %+v", cfg.Protocol, r.Verdict)
+		}
+		if !r.HasView || r.TotalAppends == 0 {
+			t.Errorf("%s: missing view/appends", cfg.Protocol)
+		}
+	}
+}
+
+func TestRunRejectsBadCombos(t *testing.T) {
+	bad := []Config{
+		{Protocol: "nope", N: 4, Lambda: 1, K: 3},
+		{Protocol: Timestamp, N: 4, T: 1, Lambda: 1, K: 3, Attack: AttackFork},
+		{Protocol: Chain, N: 4, T: 1, Lambda: 1, K: 3, Attack: AttackPrivateChain},
+		{Protocol: Dag, N: 4, T: 1, Lambda: 1, K: 3, Attack: AttackTieBreak},
+		{Protocol: Sync, N: 4, T: 1, Attack: AttackFork},
+		{Protocol: Chain, N: 4, T: 1, Lambda: 1, K: 3, TieBreak: "bogus"},
+		{Protocol: Dag, N: 4, T: 1, Lambda: 1, K: 3, Pivot: "bogus"},
+		{Protocol: Chain, N: 4, T: 1, Lambda: 1, K: 3, Inputs: "bogus"},
+		{Protocol: Chain, N: 4, T: 1, Lambda: 1, K: 3, Inputs: "split:9"},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInputSpecs(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want func(in []int64) bool
+	}{
+		{"", func(in []int64) bool { return in[0] == 1 && in[5] == 1 }},
+		{"same", func(in []int64) bool { return in[0] == 1 }},
+		{"same:-1", func(in []int64) bool { return in[0] == -1 }},
+		{"split:2", func(in []int64) bool { return in[0] == 1 && in[1] == 1 && in[2] == -1 }},
+		{"random", func(in []int64) bool { return in[0] == 1 || in[0] == -1 }},
+	} {
+		r, err := Run(Config{Protocol: Timestamp, N: 6, Lambda: 1, K: 5, Seed: 2, Inputs: tc.spec})
+		if err != nil {
+			t.Fatalf("%q: %v", tc.spec, err)
+		}
+		if !tc.want([]int64(r.Inputs)) {
+			t.Errorf("%q: inputs %v", tc.spec, r.Inputs)
+		}
+	}
+}
+
+func TestAttackWiring(t *testing.T) {
+	// The flip attack must actually hurt validity at small k, tight margin.
+	fails := 0
+	for seed := uint64(0); seed < 30; seed++ {
+		r, err := Run(Config{Protocol: Timestamp, N: 10, T: 4, Lambda: 0.5, K: 5, Seed: seed, Attack: AttackFlip})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verdict.Validity {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("flip attack had no effect; wiring broken?")
+	}
+}
+
+func TestSyncAttacks(t *testing.T) {
+	r, err := Run(Config{Protocol: Sync, N: 8, T: 3, Seed: 1, Attack: AttackLoudFlip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verdict.OK() {
+		t.Fatalf("loud flip at t<n/2: %+v", r.Verdict)
+	}
+	r2, err := Run(Config{Protocol: Sync, N: 8, T: 3, Rounds: 2, Seed: 1, Inputs: "split:3", Attack: AttackDelayedChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Verdict.Agreement {
+		t.Fatal("delayed chain at rounds<t+1 did not break agreement on seed 1")
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	s, err := RunTrials(Config{Protocol: Dag, N: 8, T: 2, Lambda: 0.5, K: 11, Seed: 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 5 || s.OK == 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Rate() != float64(s.OK)/5 {
+		t.Fatal("rate arithmetic broken")
+	}
+	if !strings.Contains(s.String(), "ok") {
+		t.Fatal("summary string broken")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := Config{Protocol: Chain, N: 8, T: 2, Lambda: 0.5, K: 15, Seed: 77, Attack: AttackTieBreak}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalAppends != b.TotalAppends || a.Duration != b.Duration {
+		t.Fatal("same config+seed produced different runs")
+	}
+	for i := range a.Decision {
+		if a.Decision[i] != b.Decision[i] {
+			t.Fatal("decisions differ")
+		}
+	}
+}
+
+func TestCrashesPassThrough(t *testing.T) {
+	r, err := Run(Config{Protocol: Dag, N: 8, Crashes: 3, Lambda: 0.5, K: 11, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Roster.Correct()) != 5 {
+		t.Fatalf("correct = %d", len(r.Roster.Correct()))
+	}
+	if !r.Verdict.OK() {
+		t.Fatalf("verdict = %+v", r.Verdict)
+	}
+}
+
+func TestAblationKnobs(t *testing.T) {
+	// Fresh reads restore chain validity under the tie-break attack at a
+	// rate where stale views collapse.
+	cfg := Config{Protocol: Chain, N: 10, T: 4, Lambda: 1, K: 21, Attack: AttackTieBreak, Seed: 0}
+	staleOK, freshOK := 0, 0
+	for seed := uint64(0); seed < 15; seed++ {
+		cfg.Seed = seed
+		cfg.FreshReads = false
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FreshReads = true
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Verdict.Validity {
+			staleOK++
+		}
+		if b.Verdict.Validity {
+			freshOK++
+		}
+	}
+	if freshOK <= staleOK {
+		t.Fatalf("fresh reads did not help: stale %d vs fresh %d", staleOK, freshOK)
+	}
+}
+
+func TestStallKnob(t *testing.T) {
+	fails := 0
+	for seed := uint64(0); seed < 15; seed++ {
+		r, err := Run(Config{Protocol: Dag, N: 10, T: 4, Lambda: 1, K: 41,
+			Attack: AttackPrivateChain, StallAtSize: 30, StallFor: 6, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Verdict.Validity {
+			fails++
+		}
+	}
+	if fails < 8 {
+		t.Fatalf("blackout barely hurt DAG validity: %d/15 failures", fails)
+	}
+}
+
+func TestRoundRobinKnob(t *testing.T) {
+	// The burst-free authority must still complete runs, and the grant
+	// pattern must be perfectly even: with round-robin, per-node GRANT
+	// counts differ by at most one (appends can differ more — nodes stop
+	// appending once decided).
+	rec := trace.New()
+	r, err := Run(Config{Protocol: Timestamp, N: 6, Lambda: 1, K: 24, RoundRobin: true, Seed: 2, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Verdict.OK() {
+		t.Fatalf("%+v", r.Verdict)
+	}
+	counts := make(map[int]int)
+	for _, e := range rec.Events() {
+		if e.Kind == trace.Grant {
+			counts[int(e.Node)]++
+		}
+	}
+	min, max := 1<<30, 0
+	for i := 0; i < 6; i++ {
+		if counts[i] < min {
+			min = counts[i]
+		}
+		if counts[i] > max {
+			max = counts[i]
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("round-robin grants uneven: %v", counts)
+	}
+}

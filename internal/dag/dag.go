@@ -1,0 +1,313 @@
+// Package dag implements the BlockDAG structure of Section 5.3: appended
+// messages reference *all* latest seen appends ("childless states"), forming
+// a directed acyclic graph rooted at a virtual genesis.
+//
+// Ordering a DAG requires a pivot rule; the paper names two (Algorithm 6's
+// correctness "is based on one of the tie-breaking rules"):
+//
+//   - GHOST (Sompolinsky & Zohar [22]): descend the selected-parent tree
+//     into the child with the heaviest subtree.
+//   - Longest chain (Conflux pivot [14]): follow the longest selected-parent
+//     chain.
+//
+// Each block's first parent is its *selected parent*; the selected-parent
+// edges form a tree embedded in the DAG over which both pivot rules walk.
+// Given a pivot chain, Linearize produces the total order of Algorithm 6
+// Line 9: pivot blocks in order, each preceded by the not-yet-ordered
+// blocks of its past cone ("epoch"), topologically sorted with a
+// deterministic tie-break. The linearization is a linear extension of the
+// DAG's ancestry partial order and identical for identical views — the two
+// properties Byzantine agreement on the DAG rests on.
+package dag
+
+import (
+	"sort"
+
+	"repro/internal/appendmem"
+)
+
+// Dag indexes the multi-parent structure of a view. Blocks with any parent
+// reference outside the view are dangling and excluded (with the append
+// memory this needs a malformed reference, since parents precede children).
+type Dag struct {
+	view     appendmem.View
+	inDag    map[appendmem.MsgID]bool
+	children map[appendmem.MsgID][]appendmem.MsgID // over all parent edges
+	treeKids map[appendmem.MsgID][]appendmem.MsgID // selected-parent tree
+	depth    map[appendmem.MsgID]int               // longest all-parent path; genesis children = 1
+	weight   map[appendmem.MsgID]int               // selected-parent subtree size
+	height   int
+}
+
+// SelectedParent returns the block's selected parent: Parents[0], or None
+// for genesis children.
+func SelectedParent(msg *appendmem.Message) appendmem.MsgID {
+	if len(msg.Parents) == 0 {
+		return appendmem.None
+	}
+	return msg.Parents[0]
+}
+
+// Build indexes the DAG of view.
+func Build(view appendmem.View) *Dag {
+	d := &Dag{
+		view:     view,
+		inDag:    make(map[appendmem.MsgID]bool, view.Size()),
+		children: make(map[appendmem.MsgID][]appendmem.MsgID),
+		treeKids: make(map[appendmem.MsgID][]appendmem.MsgID),
+		depth:    make(map[appendmem.MsgID]int, view.Size()),
+		weight:   make(map[appendmem.MsgID]int, view.Size()),
+	}
+	// IDs arrive in causal order (parents have smaller ids), so one pass
+	// computes membership and depth.
+	for id := appendmem.MsgID(0); int(id) < view.Size(); id++ {
+		msg := view.Message(id)
+		ok := true
+		maxDepth := 0
+		for _, p := range msg.Parents {
+			if p == appendmem.None {
+				continue
+			}
+			if !d.inDag[p] {
+				ok = false
+				break
+			}
+			if d.depth[p] > maxDepth {
+				maxDepth = d.depth[p]
+			}
+		}
+		if !ok {
+			continue
+		}
+		d.inDag[id] = true
+		d.depth[id] = maxDepth + 1
+		if d.depth[id] > d.height {
+			d.height = d.depth[id]
+		}
+		if len(msg.Parents) == 0 {
+			d.children[appendmem.None] = append(d.children[appendmem.None], id)
+		} else {
+			seen := make(map[appendmem.MsgID]bool, len(msg.Parents))
+			for _, p := range msg.Parents {
+				if seen[p] {
+					continue
+				}
+				seen[p] = true
+				d.children[p] = append(d.children[p], id)
+			}
+		}
+		d.treeKids[SelectedParent(msg)] = append(d.treeKids[SelectedParent(msg)], id)
+	}
+	// Selected-parent subtree weights, by decreasing id (children first).
+	for id := appendmem.MsgID(view.Size()) - 1; id >= 0; id-- {
+		if !d.inDag[id] {
+			continue
+		}
+		d.weight[id]++ // itself
+		if p := SelectedParent(view.Message(id)); p != appendmem.None {
+			d.weight[p] += d.weight[id]
+		}
+	}
+	return d
+}
+
+// View returns the view the DAG was built from.
+func (d *Dag) View() appendmem.View { return d.view }
+
+// Size returns the number of non-dangling blocks.
+func (d *Dag) Size() int { return len(d.inDag) }
+
+// Height returns the longest all-parent path length from genesis.
+func (d *Dag) Height() int { return d.height }
+
+// Contains reports whether the block is in the DAG (visible, well-formed).
+func (d *Dag) Contains(id appendmem.MsgID) bool { return d.inDag[id] }
+
+// Depth returns the block's depth (genesis children have depth 1) and
+// whether it is in the DAG.
+func (d *Dag) Depth(id appendmem.MsgID) (int, bool) {
+	dep, ok := d.depth[id]
+	return dep, ok
+}
+
+// Weight returns the selected-parent subtree size of the block (the GHOST
+// weight), or 0 when absent.
+func (d *Dag) Weight(id appendmem.MsgID) int { return d.weight[id] }
+
+// Tips returns the blocks with no children over any parent edge — the set
+// C of "last states which do not have child nodes" that Algorithm 6 Line 5
+// references — in arrival order.
+func (d *Dag) Tips() []appendmem.MsgID {
+	var tips []appendmem.MsgID
+	for id := appendmem.MsgID(0); int(id) < d.view.Size(); id++ {
+		if d.inDag[id] && len(d.children[id]) == 0 {
+			tips = append(tips, id)
+		}
+	}
+	return tips
+}
+
+// Children returns the blocks that list id among their parents (None for
+// genesis children), in arrival order.
+func (d *Dag) Children(id appendmem.MsgID) []appendmem.MsgID {
+	return append([]appendmem.MsgID(nil), d.children[id]...)
+}
+
+// GhostPivot returns the pivot chain chosen by the GHOST rule: from the
+// genesis, repeatedly descend into the selected-parent child with the
+// largest subtree weight, breaking ties by arrival order. Oldest first;
+// empty for an empty DAG.
+func (d *Dag) GhostPivot() []appendmem.MsgID {
+	var pivot []appendmem.MsgID
+	cur := appendmem.None
+	for {
+		kids := d.treeKids[cur]
+		if len(kids) == 0 {
+			return pivot
+		}
+		best := kids[0]
+		for _, k := range kids[1:] {
+			if d.weight[k] > d.weight[best] {
+				best = k
+			}
+		}
+		pivot = append(pivot, best)
+		cur = best
+	}
+}
+
+// LongestPivot returns the pivot chain chosen by the longest-chain rule
+// over the selected-parent tree, ties by arrival order. Oldest first.
+func (d *Dag) LongestPivot() []appendmem.MsgID {
+	// Longest selected-parent chain: compute tree depth per block.
+	treeDepth := make(map[appendmem.MsgID]int, len(d.inDag))
+	var best appendmem.MsgID = appendmem.None
+	bestDepth := 0
+	for id := appendmem.MsgID(0); int(id) < d.view.Size(); id++ {
+		if !d.inDag[id] {
+			continue
+		}
+		p := SelectedParent(d.view.Message(id))
+		td := 1
+		if p != appendmem.None {
+			td = treeDepth[p] + 1
+		}
+		treeDepth[id] = td
+		if td > bestDepth {
+			bestDepth, best = td, id
+		}
+	}
+	if best == appendmem.None {
+		return nil
+	}
+	pivot := make([]appendmem.MsgID, bestDepth)
+	cur := best
+	for i := bestDepth - 1; i >= 0; i-- {
+		pivot[i] = cur
+		cur = SelectedParent(d.view.Message(cur))
+	}
+	return pivot
+}
+
+// PastCone returns the set of all ancestors of id over all parent edges,
+// including id itself. Empty when id is not in the DAG.
+func (d *Dag) PastCone(id appendmem.MsgID) map[appendmem.MsgID]bool {
+	cone := make(map[appendmem.MsgID]bool)
+	if !d.inDag[id] {
+		return cone
+	}
+	stack := []appendmem.MsgID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cone[cur] {
+			continue
+		}
+		cone[cur] = true
+		for _, p := range d.view.Message(cur).Parents {
+			if p != appendmem.None && !cone[p] {
+				stack = append(stack, p)
+			}
+		}
+	}
+	return cone
+}
+
+// IsAncestor reports whether a is an ancestor of b (or equal) over all
+// parent edges.
+func (d *Dag) IsAncestor(a, b appendmem.MsgID) bool {
+	if !d.inDag[a] || !d.inDag[b] {
+		return false
+	}
+	return d.PastCone(b)[a]
+}
+
+// Linearize returns the total order over the past cone of the pivot tip:
+// for each pivot block in order, the blocks of its past cone not ordered by
+// earlier pivot blocks ("its epoch"), sorted by (depth, author, seq), with
+// the pivot block last in its epoch. Since every ancestor has strictly
+// smaller depth, the result is a linear extension of the DAG's ancestry
+// order. Blocks outside the pivot tip's past cone are not ordered (they
+// will be, once a later pivot block references them).
+func (d *Dag) Linearize(pivot []appendmem.MsgID) []appendmem.MsgID {
+	var order []appendmem.MsgID
+	ordered := make(map[appendmem.MsgID]bool)
+	for _, pb := range pivot {
+		// Epoch members: ancestors of pb not ordered by earlier pivot
+		// blocks. The DFS stops at already-ordered blocks, so each block
+		// is visited once across the whole linearization (amortized
+		// O(V+E) instead of one full past-cone walk per pivot block).
+		var epoch []appendmem.MsgID
+		visited := map[appendmem.MsgID]bool{pb: true}
+		stack := make([]appendmem.MsgID, 0, len(d.view.Message(pb).Parents))
+		for _, p := range d.view.Message(pb).Parents {
+			if p != appendmem.None && !ordered[p] && !visited[p] {
+				visited[p] = true
+				stack = append(stack, p)
+			}
+		}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			epoch = append(epoch, cur)
+			for _, p := range d.view.Message(cur).Parents {
+				if p != appendmem.None && !ordered[p] && !visited[p] {
+					visited[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		sort.Slice(epoch, func(i, j int) bool {
+			a, b := d.view.Message(epoch[i]), d.view.Message(epoch[j])
+			if d.depth[epoch[i]] != d.depth[epoch[j]] {
+				return d.depth[epoch[i]] < d.depth[epoch[j]]
+			}
+			if a.Author != b.Author {
+				return a.Author < b.Author
+			}
+			return a.Seq < b.Seq
+		})
+		for _, id := range epoch {
+			ordered[id] = true
+			order = append(order, id)
+		}
+		ordered[pb] = true
+		order = append(order, pb)
+	}
+	return order
+}
+
+// OrderedValues returns the values of the first k blocks in the
+// linearization of the given pivot — the decision input of Algorithm 6
+// Line 10. Fewer than k when the ordering is shorter.
+func (d *Dag) OrderedValues(pivot []appendmem.MsgID, k int) []int64 {
+	order := d.Linearize(pivot)
+	if len(order) > k {
+		order = order[:k]
+	}
+	vals := make([]int64, len(order))
+	for i, id := range order {
+		vals[i] = d.view.Message(id).Value
+	}
+	return vals
+}

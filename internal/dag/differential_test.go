@@ -1,0 +1,102 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/appendmem"
+	"repro/internal/chain"
+	"repro/internal/xrand"
+)
+
+// Differential property: on single-parent structures, the DAG's
+// longest-pivot rule and the chain package's longest-chain selection (with
+// first-arrived tie-breaking) must pick the exact same chain — the DAG is
+// a strict generalization of the chain.
+func TestDifferentialLongestPivotVsChain(t *testing.T) {
+	rng := xrand.New(77, 77)
+	if err := quick.Check(func(steps uint8) bool {
+		n := 4
+		m := appendmem.New(n)
+		var ids []appendmem.MsgID
+		for s := 0; s < int(steps%60)+1; s++ {
+			parent := appendmem.None
+			if len(ids) > 0 {
+				parent = ids[rng.Intn(len(ids))]
+			}
+			msg := m.Writer(appendmem.NodeID(rng.Intn(n))).MustAppend(int64(s), 0, []appendmem.MsgID{parent})
+			ids = append(ids, msg.ID)
+		}
+		view := m.Read()
+
+		d := Build(view)
+		pivot := d.LongestPivot()
+
+		tree := chain.Build(view)
+		tips := tree.LongestTips()
+		if len(tips) == 0 {
+			return len(pivot) == 0
+		}
+		chainIDs := tree.ChainTo(tips[0])
+
+		if len(pivot) != len(chainIDs) {
+			return false
+		}
+		for i := range pivot {
+			if pivot[i] != chainIDs[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// On single-parent structures the DAG's linearization of the longest pivot
+// is exactly the chain itself: no epochs, no extra blocks.
+func TestDifferentialLinearizeIsChain(t *testing.T) {
+	rng := xrand.New(78, 78)
+	m := appendmem.New(3)
+	var ids []appendmem.MsgID
+	for s := 0; s < 50; s++ {
+		parent := appendmem.None
+		if len(ids) > 0 {
+			parent = ids[rng.Intn(len(ids))]
+		}
+		msg := m.Writer(appendmem.NodeID(rng.Intn(3))).MustAppend(int64(s), 0, []appendmem.MsgID{parent})
+		ids = append(ids, msg.ID)
+	}
+	view := m.Read()
+	d := Build(view)
+	pivot := d.LongestPivot()
+	order := d.Linearize(pivot)
+	if len(order) != len(pivot) {
+		t.Fatalf("single-parent linearization has %d blocks for a %d-block pivot", len(order), len(pivot))
+	}
+	for i := range pivot {
+		if order[i] != pivot[i] {
+			t.Fatal("linearization deviates from the chain")
+		}
+	}
+}
+
+// GHOST and longest-pivot agree whenever the structure is a simple path.
+func TestDifferentialPivotRulesOnPath(t *testing.T) {
+	m := appendmem.New(1)
+	parent := appendmem.None
+	for i := 0; i < 20; i++ {
+		msg := m.Writer(0).MustAppend(int64(i), 0, []appendmem.MsgID{parent})
+		parent = msg.ID
+	}
+	d := Build(m.Read())
+	ghost, longest := d.GhostPivot(), d.LongestPivot()
+	if len(ghost) != 20 || len(longest) != 20 {
+		t.Fatal("pivot lengths wrong on a path")
+	}
+	for i := range ghost {
+		if ghost[i] != longest[i] {
+			t.Fatal("pivot rules disagree on a path")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package dolev implements Dolev–Strong authenticated Byzantine broadcast
+// over the message-passing substrate — the classic protocol whose
+// interactive-consistency idea Algorithm 1 transplants into the append
+// memory (Section 3.2 cites Dolev & Strong for the matching upper bound).
+//
+// One sender broadcasts a value; every relay appends its ed25519
+// signature, so a value travelling r rounds carries r distinct signatures.
+// A node extracts a value it receives in round r only if the value carries
+// at least r valid signatures beginning with the sender's. After R rounds
+// a node delivers the unique extracted value, or ⊥ on zero/multiple
+// extractions. With R = t+1 rounds any signature chain long enough to be
+// accepted late must contain a correct signer who already relayed the
+// value to everyone — the same "one correct node extends the chain"
+// argument as Theorem 3.2's — so delivery is consistent. With R ≤ t
+// rounds a staged-release adversary (a chain of Byzantine signers handing
+// the value to a single correct node in the last round) breaks
+// consistency; this package implements that adversary too, giving the
+// message-passing twin of experiment E2's staircase.
+//
+// Byzantine agreement is built on top in the standard way: n parallel
+// broadcast instances (one per node's input) and a majority decision over
+// the delivered vector.
+package dolev
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/appendmem"
+	"repro/internal/msgnet"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Bottom is the default value delivered when a broadcast fails (the
+// sender equivocated or stayed silent).
+const Bottom int64 = 0
+
+// chainEntry is one signature in a relay chain.
+type chainEntry struct {
+	Signer appendmem.NodeID
+	Sig    []byte
+}
+
+// payload is the signed core of a broadcast message: instance (the slot,
+// i.e. the original sender), and the value.
+func payloadBytes(instance appendmem.NodeID, value int64) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(instance))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(value))
+	return buf
+}
+
+// signedSoFar returns the byte string entry i signs: the payload plus all
+// previous entries.
+func signedSoFar(payload []byte, entries []chainEntry, i int) []byte {
+	data := append([]byte(nil), payload...)
+	for j := 0; j < i; j++ {
+		var idb [4]byte
+		binary.LittleEndian.PutUint32(idb[:], uint32(entries[j].Signer))
+		data = append(data, idb[:]...)
+		data = append(data, entries[j].Sig...)
+	}
+	return data
+}
+
+// message is one broadcast relay on the wire.
+type message struct {
+	Instance appendmem.NodeID
+	Value    int64
+	Chain    []chainEntry
+}
+
+const sigLen = 64
+
+func (m message) marshal() []byte {
+	buf := payloadBytes(m.Instance, m.Value)
+	for _, e := range m.Chain {
+		var idb [4]byte
+		binary.LittleEndian.PutUint32(idb[:], uint32(e.Signer))
+		buf = append(buf, idb[:]...)
+		buf = append(buf, e.Sig...)
+	}
+	return buf
+}
+
+func unmarshalMessage(b []byte) (message, error) {
+	if len(b) < 12 || (len(b)-12)%(4+sigLen) != 0 {
+		return message{}, fmt.Errorf("dolev: bad message size %d", len(b))
+	}
+	m := message{
+		Instance: appendmem.NodeID(int32(binary.LittleEndian.Uint32(b[0:]))),
+		Value:    int64(binary.LittleEndian.Uint64(b[4:])),
+	}
+	for off := 12; off < len(b); off += 4 + sigLen {
+		m.Chain = append(m.Chain, chainEntry{
+			Signer: appendmem.NodeID(int32(binary.LittleEndian.Uint32(b[off:]))),
+			Sig:    append([]byte(nil), b[off+4:off+4+sigLen]...),
+		})
+	}
+	return m, nil
+}
+
+// validChain verifies the signature chain: non-empty, first signer is the
+// instance's sender, signers distinct, every signature valid.
+func validChain(nw *msgnet.Network, m message) bool {
+	if len(m.Chain) == 0 || m.Chain[0].Signer != m.Instance {
+		return false
+	}
+	payload := payloadBytes(m.Instance, m.Value)
+	seen := map[appendmem.NodeID]bool{}
+	for i, e := range m.Chain {
+		if seen[e.Signer] {
+			return false
+		}
+		seen[e.Signer] = true
+		if !nw.Verify(e.Signer, signedSoFar(payload, m.Chain, i), e.Sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// extend appends signer's signature to the chain.
+func extend(signer *msgnet.Signer, m message) message {
+	payload := payloadBytes(m.Instance, m.Value)
+	sig := signer.Sign(signedSoFar(payload, m.Chain, len(m.Chain)))
+	out := m
+	out.Chain = append(append([]chainEntry(nil), m.Chain...), chainEntry{Signer: signer.ID(), Sig: sig})
+	return out
+}
+
+const kindRelay = "ds-relay"
+
+// Config configures one Dolev–Strong Byzantine agreement run.
+type Config struct {
+	N, T   int
+	Rounds int // 0 means T+1 (the correct round count)
+	Seed   uint64
+	// Inputs per node; nil means all correct +1.
+	Inputs node.Inputs
+	// Adversary drives the Byzantine nodes; nil means silent.
+	Adversary Adversary
+}
+
+// Adversary drives the Byzantine nodes of a run.
+type Adversary interface {
+	// Init is called once before round 1.
+	Init(env *Env)
+	// Round is called at the start of every round (1-based).
+	Round(r int)
+}
+
+// SilentAdversary does nothing.
+type SilentAdversary struct{}
+
+// Init implements Adversary.
+func (SilentAdversary) Init(*Env) {}
+
+// Round implements Adversary.
+func (SilentAdversary) Round(int) {}
+
+// Env is the adversary's interface to the run.
+type Env struct {
+	Sim      *sim.Sim
+	NW       *msgnet.Network
+	Roster   node.Roster
+	Cfg      Config
+	RoundLen sim.Time
+	// Signers of the Byzantine nodes only.
+	signers map[appendmem.NodeID]*msgnet.Signer
+}
+
+// Signer returns a Byzantine node's signer; panics for honest ids.
+func (e *Env) Signer(id appendmem.NodeID) *msgnet.Signer {
+	s, ok := e.signers[id]
+	if !ok {
+		panic("dolev: adversary requested an honest signer")
+	}
+	return s
+}
+
+// NewMessage builds a sender-signed round-1 message for a Byzantine
+// instance (the Byzantine node's own slot).
+func (e *Env) NewMessage(instance appendmem.NodeID, value int64) message {
+	return extend(e.Signer(instance), message{Instance: instance, Value: value})
+}
+
+// Extend appends a Byzantine signature to a message.
+func (e *Env) Extend(signer appendmem.NodeID, m message) message {
+	return extend(e.Signer(signer), m)
+}
+
+// Send transmits a marshalled relay to one node.
+func (e *Env) Send(from, to appendmem.NodeID, m message) {
+	e.NW.Send(from, to, kindRelay, m.marshal())
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Roster  node.Roster
+	Inputs  node.Inputs
+	Outcome *node.Outcome
+	Verdict node.Verdict
+	// Delivered[i][s] is what node i delivered for sender s (Bottom on
+	// failure); correct nodes only.
+	Delivered [][]int64
+	// Consistent reports whether all correct nodes delivered identical
+	// vectors — the broadcast consistency property.
+	Consistent bool
+	Stats      msgnet.Stats
+}

@@ -1,0 +1,35 @@
+package dolev
+
+import (
+	"testing"
+
+	"repro/internal/msgnet"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// FuzzUnmarshalMessage: arbitrary bytes must never panic, and anything
+// that parses must fail chain validation unless genuinely signed.
+func FuzzUnmarshalMessage(f *testing.F) {
+	s := sim.New()
+	nw := msgnet.New(s, xrand.New(1, 1), 3, 0.9)
+	genuine := extend(nw.Signer(1), message{Instance: 1, Value: 5})
+	f.Add([]byte{})
+	f.Add(genuine.marshal())
+	f.Add(make([]byte, 12))
+	f.Add(make([]byte, 12+4+sigLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := unmarshalMessage(data)
+		if err != nil {
+			return
+		}
+		// Validation must be safe on arbitrary parsed content.
+		valid := validChain(nw, m)
+		// Only the genuine message (or a re-encoding of it) may validate.
+		if valid {
+			if m.Instance != 1 || m.Value != 5 || len(m.Chain) != 1 {
+				t.Fatalf("forged chain validated: %+v", m)
+			}
+		}
+	})
+}

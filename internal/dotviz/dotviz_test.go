@@ -1,0 +1,80 @@
+package dotviz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appendmem"
+)
+
+func buildView(t *testing.T) appendmem.View {
+	t.Helper()
+	m := appendmem.New(3)
+	g := m.Writer(0).MustAppend(+1, 0, nil)
+	a := m.Writer(1).MustAppend(+1, 0, []appendmem.MsgID{g.ID})
+	b := m.Writer(2).MustAppend(-1, 0, []appendmem.MsgID{g.ID})
+	m.Writer(0).MustAppend(+1, 0, []appendmem.MsgID{a.ID, b.ID})
+	return m.Read()
+}
+
+func TestChainRendering(t *testing.T) {
+	view := buildView(t)
+	out := Chain(view, Options{K: 3})
+	for _, want := range []string{"digraph", "genesis", "m0", "m3", "m0 -> genesis", "style=bold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chain dot missing %q", want)
+		}
+	}
+	// Chain rendering uses only the first parent: m3 has one outgoing edge.
+	if strings.Count(out, "m3 -> ") != 1 {
+		t.Errorf("chain rendering emitted multiple parents:\n%s", out)
+	}
+}
+
+func TestDagRendering(t *testing.T) {
+	view := buildView(t)
+	out := Dag(view, Options{K: 4})
+	// DAG rendering shows both parents of m3, the selected one emphasized.
+	if strings.Count(out, "m3 -> ") != 2 {
+		t.Errorf("dag rendering lost parents:\n%s", out)
+	}
+	if !strings.Contains(out, "penwidth=2") {
+		t.Error("selected-parent edge not emphasized")
+	}
+}
+
+func TestByzantineColouring(t *testing.T) {
+	view := buildView(t)
+	out := Dag(view, Options{
+		IsByzantine: func(id appendmem.NodeID) bool { return id == 2 },
+	})
+	if !strings.Contains(out, "color=red") {
+		t.Error("no red byzantine block")
+	}
+	// Only node 2's single block is red.
+	if strings.Count(out, "color=red") != 1 {
+		t.Errorf("wrong number of red blocks:\n%s", out)
+	}
+}
+
+func TestNoPrefixWithoutK(t *testing.T) {
+	out := Chain(buildView(t), Options{})
+	if strings.Contains(out, "style=bold") {
+		t.Error("prefix bolded despite K=0")
+	}
+}
+
+func TestEmptyView(t *testing.T) {
+	m := appendmem.New(1)
+	out := Dag(m.Read(), Options{K: 5})
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "genesis") {
+		t.Error("empty view rendering broken")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	view := buildView(t)
+	if Dag(view, Options{K: 2}) != Dag(view, Options{K: 2}) {
+		t.Error("rendering not deterministic")
+	}
+}

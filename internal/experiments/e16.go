@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/agreement/chainba"
+	"repro/internal/agreement/dagba"
+	"repro/internal/chain"
+	"repro/internal/node"
+)
+
+// RunE16 — Theorem 5.1's operational content: randomized memory access
+// does not rescue deterministic agreement from asynchronous nodes. The
+// theorem itself is an impossibility over worst-case schedules — that
+// exhaustive adversary lives in the E1 model checker, whose scheduler
+// already orders events (including the token-to-append gap) arbitrarily.
+// This experiment shows the quantitative face of the same phenomenon:
+// when honest nodes take an unbounded-in-expectation time between
+// receiving a token and appending (uniform in (0, w·Δ]), the authority's
+// access order loses its meaning and resilience degrades at ANY rate —
+// here at λ = 0.05, where the fully synchronous chain is comfortably
+// safe. The DAG suffers too (staleness delays inclusion), consistent with
+// the §5.3 warning that its Byzantine-agreement guarantees need synchrony.
+//
+// A second table isolates asynchrony with NO Byzantine nodes and split
+// inputs: random (non-adversarial) delays alone do not break agreement —
+// the impossibility needs the worst-case scheduler, which is exactly why
+// the paper pairs randomized access with synchronous nodes from Section
+// 5.1 on.
+func RunE16(o Options) []*Table {
+	trials := o.trials(60)
+	delays := []float64{0, 1, 2, 4, 8}
+	if o.Quick {
+		trials = o.trials(20)
+		delays = []float64{0, 2, 8}
+	}
+	n, t, k := 10, 4, 21
+	const lambda = 0.05 // λ(n−t) = 0.3: the synchronous chain is safe here
+
+	attacked := NewTable("E16a: honest token-to-append delay w·Δ under attack (n=10, t=4, λ=0.05, k=21)",
+		"delay w (Δ)", "chain validity", "dag validity")
+	for _, w := range delays {
+		w := w
+		chainOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+			r := agreement.MustRun(agreement.RandomizedConfig{
+				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
+			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
+			return r.Verdict.Validity
+		})
+		dagOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+			r := agreement.MustRun(agreement.RandomizedConfig{
+				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
+			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
+			return r.Verdict.Validity
+		})
+		attacked.AddRow(w, rate(countTrue(chainOK), trials), rate(countTrue(dagOK), trials))
+	}
+	attacked.Note = "the rate no longer protects anyone: asynchrony hands the fresh-reading adversary an unbounded staleness advantage"
+
+	benign := NewTable("E16b: the same delays with NO Byzantine nodes, split inputs (agreement at stake)",
+		"delay w (Δ)", "chain agreement", "dag agreement")
+	for _, w := range delays {
+		w := w
+		chainOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+			r := agreement.MustRun(agreement.RandomizedConfig{
+				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
+				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
+			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, agreement.Silent{})
+			return r.Verdict.Agreement
+		})
+		dagOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+			r := agreement.MustRun(agreement.RandomizedConfig{
+				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
+				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
+			}, dagba.Rule{Pivot: dagba.Ghost}, agreement.Silent{})
+			return r.Verdict.Agreement
+		})
+		benign.AddRow(w, rate(countTrue(chainOK), trials), rate(countTrue(dagOK), trials))
+	}
+	benign.Note = "random delays alone are harmless; Theorem 5.1 needs the worst-case scheduler — which is the E1 model checker's job"
+	return []*Table{attacked, benign}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/agreement/chainba"
+	"repro/internal/agreement/timestamp"
+	"repro/internal/appendmem"
+	"repro/internal/chain"
+	"repro/internal/stats"
+)
+
+// tsTail returns Theorem 5.2's analytic validity-failure estimate: the
+// normal approximation P[sum of k ±1 votes < 0] with vote distribution
+// P[+1] = (n−t)/n.
+func tsTail(k, n, t int) float64 {
+	p := float64(n-t) / float64(n)
+	mu := float64(k) * (2*p - 1)
+	sigma := math.Sqrt(float64(k) * (1 - (2*p-1)*(2*p-1)))
+	if sigma == 0 {
+		return 0
+	}
+	return stats.NormalTail(mu/sigma, 0, 1)
+}
+
+// RunE4 — Theorem 5.2: the timestamp baseline satisfies validity with a
+// failure probability decaying exponentially in k·((n−2t)/n)². Two
+// regimes: a tight margin n−2t = 2 (k must be large) and a wide margin
+// n−2t = Ω(n) (small k suffices). Agreement and termination never fail.
+func RunE4(o Options) []*Table {
+	trials := o.trials(200)
+	ks := []int{5, 11, 21, 41, 81}
+	if o.Quick {
+		trials = o.trials(40)
+		ks = []int{5, 21, 81}
+	}
+	var tables []*Table
+	for _, regime := range []struct {
+		name string
+		n, t int
+	}{
+		{"tight margin (n=10, t=4, n-2t=2)", 10, 4},
+		{"wide margin (n=10, t=2, n-2t=6)", 10, 2},
+	} {
+		tbl := NewTable("E4: timestamp baseline, "+regime.name,
+			"k", "validity failures", "analytic tail", "agreement failures", "termination failures")
+		for _, k := range ks {
+			k := k
+			type res struct{ val, agr, term bool }
+			rs := parallelTrials(trials, o.Seed, func(seed uint64) res {
+				r := agreement.MustRun(agreement.RandomizedConfig{
+					N: regime.n, T: regime.t, Lambda: 0.5, K: k, Seed: seed,
+				}, timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
+				return res{!r.Verdict.Validity, !r.Verdict.Agreement, !r.Verdict.Termination}
+			})
+			valFails, agrFails, termFails := 0, 0, 0
+			for _, r := range rs {
+				if r.val {
+					valFails++
+				}
+				if r.agr {
+					agrFails++
+				}
+				if r.term {
+					termFails++
+				}
+			}
+			tbl.AddRow(k, rate(valFails, trials), tsTail(k, regime.n, regime.t), agrFails, termFails)
+		}
+		tbl.Note = "agreement/termination are deterministic (the authority's order is total); only validity is weak"
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
+// RunE5 — Theorem 5.3: with worst-case deterministic tie-breaking, the
+// fork adversary drives the Byzantine fraction of the longest chain to
+// t/(n−t); once that crosses 1/2 — i.e. t ≥ n/3 — validity collapses.
+func RunE5(o Options) []*Table {
+	trials := o.trials(60)
+	if o.Quick {
+		trials = o.trials(20)
+	}
+	n, lambda, k := 9, 0.5, 41
+	tbl := NewTable("E5: chain + deterministic (adversarial) tie-breaking vs ChainForker, n=9, λ=0.5, k=41",
+		"t", "t/n", "validity ok", "byz chain fraction", "theory t/(n-t)")
+	for _, t := range []int{1, 2, 3, 4, 5} {
+		t := t
+		type res struct {
+			ok   bool
+			frac float64
+		}
+		tb := chain.AdversarialTieBreaker{IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= n-t }}
+		rs := parallelTrials(trials, o.Seed, func(seed uint64) res {
+			r := agreement.MustRun(agreement.RandomizedConfig{
+				N: n, T: t, Lambda: lambda, K: k, Seed: seed,
+			}, chainba.Rule{TB: tb}, &adversary.ChainForker{})
+			tree := chain.Build(r.FinalView)
+			tips := tree.LongestTips()
+			frac := 0.0
+			if len(tips) > 0 {
+				ids := tree.ChainTo(tb.Pick(tips, r.FinalView, nil))
+				if len(ids) > k {
+					ids = ids[:k]
+				}
+				byz := 0
+				for _, id := range ids {
+					if r.Roster.IsByzantine(r.FinalView.Message(id).Author) {
+						byz++
+					}
+				}
+				frac = float64(byz) / float64(len(ids))
+			}
+			return res{r.Verdict.Validity, frac}
+		})
+		oks, fracSum := 0, 0.0
+		for _, r := range rs {
+			if r.ok {
+				oks++
+			}
+			fracSum += r.frac
+		}
+		tbl.AddRow(t, fmt.Sprintf("%.2f", float64(t)/float64(n)),
+			rate(oks, trials), fracSum/float64(trials), float64(t)/float64(n-t))
+	}
+	tbl.Note = "collapse sets in above t = n/3 = 3, where the Byzantine chain fraction crosses 1/2"
+	return []*Table{tbl}
+}
+
+// RunE6 — Theorem 5.4: with randomized tie-breaking the chain's resilience
+// is t/n ≤ 1/(1+λ(n−t)). Table (a) fixes t/n = 0.4 and sweeps the rate:
+// validity flips from holding to failing as the bound drops below 0.4.
+// Table (b) fixes the rate and sweeps t/n across the predicted threshold.
+func RunE6(o Options) []*Table {
+	trials := o.trials(60)
+	if o.Quick {
+		trials = o.trials(20)
+	}
+	n, t, k := 10, 4, 21
+	run := func(nn, tt int, lambda float64, seed uint64) bool {
+		r := agreement.MustRun(agreement.RandomizedConfig{
+			N: nn, T: tt, Lambda: lambda, K: k, Seed: seed,
+		}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
+		return r.Verdict.Validity
+	}
+
+	sweep := NewTable("E6a: chain + randomized tie-breaking vs ChainTieBreaker, t/n = 0.4 fixed, rate swept",
+		"λ", "λ(n-t)", "paper bound t/n ≤", "t/n", "validity ok")
+	lambdas := []float64{0.025, 0.05, 0.1, 0.25, 0.5, 1.0}
+	if o.Quick {
+		lambdas = []float64{0.05, 0.25, 1.0}
+	}
+	for _, lambda := range lambdas {
+		lambda := lambda
+		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool { return run(n, t, lambda, seed) })
+		rateNT := lambda * float64(n-t)
+		tbl := 1 / (1 + rateNT)
+		sweep.AddRow(lambda, rateNT, tbl, fmt.Sprintf("%.2f", float64(t)/float64(n)), rate(countTrue(oks), trials))
+	}
+	sweep.Note = "validity holds while t/n is below the bound and collapses once the rate pushes the bound under t/n"
+
+	thresh := NewTable("E6b: same attack, rate fixed at λ=0.25, Byzantine share swept (n=10, k=21)",
+		"t", "t/n", "λ(n-t)", "paper bound t/n ≤", "validity ok")
+	for _, tt := range []int{1, 2, 3, 4, 5} {
+		tt := tt
+		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool { return run(n, tt, 0.25, seed) })
+		rateNT := 0.25 * float64(n-tt)
+		thresh.AddRow(tt, fmt.Sprintf("%.2f", float64(tt)/float64(n)), rateNT, 1/(1+rateNT), rate(countTrue(oks), trials))
+	}
+	return []*Table{sweep, thresh}
+}

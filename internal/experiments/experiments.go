@@ -1,0 +1,201 @@
+// Package experiments regenerates every quantitative claim of the paper as
+// a printed table: one experiment per theorem/lemma (see DESIGN.md's
+// experiment index E1–E20). The same functions back the amexp CLI and the
+// root-level benchmarks, so a reader can diff "paper says" against
+// "this machine measured" from either entry point.
+//
+// Experiments are deterministic given (Options.Seed, Options.Trials);
+// trials fan out across CPU cores with share-nothing workers (each trial
+// builds its own simulator and memory), merged in trial order.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Trials is the number of repetitions per parameter point; 0 means the
+	// experiment's default.
+	Trials int
+	// Seed is the base seed; trial i of a point uses Seed + i.
+	Seed uint64
+	// Quick trims parameter grids for fast smoke runs (benches use this).
+	Quick bool
+}
+
+func (o Options) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	return def
+}
+
+// Experiment is one reproducible unit: a theorem or lemma of the paper.
+type Experiment struct {
+	ID       string // "E1" .. "E10"
+	Title    string
+	PaperRef string // theorem/lemma/section
+	Run      func(Options) []*Table
+}
+
+// All returns every experiment in order. The slice is freshly allocated.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Asynchronous impossibility (model checking)", "Theorem 2.1, Lemmas 2.2-2.3", RunE1},
+		{"E2", "Round lower bound staircase", "Lemma 3.1", RunE2},
+		{"E3", "Synchronous BA resilience t < n/2", "Theorem 3.2", RunE3},
+		{"E4", "Timestamp baseline validity decay", "Theorem 5.2", RunE4},
+		{"E5", "Chain, deterministic tie-breaking: n/3 collapse", "Theorem 5.3", RunE5},
+		{"E6", "Chain, randomized tie-breaking: rate-dependent resilience", "Theorem 5.4", RunE6},
+		{"E7", "Private-chain insertion grows like log n", "Lemma 5.5", RunE7},
+		{"E8", "DAG resilience independent of the rate", "Theorem 5.6", RunE8},
+		{"E9", "Message-passing simulation cost", "Section 4", RunE9},
+		{"E10", "Headline: Chain vs DAG vs Timestamps", "Section 5", RunE10},
+		{"E11", "DAG finality under temporal asynchrony", "Section 5.3 (closing discussion)", RunE11},
+		{"E12", "Ablation: honest staleness causes the chain collapse", "Theorem 5.4 (mechanism)", RunE12},
+		{"E13", "Sticky bits vs append memory separation", "Section 1.2", RunE13},
+		{"E14", "Backbone properties: growth, quality, common prefix", "Section 5.2 (context)", RunE14},
+		{"E15", "Append memory vs message passing: cost and the shared staircase", "Sections 1.3, 3, 4", RunE15},
+		{"E16", "Asynchronous nodes defeat randomized access", "Theorem 5.1", RunE16},
+		{"E17", "Access-discipline ablation: burstiness vs rate", "Section 1.1 / Lemma 5.5 / Theorem 5.4", RunE17},
+		{"E18", "Decision latency across structures", "Theorem 3.2 / Section 5", RunE18},
+		{"E19", "Confirmation depth: a null result, and why", "extension / Lemma 5.5", RunE19},
+		{"E20", "Hashing power, not head count: heterogeneous rates", "Section 1.1 (PoW reading)", RunE20},
+		{"E21", "The GHOST advantage: private forks vs pivot rules", "Section 5.3 (refs [22],[14])", RunE21},
+	}
+}
+
+// ByID returns the experiment with the given id (case-insensitive).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Table is a rendered result: named columns, string cells.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  [][]string
+}
+
+// NewTable creates a table with the given title and columns.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with %.4g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// parallelTrials runs f for seeds base..base+n-1 on all cores and returns
+// the results in seed order. f must be a pure function of its seed.
+func parallelTrials[T any](n int, base uint64, f func(seed uint64) T) []T {
+	out := make([]T, n)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(base + uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// rate formats successes/trials as "0.85 (17/20)".
+func rate(successes, trials int) string {
+	if trials == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f (%d/%d)", float64(successes)/float64(trials), successes, trials)
+}
+
+// countTrue counts true values.
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

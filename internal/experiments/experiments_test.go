@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("title", "a", "bb")
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "y")
+	tbl.Note = "n"
+	s := tbl.String()
+	for _, want := range []string{"== title ==", "a", "bb", "2.5", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableRowWidth(t *testing.T) {
+	tbl := NewTable("t", "col")
+	tbl.AddRow("longer-than-col")
+	lines := strings.Split(strings.TrimSpace(tbl.String()), "\n")
+	// header, separator, row — all same width
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E7"); !ok {
+		t.Fatal("E7 not found")
+	}
+	if _, ok := ByID("e10"); !ok {
+		t.Fatal("lookup not case-insensitive")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestAllHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" || e.PaperRef == "" {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+	}
+	if len(seen) != 21 {
+		t.Fatalf("%d experiments, want 21", len(seen))
+	}
+}
+
+func TestParallelTrialsOrderAndDeterminism(t *testing.T) {
+	f := func(seed uint64) uint64 { return seed * 3 }
+	out := parallelTrials(20, 100, f)
+	for i, v := range out {
+		if v != (100+uint64(i))*3 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// smoke runs every experiment at minimal scale and sanity-checks output.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke test skipped in -short mode")
+	}
+	o := Options{Quick: true, Trials: 6, Seed: 7}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(o)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("empty table %q", tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Cols) {
+						t.Fatalf("ragged row in %q: %v", tbl.Title, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+// parseRate extracts the leading float from a "0.85 (17/20)" cell.
+func parseRate(t *testing.T, cell string) float64 {
+	t.Helper()
+	fields := strings.Fields(cell)
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		t.Fatalf("cannot parse rate cell %q", cell)
+	}
+	return v
+}
+
+func TestE10HeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := RunE10(Options{Quick: true, Trials: 15, Seed: 3})
+	tbl := tables[0]
+	// At the highest rate (last row): chain must be far below DAG.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	chainRate := parseRate(t, last[3])
+	dagRate := parseRate(t, last[4])
+	tsRate := parseRate(t, last[5])
+	if chainRate >= dagRate {
+		t.Fatalf("headline inverted: chain %.2f >= dag %.2f", chainRate, dagRate)
+	}
+	if dagRate < 0.5 || tsRate < 0.5 {
+		t.Fatalf("dag/ts unexpectedly weak: %.2f / %.2f", dagRate, tsRate)
+	}
+}
+
+func TestE1TheoremHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := RunE1(Options{Quick: true, Seed: 1})
+	family := tables[0]
+	okCol := len(family.Cols) - 1
+	for _, row := range family.Rows {
+		if row[okCol] != "false" {
+			t.Fatalf("a protocol solved consensus: %v", row)
+		}
+	}
+}
+
+func TestE7LogFitPositiveSlope(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := RunE7(Options{Quick: true, Trials: 20, Seed: 5})
+	note := tables[0].Note
+	if !strings.Contains(note, "log fit") {
+		t.Fatalf("note missing fit: %q", note)
+	}
+	// Mean max burst must increase from the first to the last n.
+	first := tables[0].Rows[0]
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	f, _ := strconv.ParseFloat(first[2], 64)
+	l, _ := strconv.ParseFloat(last[2], 64)
+	if l <= f {
+		t.Fatalf("burst did not grow with n: %v -> %v", f, l)
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tbl := NewTable("ti|tle", "a", "b")
+	tbl.AddRow(1, "x")
+	tbl.Note = "n"
+	md := tbl.Markdown()
+	for _, want := range []string{"**ti|tle**", "| a | b |", "| --- | --- |", "| 1 | x |", "_n_"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestCellValue(t *testing.T) {
+	for _, tc := range []struct {
+		cell string
+		want float64
+		ok   bool
+	}{
+		{"0.85 (17/20)", 0.85, true},
+		{"3", 3, true},
+		{"-1.5e2", -150, true},
+		{"n/a", 0, false},
+		{"", 0, false},
+	} {
+		got, ok := CellValue(tc.cell)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("CellValue(%q) = (%v,%v)", tc.cell, got, ok)
+		}
+	}
+}
+
+func TestBars(t *testing.T) {
+	tbl := NewTable("t", "x", "rate")
+	tbl.AddRow("a", "1.0 (20/20)")
+	tbl.AddRow("bb", "0.5 (10/20)")
+	tbl.AddRow("c", "n/a")
+	out := tbl.Bars(1, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Errorf("full bar missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("█", 5)) || strings.Contains(lines[2], strings.Repeat("█", 6)) {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "| -") {
+		t.Errorf("non-numeric row wrong: %q", lines[3])
+	}
+	if tbl.Bars(9, 10) != "" || tbl.Bars(1, 0) != "" {
+		t.Error("invalid args not rejected")
+	}
+}
+
+func TestE17BurstinessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := RunE17(Options{Quick: true, Trials: 15, Seed: 9})
+	for _, row := range tables[0].Rows {
+		dagPoisson := parseRate(t, row[3])
+		dagRR := parseRate(t, row[4])
+		if dagRR < dagPoisson-0.1 {
+			t.Fatalf("round-robin made the dag WORSE at λ=%s: %.2f vs %.2f", row[0], dagRR, dagPoisson)
+		}
+	}
+}
+
+func TestE18LatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := RunE18(Options{Quick: true, Trials: 10, Seed: 9})
+	for _, row := range tables[0].Rows {
+		ideal := parseRate(t, row[1])
+		ts := parseRate(t, row[2])
+		chainLat := parseRate(t, row[3])
+		dagLat := parseRate(t, row[4])
+		if ts > ideal*1.3 {
+			t.Fatalf("timestamp latency %.2f far above ideal %.2f", ts, ideal)
+		}
+		if chainLat < dagLat {
+			t.Fatalf("chain (%.2f) decided faster than dag (%.2f)", chainLat, dagLat)
+		}
+	}
+}
+
+func TestE21GhostShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := RunE21(Options{Quick: true, Trials: 15, Seed: 9})
+	// At the highest rate GHOST must beat longest-chain.
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	ghost := parseRate(t, last[1])
+	longest := parseRate(t, last[2])
+	if ghost < longest {
+		t.Fatalf("ghost (%.2f) not better than longest (%.2f) under the private fork", ghost, longest)
+	}
+}
+
+func TestE20RateShareShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	tables := RunE20(Options{Quick: true, Trials: 20, Seed: 9})
+	// Dag validity spread across shapes stays small.
+	lo, hi := 2.0, -1.0
+	for _, row := range tables[0].Rows {
+		v := parseRate(t, row[4])
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo > 0.35 {
+		t.Fatalf("dag validity spread %.2f across equal-rate-share shapes", hi-lo)
+	}
+}

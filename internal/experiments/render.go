@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Markdown renders the table as GitHub-flavoured markdown (used by
+// `amexp -format md` to regenerate EXPERIMENTS.md sections).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Cols, " | ") + " |\n")
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", t.Note)
+	}
+	return b.String()
+}
+
+// CellValue extracts the leading float of a cell ("0.85 (17/20)" → 0.85).
+// ok is false for non-numeric cells.
+func CellValue(cell string) (float64, bool) {
+	fields := strings.Fields(cell)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Bars renders one numeric column of the table as a horizontal bar chart
+// — the textual "figure" form of a sweep. Bars scale to the column's
+// maximum; width is the maximum bar length in characters. Non-numeric
+// cells render as empty bars.
+func (t *Table) Bars(col, width int) string {
+	if col < 0 || col >= len(t.Cols) || width < 1 {
+		return ""
+	}
+	maxVal := 0.0
+	vals := make([]float64, len(t.Rows))
+	oks := make([]bool, len(t.Rows))
+	for i, row := range t.Rows {
+		if col < len(row) {
+			vals[i], oks[i] = CellValue(row[col])
+			if oks[i] && vals[i] > maxVal {
+				maxVal = vals[i]
+			}
+		}
+	}
+	labelW := 0
+	for _, row := range t.Rows {
+		if len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s\n", t.Cols[col], t.Cols[0])
+	for i, row := range t.Rows {
+		n := 0
+		if oks[i] && maxVal > 0 {
+			n = int(vals[i]/maxVal*float64(width) + 0.5)
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s", labelW, row[0], strings.Repeat("█", n), strings.Repeat(" ", width-n))
+		if oks[i] {
+			fmt.Fprintf(&b, "| %.3g\n", vals[i])
+		} else {
+			b.WriteString("| -\n")
+		}
+	}
+	return b.String()
+}

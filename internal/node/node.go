@@ -1,0 +1,266 @@
+// Package node provides the node roster, input assignments and
+// consensus-property checkers shared by every agreement protocol in this
+// repository.
+//
+// The paper's Section 1.1 defines correct nodes, crash failures and
+// Byzantine failures, plus the three consensus properties — agreement,
+// termination, validity — and their "with high probability" weakenings.
+// Protocol packages produce an Outcome; the checkers here turn outcomes
+// into per-property verdicts that the experiment harness aggregates into
+// empirical success rates (the w.h.p. claims become measured frequencies).
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/appendmem"
+	"repro/internal/xrand"
+)
+
+// Role describes a node's failure mode for a run.
+type Role int
+
+// Roles. Crash nodes behave correctly until their crash time.
+const (
+	Honest Role = iota
+	Byzantine
+	Crash
+)
+
+func (r Role) String() string {
+	switch r {
+	case Honest:
+		return "honest"
+	case Byzantine:
+		return "byzantine"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Roster assigns roles to the n nodes of a run. By convention the last t
+// nodes are Byzantine (the adversary corrupts a fixed set; protocols never
+// read the roster, only adversaries and checkers do).
+type Roster struct {
+	roles []Role
+}
+
+// NewRoster returns a roster of n nodes whose last t are Byzantine.
+// It panics unless 0 <= t <= n and n > 0.
+func NewRoster(n, t int) Roster {
+	if n <= 0 || t < 0 || t > n {
+		panic(fmt.Sprintf("node: invalid roster n=%d t=%d", n, t))
+	}
+	roles := make([]Role, n)
+	for i := n - t; i < n; i++ {
+		roles[i] = Byzantine
+	}
+	return Roster{roles: roles}
+}
+
+// WithCrashes marks the first c honest nodes as crash-faulty and returns
+// the modified roster. It panics when fewer than c honest nodes exist.
+func (r Roster) WithCrashes(c int) Roster {
+	roles := append([]Role(nil), r.roles...)
+	for i := 0; i < len(roles) && c > 0; i++ {
+		if roles[i] == Honest {
+			roles[i] = Crash
+			c--
+		}
+	}
+	if c > 0 {
+		panic("node: not enough honest nodes to crash")
+	}
+	return Roster{roles: roles}
+}
+
+// N returns the total number of nodes.
+func (r Roster) N() int { return len(r.roles) }
+
+// T returns the number of Byzantine nodes.
+func (r Roster) T() int {
+	t := 0
+	for _, role := range r.roles {
+		if role == Byzantine {
+			t++
+		}
+	}
+	return t
+}
+
+// Role returns the role of node id.
+func (r Roster) Role(id appendmem.NodeID) Role { return r.roles[id] }
+
+// IsByzantine reports whether node id is Byzantine.
+func (r Roster) IsByzantine(id appendmem.NodeID) bool { return r.roles[id] == Byzantine }
+
+// IsCorrect reports whether node id is correct (honest, non-crash).
+func (r Roster) IsCorrect(id appendmem.NodeID) bool { return r.roles[id] == Honest }
+
+// Correct returns the ids of all correct nodes, ascending.
+func (r Roster) Correct() []appendmem.NodeID {
+	var ids []appendmem.NodeID
+	for i, role := range r.roles {
+		if role == Honest {
+			ids = append(ids, appendmem.NodeID(i))
+		}
+	}
+	return ids
+}
+
+// Byzantines returns the ids of all Byzantine nodes, ascending.
+func (r Roster) Byzantines() []appendmem.NodeID {
+	var ids []appendmem.NodeID
+	for i, role := range r.roles {
+		if role == Byzantine {
+			ids = append(ids, appendmem.NodeID(i))
+		}
+	}
+	return ids
+}
+
+// Inputs holds the per-node binary input values (+1 / -1 as in Section 5,
+// or 0/1 mapped onto ±1).
+type Inputs []int64
+
+// AllSame returns inputs where every node holds v.
+func AllSame(n int, v int64) Inputs {
+	in := make(Inputs, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// SplitInputs returns inputs where the first ones nodes hold +1 and the
+// rest hold -1.
+func SplitInputs(n, ones int) Inputs {
+	in := make(Inputs, n)
+	for i := range in {
+		if i < ones {
+			in[i] = +1
+		} else {
+			in[i] = -1
+		}
+	}
+	return in
+}
+
+// RandomInputs draws each input uniformly from {+1, -1}.
+func RandomInputs(rng *xrand.PCG, n int) Inputs {
+	in := make(Inputs, n)
+	for i := range in {
+		if rng.Bool() {
+			in[i] = +1
+		} else {
+			in[i] = -1
+		}
+	}
+	return in
+}
+
+// Outcome records what each node decided in one run.
+type Outcome struct {
+	Decided  []bool
+	Decision []int64
+}
+
+// NewOutcome returns an empty outcome for n nodes.
+func NewOutcome(n int) *Outcome {
+	return &Outcome{Decided: make([]bool, n), Decision: make([]int64, n)}
+}
+
+// Decide records node id's decision. Double decision with a different
+// value panics — a protocol bug, not a modelled behaviour.
+func (o *Outcome) Decide(id appendmem.NodeID, v int64) {
+	if o.Decided[id] && o.Decision[id] != v {
+		panic(fmt.Sprintf("node: %d decided twice with different values", id))
+	}
+	o.Decided[id] = true
+	o.Decision[id] = v
+}
+
+// Verdict is the evaluation of one run against the consensus properties,
+// restricted to correct nodes as the definitions require.
+type Verdict struct {
+	Termination bool // every correct node decided
+	Agreement   bool // all correct deciders decided the same value
+	Validity    bool // if all correct inputs equal, the decision equals them
+}
+
+// OK reports whether all three properties hold.
+func (v Verdict) OK() bool { return v.Termination && v.Agreement && v.Validity }
+
+// Evaluate checks the outcome of one run against the consensus properties.
+// Validity is vacuously true when correct inputs disagree (the paper's
+// all-same-validity).
+func Evaluate(r Roster, in Inputs, o *Outcome) Verdict {
+	correct := r.Correct()
+	v := Verdict{Termination: true, Agreement: true, Validity: true}
+
+	for _, id := range correct {
+		if !o.Decided[id] {
+			v.Termination = false
+		}
+	}
+
+	var first int64
+	have := false
+	for _, id := range correct {
+		if !o.Decided[id] {
+			continue
+		}
+		if !have {
+			first, have = o.Decision[id], true
+			continue
+		}
+		if o.Decision[id] != first {
+			v.Agreement = false
+		}
+	}
+
+	allSame := true
+	var common int64
+	for i, id := range correct {
+		if i == 0 {
+			common = in[id]
+			continue
+		}
+		if in[id] != common {
+			allSame = false
+			break
+		}
+	}
+	if allSame && len(correct) > 0 {
+		for _, id := range correct {
+			if o.Decided[id] && o.Decision[id] != common {
+				v.Validity = false
+			}
+		}
+		// An undecided correct node also violates validity's "must agree
+		// on b at the end" when termination fails; we keep the properties
+		// orthogonal and only fault explicit wrong decisions here.
+	}
+	return v
+}
+
+// Sign returns +1 for positive sums, -1 for negative, and -1 for zero —
+// protocols choose odd k so that zero never occurs, but a deterministic
+// convention keeps runs well-defined regardless.
+func Sign(sum int64) int64 {
+	if sum > 0 {
+		return +1
+	}
+	return -1
+}
+
+// SumSign returns Sign of the sum of vals.
+func SumSign(vals []int64) int64 {
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return Sign(sum)
+}

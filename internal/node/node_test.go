@@ -1,0 +1,201 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/appendmem"
+	"repro/internal/xrand"
+)
+
+func TestRosterRoles(t *testing.T) {
+	r := NewRoster(5, 2)
+	if r.N() != 5 || r.T() != 2 {
+		t.Fatalf("N=%d T=%d", r.N(), r.T())
+	}
+	wantByz := []appendmem.NodeID{3, 4}
+	byz := r.Byzantines()
+	if len(byz) != 2 || byz[0] != wantByz[0] || byz[1] != wantByz[1] {
+		t.Fatalf("byzantines = %v", byz)
+	}
+	correct := r.Correct()
+	if len(correct) != 3 {
+		t.Fatalf("correct = %v", correct)
+	}
+	for _, id := range correct {
+		if r.IsByzantine(id) || !r.IsCorrect(id) {
+			t.Fatal("role confusion")
+		}
+	}
+}
+
+func TestRosterPanics(t *testing.T) {
+	for _, tc := range [][2]int{{0, 0}, {3, 4}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRoster(%d,%d) did not panic", tc[0], tc[1])
+				}
+			}()
+			NewRoster(tc[0], tc[1])
+		}()
+	}
+}
+
+func TestWithCrashes(t *testing.T) {
+	r := NewRoster(5, 1).WithCrashes(2)
+	if r.Role(0) != Crash || r.Role(1) != Crash {
+		t.Fatal("first honest nodes not crashed")
+	}
+	if r.Role(2) != Honest || r.Role(4) != Byzantine {
+		t.Fatal("other roles disturbed")
+	}
+	if len(r.Correct()) != 2 {
+		t.Fatalf("correct = %v", r.Correct())
+	}
+	// Original roster unchanged (value semantics).
+	orig := NewRoster(5, 1)
+	_ = orig.WithCrashes(1)
+	if orig.Role(0) != Honest {
+		t.Fatal("WithCrashes mutated the receiver")
+	}
+}
+
+func TestWithCrashesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-crash did not panic")
+		}
+	}()
+	NewRoster(3, 2).WithCrashes(2)
+}
+
+func TestInputs(t *testing.T) {
+	same := AllSame(4, -1)
+	for _, v := range same {
+		if v != -1 {
+			t.Fatal("AllSame wrong")
+		}
+	}
+	split := SplitInputs(5, 2)
+	if split[0] != 1 || split[1] != 1 || split[2] != -1 {
+		t.Fatalf("split = %v", split)
+	}
+	rnd := RandomInputs(xrand.New(1, 1), 1000)
+	pos := 0
+	for _, v := range rnd {
+		if v != 1 && v != -1 {
+			t.Fatal("random input not ±1")
+		}
+		if v == 1 {
+			pos++
+		}
+	}
+	if pos < 400 || pos > 600 {
+		t.Fatalf("random inputs biased: %d/1000 positive", pos)
+	}
+}
+
+func TestOutcomeDoubleDecide(t *testing.T) {
+	o := NewOutcome(2)
+	o.Decide(0, 1)
+	o.Decide(0, 1) // same value: fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting double decide did not panic")
+		}
+	}()
+	o.Decide(0, -1)
+}
+
+func TestEvaluateAllGood(t *testing.T) {
+	r := NewRoster(4, 1)
+	in := AllSame(4, 1)
+	o := NewOutcome(4)
+	for _, id := range r.Correct() {
+		o.Decide(id, 1)
+	}
+	v := Evaluate(r, in, o)
+	if !v.OK() {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestEvaluateTerminationFailure(t *testing.T) {
+	r := NewRoster(3, 0)
+	o := NewOutcome(3)
+	o.Decide(0, 1)
+	o.Decide(1, 1)
+	v := Evaluate(r, AllSame(3, 1), o)
+	if v.Termination {
+		t.Fatal("termination should fail")
+	}
+	if !v.Agreement {
+		t.Fatal("agreement among deciders should hold")
+	}
+}
+
+func TestEvaluateAgreementFailure(t *testing.T) {
+	r := NewRoster(3, 0)
+	o := NewOutcome(3)
+	o.Decide(0, 1)
+	o.Decide(1, -1)
+	o.Decide(2, 1)
+	v := Evaluate(r, SplitInputs(3, 2), o)
+	if v.Agreement {
+		t.Fatal("agreement should fail")
+	}
+	if !v.Validity {
+		t.Fatal("validity vacuous for split inputs")
+	}
+}
+
+func TestEvaluateValidityFailure(t *testing.T) {
+	r := NewRoster(4, 1)
+	in := AllSame(4, 1)
+	o := NewOutcome(4)
+	for _, id := range r.Correct() {
+		o.Decide(id, -1) // agreed, terminated, but wrong value
+	}
+	v := Evaluate(r, in, o)
+	if !v.Termination || !v.Agreement {
+		t.Fatal("termination/agreement should hold")
+	}
+	if v.Validity {
+		t.Fatal("validity should fail")
+	}
+}
+
+func TestEvaluateByzantineDecisionsIgnored(t *testing.T) {
+	r := NewRoster(3, 1)
+	in := AllSame(3, 1)
+	o := NewOutcome(3)
+	o.Decide(0, 1)
+	o.Decide(1, 1)
+	o.Decide(2, -1) // Byzantine node's "decision" is irrelevant
+	if v := Evaluate(r, in, o); !v.OK() {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestEvaluateCrashedExcluded(t *testing.T) {
+	r := NewRoster(3, 0).WithCrashes(1)
+	in := AllSame(3, 1)
+	o := NewOutcome(3)
+	o.Decide(1, 1)
+	o.Decide(2, 1)
+	if v := Evaluate(r, in, o); !v.OK() {
+		t.Fatalf("crashed node counted as correct: %+v", v)
+	}
+}
+
+func TestSign(t *testing.T) {
+	if Sign(5) != 1 || Sign(-5) != -1 || Sign(0) != -1 {
+		t.Fatal("Sign convention broken")
+	}
+	if SumSign([]int64{1, 1, -1}) != 1 {
+		t.Fatal("SumSign wrong")
+	}
+	if SumSign(nil) != -1 {
+		t.Fatal("SumSign(nil) convention broken")
+	}
+}

@@ -1,0 +1,119 @@
+// Package sim is a deterministic discrete-event simulator: a virtual clock
+// and an event heap with stable tie-breaking.
+//
+// All protocol executions in this repository run inside a Sim. Determinism
+// is load-bearing: a run is a pure function of (Config, Seed), so events at
+// equal virtual times fire in scheduling order (a monotone sequence number
+// breaks ties), and nothing in the simulator consults wall-clock time or
+// global randomness.
+//
+// The simulator is single-goroutine by design. Parallelism in this
+// repository happens across independent trials (one Sim each), never inside
+// a run, which keeps executions replayable and the core free of locks.
+package sim
+
+import "container/heap"
+
+// Time is virtual simulation time. The unit is arbitrary; protocols use Δ
+// (the synchrony bound) as their natural scale.
+type Time float64
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// New returns a fresh simulator with the clock at zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics — it would silently reorder causality.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic("sim: scheduling event in the past")
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d time units from now. Negative d panics.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Stop makes the current Run/RunUntil return after the executing event
+// completes. Remaining events stay queued.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// Step fires the earliest pending event and returns true, or returns false
+// when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called. It returns
+// the number of events fired.
+func (s *Sim) Run() int {
+	fired := 0
+	for !s.stopped && s.Step() {
+		fired++
+	}
+	return fired
+}
+
+// RunUntil fires events with time <= deadline (or until Stop), advances the
+// clock to the deadline, and returns the number of events fired. Events
+// scheduled beyond the deadline stay queued.
+func (s *Sim) RunUntil(deadline Time) int {
+	fired := 0
+	for !s.stopped && len(s.events) > 0 && s.events[0].at <= deadline {
+		s.Step()
+		fired++
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+	return fired
+}

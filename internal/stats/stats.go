@@ -1,0 +1,270 @@
+// Package stats provides the summary statistics, tail bounds and fitting
+// helpers that the experiment harness uses to compare simulated executions
+// against the paper's analytical predictions.
+//
+// The paper's Section 5 proofs rest on the central limit theorem (validity
+// of the timestamp baseline, Theorem 5.2) and Poisson tail bounds (the
+// private-chain length of Lemma 5.5). This package provides both the
+// empirical side (Summary, Histogram) and the analytical side (NormalTail,
+// PoissonTail) so experiments can print "measured vs predicted" rows.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds moment statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	Min      float64
+	Max      float64
+}
+
+// Summarize computes the Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+	}
+	return s
+}
+
+// Stddev returns the sample standard deviation.
+func (s Summary) Stddev() float64 { return math.Sqrt(s.Variance) }
+
+// SEM returns the standard error of the mean.
+func (s Summary) SEM() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(s.N))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval around the mean.
+func (s Summary) CI95() float64 { return 1.96 * s.SEM() }
+
+// String renders the summary compactly: "mean ± ci95 [min,max] (n=..)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean, s.CI95(), s.Min, s.Max, s.N)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty sample or
+// q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile with q outside [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Proportion holds a binomial success-rate estimate.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Rate returns the empirical success rate.
+func (p Proportion) Rate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// Wilson95 returns the Wilson-score 95% confidence interval for the rate.
+// Unlike the normal approximation, it behaves sensibly at rates near 0 or 1,
+// which is exactly where our validity-failure experiments operate.
+func (p Proportion) Wilson95() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	n := float64(p.Trials)
+	phat := p.Rate()
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders the proportion with its Wilson interval.
+func (p Proportion) String() string {
+	lo, hi := p.Wilson95()
+	return fmt.Sprintf("%.3f [%.3f, %.3f] (%d/%d)", p.Rate(), lo, hi, p.Successes, p.Trials)
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Bins     []int
+	Under    int // samples below Lo
+	Over     int // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It panics when hi <= lo or bins <= 0.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo || bins <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, bins), binWidth: (hi - lo) / float64(bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i >= len(h.Bins) { // guard against float rounding at the edge
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of recorded samples including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, b := range h.Bins {
+		n += b
+	}
+	return n
+}
+
+// NormalTail returns P[X > x] for X ~ N(mean, sd^2).
+func NormalTail(x, mean, sd float64) float64 {
+	if sd <= 0 {
+		if x >= mean {
+			return 0
+		}
+		return 1
+	}
+	z := (x - mean) / (sd * math.Sqrt2)
+	return 0.5 * math.Erfc(z)
+}
+
+// PoissonTail returns P[X >= k] for X ~ Poisson(lambda), computed by direct
+// summation of the complementary CDF (stable for the moderate lambdas we use).
+func PoissonTail(k int, lambda float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if lambda <= 0 {
+		return 0
+	}
+	// P[X >= k] = 1 - sum_{i<k} e^-l l^i / i!
+	logTerm := -lambda // log of the i=0 term
+	cdf := 0.0
+	for i := 0; i < k; i++ {
+		cdf += math.Exp(logTerm)
+		logTerm += math.Log(lambda) - math.Log(float64(i+1))
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return 1 - cdf
+}
+
+// LogFit fits y = a + b*log(x) by least squares and returns (a, b, r2).
+// Used in experiment E7 to verify the Θ(log n) growth of the adversarial
+// pre-decision chain (Lemma 5.5). It panics when fewer than two points or
+// any x <= 0.
+func LogFit(xs, ys []float64) (a, b, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LogFit needs at least two points")
+	}
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			panic("stats: LogFit with non-positive x")
+		}
+		lx[i] = math.Log(x)
+	}
+	return LinearFit(lx, ys)
+}
+
+// LinearFit fits y = a + b*x by least squares and returns (a, b, r2).
+func LinearFit(xs, ys []float64) (a, b, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		panic("stats: LinearFit with degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / denom
+	a = (sy - b*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return a, b, 1
+	}
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (a + b*xs[i])
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return a, b, r2
+}
+
+// Mean is a convenience over Summarize for when only the mean is needed.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }

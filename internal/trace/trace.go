@@ -1,0 +1,179 @@
+// Package trace records structured execution events of protocol runs —
+// token grants, appends, reads, decisions, crashes, blackouts — and
+// renders them as a human-readable timeline. Tracing is opt-in (a nil
+// Recorder is a no-op sink, so the hot paths stay allocation-free when
+// disabled) and deterministic: identical runs produce identical traces,
+// which the test suite exploits as a replay check.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	Grant Kind = iota
+	Append
+	Read
+	Decide
+	Crash
+	StallStart
+	StallEnd
+	RoundStart
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Grant:
+		return "grant"
+	case Append:
+		return "append"
+	case Read:
+		return "read"
+	case Decide:
+		return "decide"
+	case Crash:
+		return "crash"
+	case StallStart:
+		return "stall-start"
+	case StallEnd:
+		return "stall-end"
+	case RoundStart:
+		return "round"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// System marks events not attributable to one node.
+const System appendmem.NodeID = -1
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Node appendmem.NodeID
+	Msg  appendmem.MsgID // the appended message, for Append events
+	Val  int64           // decision value / append value
+	Note string
+}
+
+// Recorder accumulates events. A nil *Recorder is a valid no-op sink.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends an event; no-op on a nil receiver.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Enabled reports whether events are being collected.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Events returns the recorded events in order. The returned slice is the
+// recorder's backing store; callers must not mutate it.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Summary counts events per kind.
+func (r *Recorder) Summary() map[Kind]int {
+	sum := make(map[Kind]int)
+	if r == nil {
+		return sum
+	}
+	for _, e := range r.events {
+		sum[e.Kind]++
+	}
+	return sum
+}
+
+// ByNode returns the events of one node, in order.
+func (r *Recorder) ByNode(id appendmem.NodeID) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if e.Node == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render prints the last max events (all when max <= 0) as an aligned
+// timeline.
+func (r *Recorder) Render(max int) string {
+	if r == nil || len(r.events) == 0 {
+		return "(no events)\n"
+	}
+	events := r.events
+	truncated := 0
+	if max > 0 && len(events) > max {
+		truncated = len(events) - max
+		events = events[truncated:]
+	}
+	var b strings.Builder
+	if truncated > 0 {
+		fmt.Fprintf(&b, "... %d earlier events elided ...\n", truncated)
+	}
+	for _, e := range events {
+		who := "system"
+		if e.Node != System {
+			who = fmt.Sprintf("node %-2d", e.Node)
+		}
+		fmt.Fprintf(&b, "%9.3f  %-11s %s", float64(e.At), e.Kind, who)
+		switch e.Kind {
+		case Append:
+			fmt.Fprintf(&b, "  msg %d val %+d", e.Msg, e.Val)
+		case Decide:
+			fmt.Fprintf(&b, "  value %+d", e.Val)
+		}
+		if e.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", e.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Equal reports whether two recorders hold identical event sequences —
+// the determinism/replay check.
+func Equal(a, b *Recorder) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ae, be := a.Events(), b.Events()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appendmem"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: Grant}) // must not panic
+	if r.Enabled() {
+		t.Fatal("nil recorder enabled")
+	}
+	if r.Len() != 0 || r.Events() != nil || r.ByNode(0) != nil {
+		t.Fatal("nil recorder not empty")
+	}
+	if len(r.Summary()) != 0 {
+		t.Fatal("nil summary not empty")
+	}
+	if !strings.Contains(r.Render(0), "no events") {
+		t.Fatal("nil render wrong")
+	}
+}
+
+func TestRecordAndSummary(t *testing.T) {
+	r := New()
+	r.Record(Event{At: 1, Kind: Grant, Node: 0})
+	r.Record(Event{At: 1, Kind: Append, Node: 0, Msg: 0, Val: 1})
+	r.Record(Event{At: 2, Kind: Read, Node: 1})
+	r.Record(Event{At: 3, Kind: Decide, Node: 1, Val: -1})
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	sum := r.Summary()
+	if sum[Grant] != 1 || sum[Append] != 1 || sum[Read] != 1 || sum[Decide] != 1 {
+		t.Fatalf("summary = %v", sum)
+	}
+}
+
+func TestByNode(t *testing.T) {
+	r := New()
+	r.Record(Event{Kind: Grant, Node: 0})
+	r.Record(Event{Kind: Grant, Node: 1})
+	r.Record(Event{Kind: Read, Node: 0})
+	if got := r.ByNode(0); len(got) != 2 {
+		t.Fatalf("ByNode(0) = %d events", len(got))
+	}
+}
+
+func TestRenderContents(t *testing.T) {
+	r := New()
+	r.Record(Event{At: 1.5, Kind: Append, Node: 3, Msg: 7, Val: -1, Note: "byzantine"})
+	r.Record(Event{At: 2.25, Kind: Decide, Node: 1, Val: 1})
+	r.Record(Event{At: 3, Kind: StallStart, Node: System, Note: "blackout"})
+	out := r.Render(0)
+	for _, want := range []string{"append", "node 3", "msg 7", "byzantine", "decide", "value +1", "system", "stall-start"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTruncation(t *testing.T) {
+	r := New()
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: 0, Kind: Grant, Node: appendmem.NodeID(i % 3)})
+	}
+	out := r.Render(4)
+	if !strings.Contains(out, "6 earlier events elided") {
+		t.Fatalf("no truncation marker:\n%s", out)
+	}
+	if got := strings.Count(out, "grant"); got != 4 {
+		t.Fatalf("rendered %d events, want 4", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Grant: "grant", Append: "append", Read: "read", Decide: "decide",
+		Crash: "crash", StallStart: "stall-start", StallEnd: "stall-end", RoundStart: "round",
+		Kind(99): "Kind(99)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(), New()
+	a.Record(Event{At: 1, Kind: Grant})
+	b.Record(Event{At: 1, Kind: Grant})
+	if !Equal(a, b) {
+		t.Fatal("identical recorders unequal")
+	}
+	b.Record(Event{At: 2, Kind: Read})
+	if Equal(a, b) {
+		t.Fatal("different lengths equal")
+	}
+	a.Record(Event{At: 2, Kind: Decide})
+	if Equal(a, b) {
+		t.Fatal("different events equal")
+	}
+	if !Equal(nil, nil) {
+		t.Fatal("nil recorders should be equal")
+	}
+}
