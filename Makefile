@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet cover bench experiments quick examples clean
+.PHONY: all build test vet check cover bench experiments quick examples clean
 
-all: build vet test
+all: build vet test check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full verification: vet, race-enabled tests, and every paper prediction
+# evaluated against a quick run (amexp exits 2 if any check fails).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(GO) run ./cmd/amexp -e all -quick -check
 
 cover:
 	$(GO) test ./... -cover

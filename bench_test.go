@@ -1,7 +1,8 @@
 // Package repro_test holds the repository-level benchmark harness: one
-// benchmark per experiment (E1–E20, see DESIGN.md's index), each of which
+// benchmark per experiment (E1–E21, see DESIGN.md's index), each of which
 // regenerates its experiment's tables — the same rows `amexp -e <id>`
-// prints — and reports the experiment's key figure as a custom metric.
+// prints — plus the single-line JSON record the same Result serializes
+// to, and reports the experiment's key figure as a custom metric.
 // Run with -v to see the tables inline:
 //
 //	go test -bench=. -benchmem
@@ -12,7 +13,6 @@
 package repro_test
 
 import (
-	"strconv"
 	"strings"
 	"testing"
 
@@ -26,42 +26,54 @@ import (
 	"repro/internal/chain"
 	"repro/internal/dag"
 	"repro/internal/experiments"
+	"repro/internal/report"
 	"repro/internal/xrand"
 )
 
-// runExperiment drives one experiment per iteration and logs its tables.
+// runExperiment drives one experiment per iteration and logs its tables
+// plus the structured JSON record the same Result serializes to.
 func runExperiment(b *testing.B, id string, trials int) []*experiments.Table {
 	b.Helper()
 	e, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
-	var tables []*experiments.Table
+	var r *experiments.Result
 	for i := 0; i < b.N; i++ {
-		tables = e.Run(experiments.Options{Quick: true, Trials: trials, Seed: 1})
+		r = experiments.Run(e, experiments.Options{Quick: true, Trials: trials, Seed: 1})
 	}
-	for _, t := range tables {
-		b.Log("\n" + t.String())
+	for _, t := range r.Tables {
+		b.Log("\n" + report.TableText(t))
 	}
-	return tables
+	if line, err := report.JSONLine(r); err == nil {
+		b.Log(line)
+	} else {
+		b.Fatalf("result does not serialize: %v", err)
+	}
+	return r.Tables
 }
 
-// lastRate extracts the leading float of the last row's cell at col.
-func lastRate(b *testing.B, t *experiments.Table, col int) float64 {
+// cellValue reads a numeric cell, failing the benchmark otherwise.
+func cellValue(b *testing.B, c experiments.Cell) float64 {
 	b.Helper()
-	row := t.Rows[len(t.Rows)-1]
-	v, err := strconv.ParseFloat(strings.Fields(row[col])[0], 64)
-	if err != nil {
-		b.Fatalf("cell %q not numeric", row[col])
+	v, ok := c.Value()
+	if !ok {
+		b.Fatalf("cell %+v not numeric", c)
 	}
 	return v
+}
+
+// lastRate reads the last row's numeric cell at col.
+func lastRate(b *testing.B, t *experiments.Table, col int) float64 {
+	b.Helper()
+	return cellValue(b, t.Rows[len(t.Rows)-1][col])
 }
 
 func BenchmarkE1_AsyncImpossibility(b *testing.B) {
 	tables := runExperiment(b, "E1", 0)
 	violations := 0
 	for _, row := range tables[0].Rows {
-		if row[len(row)-1] == "false" {
+		if last := row[len(row)-1]; last.Kind == experiments.KindBool && !last.Bool {
 			violations++
 		}
 	}
@@ -75,9 +87,8 @@ func BenchmarkE2_RoundLowerBound(b *testing.B) {
 	tbl := tables[0]
 	var truncFail float64
 	for _, row := range tbl.Rows {
-		if strings.HasPrefix(row[4], "failures") {
-			v, _ := strconv.ParseFloat(strings.Fields(row[3])[0], 64)
-			truncFail = v
+		if strings.HasPrefix(row[4].Str, "failures") {
+			truncFail = cellValue(b, row[3])
 		}
 	}
 	b.ReportMetric(truncFail, "agr-fail-at-t-rounds")
@@ -141,7 +152,7 @@ func BenchmarkE13_StickyBits(b *testing.B) {
 	tables := runExperiment(b, "E13", 0)
 	ok := 0
 	for _, row := range tables[0].Rows {
-		if row[0] == "sticky bit" && row[len(row)-1] == "true" {
+		if last := row[len(row)-1]; row[0].Str == "sticky bit" && last.Kind == experiments.KindBool && last.Bool {
 			ok++
 		}
 	}
@@ -153,14 +164,14 @@ func BenchmarkE14_Backbone(b *testing.B) {
 	// Quality gap between the last dag row and the last chain-attack row.
 	var chainQ, dagQ float64
 	for _, row := range tables[0].Rows {
-		q, err := strconv.ParseFloat(row[2], 64)
-		if err != nil {
+		q, ok := row[2].Value()
+		if !ok {
 			continue
 		}
-		if strings.HasPrefix(row[0], "chain, tiebreak") {
+		if strings.HasPrefix(row[0].Str, "chain, tiebreak") {
 			chainQ = q
 		}
-		if strings.HasPrefix(row[0], "dag") {
+		if strings.HasPrefix(row[0].Str, "dag") {
 			dagQ = q
 		}
 	}
@@ -171,8 +182,8 @@ func BenchmarkE15_MemoryVsMessages(b *testing.B) {
 	tables := runExperiment(b, "E15", 8)
 	// Ratio of message-passing relays to append-memory ops on the largest size.
 	last := tables[0].Rows[len(tables[0].Rows)-1]
-	amOps, _ := strconv.ParseFloat(last[2], 64)
-	mpMsgs, _ := strconv.ParseFloat(last[3], 64)
+	amOps, _ := last[2].Value()
+	mpMsgs, _ := last[3].Value()
 	if amOps > 0 {
 		b.ReportMetric(mpMsgs/amOps, "relays-per-memory-op")
 	}
@@ -180,7 +191,7 @@ func BenchmarkE15_MemoryVsMessages(b *testing.B) {
 
 func BenchmarkE16_AsyncNodes(b *testing.B) {
 	tables := runExperiment(b, "E16", 10)
-	sync := lastRate(b, &experiments.Table{Rows: tables[0].Rows[:1], Cols: tables[0].Cols}, 1)
+	sync := cellValue(b, tables[0].Rows[0][1])
 	async := lastRate(b, tables[0], 1)
 	b.ReportMetric(sync-async, "chain-validity-lost-to-asynchrony")
 }
@@ -188,35 +199,25 @@ func BenchmarkE16_AsyncNodes(b *testing.B) {
 func BenchmarkE17_AccessDiscipline(b *testing.B) {
 	tables := runExperiment(b, "E17", 10)
 	last := tables[0].Rows[len(tables[0].Rows)-1]
-	poisson := parseCell(b, last[3])
-	rr := parseCell(b, last[4])
+	poisson := cellValue(b, last[3])
+	rr := cellValue(b, last[4])
 	b.ReportMetric(rr-poisson, "dag-validity-gain-without-bursts")
 }
 
 func BenchmarkE18_DecisionLatency(b *testing.B) {
 	tables := runExperiment(b, "E18", 8)
 	last := tables[0].Rows[len(tables[0].Rows)-1]
-	ideal := parseCell(b, last[1])
-	ts := parseCell(b, last[2])
+	ideal := cellValue(b, last[1])
+	ts := cellValue(b, last[2])
 	if ideal > 0 {
 		b.ReportMetric(ts/ideal, "timestamp-latency-vs-ideal")
 	}
 }
 
-// parseCell extracts the leading float of a cell.
-func parseCell(b *testing.B, cell string) float64 {
-	b.Helper()
-	v, err := strconv.ParseFloat(strings.Fields(cell)[0], 64)
-	if err != nil {
-		b.Fatalf("cell %q not numeric", cell)
-	}
-	return v
-}
-
 func BenchmarkE19_ConfirmationDepth(b *testing.B) {
 	tables := runExperiment(b, "E19", 10)
-	first := parseCell(b, tables[0].Rows[0][2])
-	last := parseCell(b, tables[0].Rows[len(tables[0].Rows)-1][2])
+	first := cellValue(b, tables[0].Rows[0][2])
+	last := cellValue(b, tables[0].Rows[len(tables[0].Rows)-1][2])
 	b.ReportMetric(last-first, "dag-validity-change-with-depth")
 }
 
@@ -225,7 +226,7 @@ func BenchmarkE20_HashingPower(b *testing.B) {
 	// Spread between configurations' dag validity should be small.
 	lo, hi := 2.0, -1.0
 	for _, row := range tables[0].Rows {
-		v := parseCell(b, row[4])
+		v := cellValue(b, row[4])
 		if v < lo {
 			lo = v
 		}
@@ -239,8 +240,8 @@ func BenchmarkE20_HashingPower(b *testing.B) {
 func BenchmarkE21_GhostAdvantage(b *testing.B) {
 	tables := runExperiment(b, "E21", 10)
 	last := tables[0].Rows[len(tables[0].Rows)-1]
-	ghost := parseCell(b, last[1])
-	longest := parseCell(b, last[2])
+	ghost := cellValue(b, last[1])
+	longest := cellValue(b, last[2])
 	b.ReportMetric(ghost-longest, "ghost-minus-longest-validity")
 }
 

@@ -7,7 +7,12 @@
 // Examples:
 //
 //	amcheck -n 3                 # check the whole threshold-vote family
+//	amcheck -n 3 -format json    # the same verdicts as a structured record
 //	amcheck -n 3 -retry -cycles 6  # show the non-deciding schedule
+//
+// Exit codes: 0 on success, 1 on usage errors, 2 when a protocol solves
+// consensus (Theorem 2.1 falsified) or the non-deciding schedule is not
+// found.
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"os"
 
 	"repro/internal/bivalence"
+	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
@@ -25,10 +32,17 @@ func main() {
 		retry  = flag.Bool("retry", false, "analyze the FLP-style retry-vote protocol instead of the family")
 		cycles = flag.Int("cycles", 4, "round-robin cycles of the non-deciding schedule (-retry)")
 		dot    = flag.Int("dot", 0, "emit the first N configurations of the computation graph as Graphviz DOT and exit")
+		format = flag.String("format", "text", "family output format: text | md | json | csv")
 	)
 	flag.Parse()
 	if *n < 2 || *n > 6 {
 		fmt.Fprintln(os.Stderr, "amcheck: n must be in [2,6] (state space is exponential)")
+		os.Exit(1)
+	}
+	switch *format {
+	case "text", "md", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "amcheck: unknown format %q (want text, md, json or csv)\n", *format)
 		os.Exit(1)
 	}
 
@@ -63,20 +77,46 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%-34s %-10s %-9s %-12s %-14s %-8s %s\n",
+	// Family check: build a typed table so every format renders from the
+	// same structured record.
+	tbl := experiments.NewTable("",
 		"protocol", "agreement", "validity", "termination", "bivalent-init", "configs", "solves consensus?")
 	anyOK := false
 	for _, p := range bivalence.Family(*n) {
 		v := bivalence.CheckTheorem(p, *n, *max)
-		fmt.Printf("%-34s %-10v %-9v %-12v %-14v %-8d %v\n",
-			v.Protocol, v.Agreement, v.Validity, v.Termination, v.BivalentInitial, v.Configs, v.OK())
+		tbl.AddRow(v.Protocol, v.Agreement, v.Validity, v.Termination, v.BivalentInitial, v.Configs, v.OK())
+		tbl.Expect(len(tbl.Rows)-1, 6, experiments.OpEq, 0, 0,
+			"Theorem 2.1: no deterministic protocol in the family solves 1-resilient consensus")
 		if v.OK() {
 			anyOK = true
 		}
 	}
+	tbl.Title = fmt.Sprintf("amcheck: threshold-vote family, n=%d, bound %d configurations", *n, *max)
+	r := experiments.NewResult("amcheck", "Theorem 2.1 bivalence model check", "Theorem 2.1",
+		[]*experiments.Table{tbl})
+
+	switch *format {
+	case "text":
+		fmt.Print(report.TableText(tbl))
+	case "md":
+		fmt.Print(report.TableMarkdown(tbl))
+	case "json":
+		if err := report.WriteJSON(os.Stdout, []*experiments.Result{r}); err != nil {
+			fmt.Fprintf(os.Stderr, "amcheck: %v\n", err)
+			os.Exit(1)
+		}
+	case "csv":
+		if err := report.WriteCSV(os.Stdout, []*experiments.Result{r}); err != nil {
+			fmt.Fprintf(os.Stderr, "amcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if anyOK {
 		fmt.Fprintln(os.Stderr, "amcheck: a protocol solved 1-resilient consensus — Theorem 2.1 falsified?!")
 		os.Exit(2)
 	}
-	fmt.Println("\nevery candidate fails at least one property — consistent with Theorem 2.1")
+	if *format == "text" {
+		fmt.Println("\nevery candidate fails at least one property — consistent with Theorem 2.1")
+	}
 }

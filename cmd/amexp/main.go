@@ -8,41 +8,59 @@
 //	amexp -e E10
 //	amexp -e all -quick
 //	amexp -e E6 -trials 200 -seed 42
+//	amexp -e all -quick -format json -o results.json
+//	amexp -e all -quick -check
+//
+// Exit codes: 0 on success, 1 on usage errors, 2 when -check finds a
+// failed prediction.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/report"
 )
 
 func main() {
+	all := experiments.All()
+	eHelp := fmt.Sprintf("experiment id (%s..%s) or 'all'", all[0].ID, all[len(all)-1].ID)
 	var (
-		exp    = flag.String("e", "all", "experiment id (E1..E19) or 'all'")
-		trials = flag.Int("trials", 0, "trials per parameter point (0 = experiment default)")
-		seed   = flag.Uint64("seed", 1, "base seed")
-		quick  = flag.Bool("quick", false, "trimmed parameter grids")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		format = flag.String("format", "text", "output format: text | md")
-		bars   = flag.Int("bars", -1, "also render this column index of each table as an ASCII bar chart")
+		exp     = flag.String("e", "all", eHelp)
+		trials  = flag.Int("trials", 0, "trials per parameter point (0 = experiment default)")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		quick   = flag.Bool("quick", false, "trimmed parameter grids")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		format  = flag.String("format", "text", "output format: text | md | json | csv")
+		bars    = flag.Int("bars", -1, "also render this column index of each table as an ASCII bar chart (text/md only)")
+		check   = flag.Bool("check", false, "evaluate each experiment's predictions; exit 2 if any fail")
+		outPath = flag.String("o", "", "write output to this file instead of stdout")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments.All() {
+		for _, e := range all {
 			fmt.Printf("%-4s %-55s %s\n", e.ID, e.Title, e.PaperRef)
 		}
 		return
 	}
 
-	opts := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick}
+	switch *format {
+	case "text", "md", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "amexp: unknown format %q (want text, md, json or csv)\n", *format)
+		os.Exit(1)
+	}
+
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
 	var selected []experiments.Experiment
 	if strings.EqualFold(*exp, "all") {
-		selected = experiments.All()
+		selected = all
 	} else {
 		e, ok := experiments.ByID(*exp)
 		if !ok {
@@ -52,19 +70,69 @@ func main() {
 		selected = []experiments.Experiment{e}
 	}
 
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	failed := 0
+	var results []*experiments.Result
 	for _, e := range selected {
-		start := time.Now()
-		tables := e.Run(opts)
-		fmt.Printf("### %s — %s (%s) [%v]\n\n", e.ID, e.Title, e.PaperRef, time.Since(start).Round(time.Millisecond))
-		for _, t := range tables {
-			if *format == "md" {
-				fmt.Println(t.Markdown())
-			} else {
-				fmt.Println(t)
+		r := experiments.Run(e, opts)
+		switch *format {
+		case "text", "md":
+			// Stream each experiment as it finishes, interleaving the
+			// optional bar charts between tables.
+			fmt.Fprint(out, report.Header(r))
+			for _, t := range r.Tables {
+				if *format == "md" {
+					fmt.Fprintln(out, report.TableMarkdown(t))
+				} else {
+					fmt.Fprintln(out, report.TableText(t))
+				}
+				if *bars >= 0 && *bars < len(t.Cols) {
+					fmt.Fprintln(out, report.Bars(t, *bars, 40))
+				}
 			}
-			if *bars >= 0 && *bars < len(t.Cols) {
-				fmt.Println(t.Bars(*bars, 40))
+			if *check {
+				fmt.Fprintln(out, report.ChecksText(r))
+			}
+		default:
+			results = append(results, r)
+		}
+		if *check {
+			failed += experiments.FailedChecks(r.EvalChecks())
+		}
+	}
+
+	switch *format {
+	case "json":
+		if err := report.WriteJSON(out, results); err != nil {
+			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
+			os.Exit(1)
+		}
+	case "csv":
+		if err := report.WriteCSV(out, results); err != nil {
+			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *format == "json" || *format == "csv" {
+		if *check {
+			for _, r := range results {
+				fmt.Fprint(os.Stderr, report.ChecksText(r))
 			}
 		}
+	}
+
+	if *check && failed > 0 {
+		fmt.Fprintf(os.Stderr, "amexp: %d prediction check(s) failed\n", failed)
+		os.Exit(2)
 	}
 }

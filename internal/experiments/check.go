@@ -1,0 +1,118 @@
+package experiments
+
+import "fmt"
+
+// Op is a comparison operator for checks. Tol loosens every operator:
+// eq passes within ±Tol, le within want+Tol, ge within want-Tol, and the
+// strict lt/gt likewise gain Tol of slack.
+type Op string
+
+const (
+	OpEq Op = "eq"
+	OpNe Op = "ne"
+	OpLt Op = "lt"
+	OpLe Op = "le"
+	OpGt Op = "gt"
+	OpGe Op = "ge"
+)
+
+// CellRef addresses one cell of a result's tables.
+type CellRef struct {
+	Table int `json:"table"`
+	Row   int `json:"row"`
+	Col   int `json:"col"`
+}
+
+// Check is a declarative, machine-checkable paper prediction: the cell at
+// (Table, Row, Col) must satisfy Op against either the constant Want or,
+// if Against is set, the numeric value of another cell. Ref carries the
+// paper reference and the prose form of the prediction.
+type Check struct {
+	Table   int      `json:"table"`
+	Row     int      `json:"row"`
+	Col     int      `json:"col"`
+	Op      Op       `json:"op"`
+	Want    float64  `json:"want"`
+	Against *CellRef `json:"against,omitempty"`
+	Tol     float64  `json:"tol,omitempty"`
+	Ref     string   `json:"ref"`
+}
+
+// CheckResult is one evaluated check.
+type CheckResult struct {
+	Check Check   `json:"check"`
+	Got   float64 `json:"got"`
+	Want  float64 `json:"want"`
+	Pass  bool    `json:"pass"`
+	Err   string  `json:"err,omitempty"`
+}
+
+func cellAt(tables []*Table, table, row, col int) (Cell, error) {
+	if table < 0 || table >= len(tables) {
+		return Cell{}, fmt.Errorf("table %d out of range [0,%d)", table, len(tables))
+	}
+	t := tables[table]
+	if row < 0 || row >= len(t.Rows) {
+		return Cell{}, fmt.Errorf("row %d out of range [0,%d) in table %d", row, len(t.Rows), table)
+	}
+	if col < 0 || col >= len(t.Rows[row]) {
+		return Cell{}, fmt.Errorf("col %d out of range [0,%d) in table %d row %d", col, len(t.Rows[row]), table, row)
+	}
+	return t.Rows[row][col], nil
+}
+
+func numericAt(tables []*Table, table, row, col int) (float64, error) {
+	c, err := cellAt(tables, table, row, col)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := c.Value()
+	if !ok {
+		return 0, fmt.Errorf("cell (%d,%d,%d) %q is not numeric", table, row, col, c.Text())
+	}
+	return v, nil
+}
+
+// Eval evaluates the check against the given tables. A malformed check
+// (bad coordinates, non-numeric cell, unknown op) fails with Err set.
+func (c Check) Eval(tables []*Table) CheckResult {
+	res := CheckResult{Check: c, Want: c.Want}
+	got, err := numericAt(tables, c.Table, c.Row, c.Col)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Got = got
+	if c.Against != nil {
+		want, err := numericAt(tables, c.Against.Table, c.Against.Row, c.Against.Col)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Want = want
+	}
+	switch c.Op {
+	case OpEq:
+		res.Pass = abs(got-res.Want) <= c.Tol
+	case OpNe:
+		res.Pass = abs(got-res.Want) > c.Tol
+	case OpLt:
+		res.Pass = got < res.Want+c.Tol
+	case OpLe:
+		res.Pass = got <= res.Want+c.Tol
+	case OpGt:
+		res.Pass = got > res.Want-c.Tol
+	case OpGe:
+		res.Pass = got >= res.Want-c.Tol
+	default:
+		res.Err = fmt.Sprintf("unknown op %q", c.Op)
+	}
+	return res
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

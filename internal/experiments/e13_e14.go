@@ -10,6 +10,7 @@ import (
 	"repro/internal/backbone"
 	"repro/internal/bivalence"
 	"repro/internal/chain"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/stickybit"
 )
@@ -30,6 +31,8 @@ func RunE13(o Options) []*Table {
 	for n := 2; n <= maxN; n++ {
 		rep := stickybit.Verify(n)
 		tbl.AddRow("sticky bit", n, rep.Agreement, rep.Validity, rep.Termination, rep.Configurations, rep.OK())
+		tbl.Expect(len(tbl.Rows)-1, 6, OpEq, 1, 0,
+			"Section 1.2: sticky bits order concurrent writes and solve 1-resilient consensus")
 	}
 	checkN := 3
 	if o.Quick {
@@ -113,7 +116,7 @@ func RunE14(o Options) []*Table {
 			rep   backbone.Report
 			valid bool
 		}
-		rs := parallelTrials(trials, o.Seed, func(seed uint64) res {
+		rs := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) res {
 			r, isDag := p.run(seed)
 			var rep backbone.Report
 			if isDag {
@@ -136,8 +139,16 @@ func RunE14(o Options) []*Table {
 		}
 		tbl.AddRow(p.label,
 			stats.Mean(growth), stats.Mean(quality), stats.Mean(wasted), stats.Mean(viol),
-			rate(valid, trials))
+			runner.Rate(valid, trials))
 	}
+	tbl.Expect(0, 2, OpEq, 1, 0,
+		"Section 5.2: with a silent adversary every chain block is honest — quality is exactly 1")
+	tbl.Expect(2, 2, OpLe, 0.5, 0,
+		"Theorem 5.4 via chain quality: at λ=1 the tie-breaking attack drives quality below 1/2")
+	tbl.Expect(3, 2, OpGe, 0.5, 0,
+		"Section 5.2: the DAG's quality floors at the honest token share 0.6 — nothing honest is wasted")
+	tbl.Expect(4, 2, OpGe, 0.5, 0,
+		"Section 5.2: the DAG's quality floor is rate-independent")
 	tbl.Note = "quality > 1/2 is the operational form of validity; the DAG's quality floors at the honest token share because nothing honest is wasted"
 	return []*Table{tbl}
 }

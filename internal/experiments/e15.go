@@ -6,6 +6,7 @@ import (
 	"repro/internal/dolev"
 	"repro/internal/msgnet"
 	"repro/internal/node"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -46,6 +47,9 @@ func RunE15(o Options) []*Table {
 		// (silent ones would flatter the traffic numbers).
 		r2 := dolev.MustRun(dolev.Config{N: sz.n, T: sz.t, Seed: o.Seed})
 		cost.AddRow(sz.n, sz.t, amOps, r2.Stats.Messages, r2.Stats.Bytes)
+		row := len(cost.Rows) - 1
+		cost.ExpectCell(row, 3, OpGt, row, 2, 0,
+			"Section 1.3: message passing needs strictly more communication than append-memory ops for the same task")
 	}
 	cost.Note = "one shared-memory op replaces a broadcast (and its signature chains); the model is the abstraction doing its job"
 
@@ -54,7 +58,7 @@ func RunE15(o Options) []*Table {
 	n, t := 8, 3
 	for rounds := 1; rounds <= t+1; rounds++ {
 		rounds := rounds
-		amFails := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		amFails := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			c := n - t
 			r := syncba.MustRun(syncba.Config{
 				N: n, T: t, Rounds: rounds, Seed: seed,
@@ -62,13 +66,21 @@ func RunE15(o Options) []*Table {
 			}, &syncba.DelayedChain{})
 			return !r.Verdict.Agreement
 		})
-		mpFails := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		mpFails := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := dolev.MustRun(dolev.Config{
 				N: n, T: t, Rounds: rounds, Seed: seed, Adversary: &dolev.StagedRelease{},
 			})
 			return !r.Consistent
 		})
-		stair.AddRow(rounds, rate(countTrue(amFails), trials), rate(countTrue(mpFails), trials))
+		row := len(stair.Rows)
+		if rounds <= t {
+			stair.Expect(row, 1, OpGt, 0, 0, "Lemma 3.1: the append-memory adversary breaks every budget <= t")
+			stair.Expect(row, 2, OpGt, 0, 0, "Section 3: the staged-release adversary breaks the same budgets in message passing")
+		} else {
+			stair.Expect(row, 1, OpEq, 0, 0, "Lemma 3.1: t+1 rounds always suffice in the append memory")
+			stair.Expect(row, 2, OpEq, 0, 0, "Section 3: t+1 rounds always suffice in message passing — the staircase transfers")
+		}
+		stair.AddRow(rounds, runner.Rate(runner.CountTrue(amFails), trials), runner.Rate(runner.CountTrue(mpFails), trials))
 	}
 	stair.Note = "both columns fail for every budget ≤ t and never at t+1 — the lower bound transfers, as Section 3 argues"
 
@@ -82,6 +94,11 @@ func RunE15(o Options) []*Table {
 		for r := 0; r < res.Rounds; r++ {
 			growth.AddRow(r+1, res.BytesPerRound[r], res.MsgsPerRound[r])
 		}
+		last := len(growth.Rows) - 1
+		growth.ExpectCell(last, 1, OpGt, 0, 1, 0,
+			"Section 4: bytes per round grow with history — each read retransmits every full view")
+		growth.ExpectCell(last, 2, OpEq, 0, 2, 0,
+			"Section 4: the message COUNT per round is constant; only the bytes grow")
 	}
 	growth.Note = "each read retransmits every responder's complete view — the §4 warning about simulating full-participation protocols"
 	return []*Table{cost, stair, growth}

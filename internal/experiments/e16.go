@@ -7,6 +7,7 @@ import (
 	"repro/internal/agreement/dagba"
 	"repro/internal/chain"
 	"repro/internal/node"
+	"repro/internal/runner"
 )
 
 // RunE16 — Theorem 5.1's operational content: randomized memory access
@@ -41,41 +42,53 @@ func RunE16(o Options) []*Table {
 		"delay w (Δ)", "chain validity", "dag validity")
 	for _, w := range delays {
 		w := w
-		chainOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
 			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
 			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		attacked.AddRow(w, rate(countTrue(chainOK), trials), rate(countTrue(dagOK), trials))
+		attacked.AddRow(w, runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
 	}
+	last := len(attacked.Rows) - 1
+	attacked.ExpectCell(last, 1, OpLe, 0, 1, 0,
+		"Theorem 5.1: honest asynchrony strictly degrades the chain below its synchronous validity")
+	attacked.Expect(last, 1, OpLe, 0.3, 0,
+		"Theorem 5.1: at large delays the low rate no longer protects the chain at all")
+	attacked.ExpectCell(last, 2, OpLe, 0, 2, 0,
+		"Section 5.3: the DAG also suffers — its Byzantine-agreement guarantees need synchronous nodes")
 	attacked.Note = "the rate no longer protects anyone: asynchrony hands the fresh-reading adversary an unbounded staleness advantage"
 
 	benign := NewTable("E16b: the same delays with NO Byzantine nodes, split inputs (agreement at stake)",
 		"delay w (Δ)", "chain agreement", "dag agreement")
 	for _, w := range delays {
 		w := w
-		chainOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
 				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
 			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, agreement.Silent{})
 			return r.Verdict.Agreement
 		})
-		dagOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
 				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
 			}, dagba.Rule{Pivot: dagba.Ghost}, agreement.Silent{})
 			return r.Verdict.Agreement
 		})
-		benign.AddRow(w, rate(countTrue(chainOK), trials), rate(countTrue(dagOK), trials))
+		row := len(benign.Rows)
+		benign.Expect(row, 1, OpGe, 0.85, 0,
+			"Theorem 5.1: random (non-adversarial) delays alone do not break chain agreement")
+		benign.Expect(row, 2, OpGe, 0.85, 0,
+			"Theorem 5.1: random delays alone do not break DAG agreement — the impossibility needs the worst-case scheduler")
+		benign.AddRow(w, runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
 	}
 	benign.Note = "random delays alone are harmless; Theorem 5.1 needs the worst-case scheduler — which is the E1 model checker's job"
 	return []*Table{attacked, benign}

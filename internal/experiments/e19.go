@@ -6,6 +6,7 @@ import (
 	"repro/internal/agreement/chainba"
 	"repro/internal/agreement/dagba"
 	"repro/internal/chain"
+	"repro/internal/runner"
 )
 
 // RunE19 — confirmation depth, a deliberate null result. Real blockchains
@@ -41,17 +42,24 @@ func RunE19(o Options) []*Table {
 		"confirm depth", "chain (tiebreak attack)", "dag (private-chain attack)")
 	for _, c := range depths {
 		c := c
-		chainOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
 				chainba.Rule{TB: chain.RandomTieBreaker{}, Confirm: c}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
 				dagba.Rule{Pivot: dagba.Ghost, Confirm: c}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		sweep.AddRow(c, rate(countTrue(chainOK), trials), rate(countTrue(dagOK), trials))
+		sweep.AddRow(c, runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
+		row := len(sweep.Rows) - 1
+		if row > 0 {
+			sweep.ExpectCell(row, 1, OpEq, 0, 1, 0.15,
+				"null result: confirmation depth does not move chain validity — the prefix is poisoned as it forms")
+			sweep.ExpectCell(row, 2, OpEq, 0, 2, 0.15,
+				"null result: confirmation depth does not move DAG validity — deciding later re-reads the same prefix")
+		}
 	}
 	sweep.Note = "flat columns: the attacks poison the prefix as it forms; deciding later re-reads the same prefix"
 
@@ -66,12 +74,17 @@ func RunE19(o Options) []*Table {
 		{"silent until k-12, then burst", &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 12}},
 	} {
 		tc := tc
-		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
 				dagba.Rule{Pivot: dagba.Ghost}, tc.adv)
 			return r.Verdict.Validity
 		})
-		burst.AddRow(tc.label, rate(countTrue(oks), trials))
+		burst.AddRow(tc.label, runner.Rate(runner.CountTrue(oks), trials))
+		row := len(burst.Rows) - 1
+		if row > 0 {
+			burst.ExpectCell(row, 1, OpGe, 0, 1, 0,
+				"Lemma 5.5: the surgical last-minute burst is self-defeating — never stronger than continuous private chains")
+		}
 	}
 	burst.Note = "early silence makes the prefix honest; the burst only appends to its tail — Lemma 5.5's damage is additive, never a takeover"
 	return []*Table{sweep, burst}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/agreement/syncba"
 	"repro/internal/bivalence"
 	"repro/internal/node"
+	"repro/internal/runner"
 )
 
 // RunE1 — Theorem 2.1 made executable. The model checker exhaustively
@@ -26,6 +27,8 @@ func RunE1(o Options) []*Table {
 		for _, p := range bivalence.Family(n) {
 			v := bivalence.CheckTheorem(p, n, 300000)
 			family.AddRow(n, v.Protocol, v.Agreement, v.Validity, v.Termination, v.BivalentInitial, v.Configs, v.OK())
+			family.Expect(len(family.Rows)-1, 7, OpEq, 0, 0,
+				"Theorem 2.1: no protocol of the family solves 1-resilient consensus")
 		}
 	}
 
@@ -47,6 +50,9 @@ func RunE1(o Options) []*Table {
 	}
 	demo.AddRow("every visited configuration bivalent", allBivalent)
 	demo.Note = "the schedule extends indefinitely; Theorem 2.1's adversary never lets the protocol decide"
+	demo.Expect(1, 1, OpEq, 1, 0, "Lemma 2.2: the initial configuration is bivalent")
+	demo.Expect(2, 1, OpEq, 1, 0, "Lemma 2.3/Theorem 2.1: a non-deciding round-robin schedule exists")
+	demo.Expect(4, 1, OpEq, 1, 0, "Theorem 2.1: every configuration the adversary visits stays bivalent")
 	return []*Table{family, demo}
 }
 
@@ -63,7 +69,7 @@ func RunE2(o Options) []*Table {
 		"n", "t", "rounds", "agreement failures", "expected")
 	for _, tc := range cases {
 		for rounds := 1; rounds <= tc.t+1; rounds++ {
-			fails := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+			fails := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 				c := tc.n - tc.t
 				r := syncba.MustRun(syncba.Config{
 					N: tc.n, T: tc.t, Rounds: rounds, Seed: seed,
@@ -74,8 +80,13 @@ func RunE2(o Options) []*Table {
 			expect := "failures (r <= t)"
 			if rounds == tc.t+1 {
 				expect = "none (r = t+1)"
+				tbl.Expect(len(tbl.Rows), 3, OpEq, 0, 0,
+					"Lemma 3.1: the full t+1 rounds repair agreement — zero failures at r = t+1")
+			} else {
+				tbl.Expect(len(tbl.Rows), 3, OpGt, 0, 0,
+					"Lemma 3.1: every round budget r <= t leaves agreement breakable")
 			}
-			tbl.AddRow(tc.n, tc.t, rounds, rate(countTrue(fails), trials), expect)
+			tbl.AddRow(tc.n, tc.t, rounds, runner.Rate(runner.CountTrue(fails), trials), expect)
 		}
 	}
 	tbl.Note = "the paper's lower bound: Byzantine agreement needs t+1 rounds in the append memory"
@@ -96,15 +107,20 @@ func RunE3(o Options) []*Table {
 	}
 	for t := 0; t <= maxT; t++ {
 		t := t
-		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := syncba.MustRun(syncba.Config{N: n, T: t, Seed: seed}, &syncba.LoudFlip{})
 			return r.Verdict.OK()
 		})
 		regime := "t < n/2: must hold"
 		if float64(t) >= float64(n)/2 {
 			regime = "t >= n/2: must fail"
+			tbl.Expect(len(tbl.Rows), 2, OpEq, 0, 0,
+				"Theorem 3.2: beyond t >= n/2 the LoudFlip majority flips every run")
+		} else {
+			tbl.Expect(len(tbl.Rows), 2, OpEq, 1, 0,
+				"Theorem 3.2: Algorithm 1 with t+1 rounds solves BA for every t < n/2")
 		}
-		tbl.AddRow(t, fmt.Sprintf("%.2f", float64(t)/float64(n)), rate(countTrue(oks), trials), regime)
+		tbl.AddRow(t, Float(float64(t)/float64(n), "%.2f"), runner.Rate(runner.CountTrue(oks), trials), regime)
 	}
 	tbl.Note = "decision time is (t+1)·Δ — the O(tΔ) bound of Theorem 3.2"
 	return []*Table{tbl}

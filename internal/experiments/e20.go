@@ -1,13 +1,12 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/adversary"
 	"repro/internal/agreement"
 	"repro/internal/agreement/chainba"
 	"repro/internal/agreement/dagba"
 	"repro/internal/chain"
+	"repro/internal/runner"
 )
 
 // RunE20 — hashing power, not head count. The paper counts Byzantine
@@ -68,20 +67,27 @@ func RunE20(o Options) []*Table {
 				byz += r
 			}
 		}
-		chainOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 10, T: sh.t, Rates: sh.rates, K: k, Seed: seed,
 			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 10, T: sh.t, Rates: sh.rates, K: k, Seed: seed,
 			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		tbl.AddRow(sh.label, sh.t, fmt.Sprintf("%.2f", byz/total),
-			rate(countTrue(chainOK), trials), rate(countTrue(dagOK), trials))
+		tbl.AddRow(sh.label, sh.t, Float(byz/total, "%.2f"),
+			runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
+		row := len(tbl.Rows) - 1
+		if row > 0 {
+			tbl.ExpectCell(row, 3, OpEq, 0, 3, 0.35,
+				"Section 1.1: chain validity depends on the Byzantine RATE share, not the node count")
+			tbl.ExpectCell(row, 4, OpEq, 0, 4, 0.35,
+				"Section 1.1: DAG validity depends on the Byzantine RATE share, not the node count")
+		}
 	}
 	tbl.Note = "rows match within noise: the paper's t/n is really the adversary's rate (hash-power) share"
 	return []*Table{tbl}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/agreement"
 	"repro/internal/agreement/dagba"
+	"repro/internal/runner"
 )
 
 // RunE21 — why Algorithm 6 cites GHOST. The paper grounds the DAG's
@@ -30,7 +31,7 @@ func RunE21(o Options) []*Table {
 	for _, lambda := range lambdas {
 		lambda := lambda
 		run := func(p dagba.PivotRule) []bool {
-			return parallelTrials(trials, o.Seed, func(seed uint64) bool {
+			return runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 				r := agreement.MustRun(agreement.RandomizedConfig{
 					N: n, T: t, Lambda: lambda, K: k, Seed: seed,
 				}, dagba.Rule{Pivot: p}, &adversary.DagPrivateFork{})
@@ -38,9 +39,14 @@ func RunE21(o Options) []*Table {
 			})
 		}
 		tbl.AddRow(lambda,
-			rate(countTrue(run(dagba.Ghost)), trials),
-			rate(countTrue(run(dagba.Longest)), trials))
+			runner.Rate(runner.CountTrue(run(dagba.Ghost)), trials),
+			runner.Rate(runner.CountTrue(run(dagba.Longest)), trials))
+		row := len(tbl.Rows) - 1
+		tbl.ExpectCell(row, 1, OpGe, row, 2, 0.05,
+			"refs [22],[14]: GHOST weighs subtrees that forks cannot dilute — it never loses to longest-chain here")
 	}
+	tbl.ExpectCell(len(tbl.Rows)-1, 1, OpGe, len(tbl.Rows)-1, 2, 0,
+		"refs [22],[14]: at the highest rate GHOST strictly dominates the longest-chain pivot")
 	tbl.Note = "forks dilute length but not weight: GHOST resists the private fork far longer — the [22] result, reproduced inside the append memory"
 	return []*Table{tbl}
 }

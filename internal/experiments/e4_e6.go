@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/adversary"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/agreement/timestamp"
 	"repro/internal/appendmem"
 	"repro/internal/chain"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -50,7 +50,7 @@ func RunE4(o Options) []*Table {
 		for _, k := range ks {
 			k := k
 			type res struct{ val, agr, term bool }
-			rs := parallelTrials(trials, o.Seed, func(seed uint64) res {
+			rs := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) res {
 				r := agreement.MustRun(agreement.RandomizedConfig{
 					N: regime.n, T: regime.t, Lambda: 0.5, K: k, Seed: seed,
 				}, timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
@@ -68,8 +68,15 @@ func RunE4(o Options) []*Table {
 					termFails++
 				}
 			}
-			tbl.AddRow(k, rate(valFails, trials), tsTail(k, regime.n, regime.t), agrFails, termFails)
+			tbl.AddRow(k, runner.Rate(valFails, trials), tsTail(k, regime.n, regime.t), agrFails, termFails)
+			row := len(tbl.Rows) - 1
+			tbl.Expect(row, 3, OpEq, 0, 0,
+				"Theorem 5.2: agreement is deterministic — the authority's order is total")
+			tbl.Expect(row, 4, OpEq, 0, 0,
+				"Theorem 5.2: termination is deterministic — k values always arrive")
 		}
+		tbl.ExpectCell(len(tbl.Rows)-1, 1, OpLe, 0, 1, 0,
+			"Theorem 5.2: validity failures decay with k — the largest k is no worse than the smallest")
 		tbl.Note = "agreement/termination are deterministic (the authority's order is total); only validity is weak"
 		tables = append(tables, tbl)
 	}
@@ -94,7 +101,7 @@ func RunE5(o Options) []*Table {
 			frac float64
 		}
 		tb := chain.AdversarialTieBreaker{IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= n-t }}
-		rs := parallelTrials(trials, o.Seed, func(seed uint64) res {
+		rs := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) res {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed,
 			}, chainba.Rule{TB: tb}, &adversary.ChainForker{})
@@ -123,8 +130,16 @@ func RunE5(o Options) []*Table {
 			}
 			fracSum += r.frac
 		}
-		tbl.AddRow(t, fmt.Sprintf("%.2f", float64(t)/float64(n)),
-			rate(oks, trials), fracSum/float64(trials), float64(t)/float64(n-t))
+		tbl.AddRow(t, Float(float64(t)/float64(n), "%.2f"),
+			runner.Rate(oks, trials), fracSum/float64(trials), float64(t)/float64(n-t))
+		row := len(tbl.Rows) - 1
+		if t < 3 {
+			tbl.Expect(row, 2, OpGe, 0.9, 0,
+				"Theorem 5.3: below t = n/3 the Byzantine chain fraction stays under 1/2 and validity holds")
+		} else if t > 3 {
+			tbl.Expect(row, 2, OpLe, 0.5, 0,
+				"Theorem 5.3: above t = n/3 worst-case tie-breaking collapses validity")
+		}
 	}
 	tbl.Note = "collapse sets in above t = n/3 = 3, where the Byzantine chain fraction crosses 1/2"
 	return []*Table{tbl}
@@ -155,20 +170,28 @@ func RunE6(o Options) []*Table {
 	}
 	for _, lambda := range lambdas {
 		lambda := lambda
-		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool { return run(n, t, lambda, seed) })
+		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, t, lambda, seed) })
 		rateNT := lambda * float64(n-t)
 		tbl := 1 / (1 + rateNT)
-		sweep.AddRow(lambda, rateNT, tbl, fmt.Sprintf("%.2f", float64(t)/float64(n)), rate(countTrue(oks), trials))
+		sweep.AddRow(lambda, rateNT, tbl, Float(float64(t)/float64(n), "%.2f"), runner.Rate(runner.CountTrue(oks), trials))
 	}
+	sweep.Expect(0, 4, OpGe, 0.7, 0,
+		"Theorem 5.4: at the lowest rate the bound 1/(1+λ(n-t)) exceeds t/n = 0.4 and validity holds")
+	sweep.Expect(len(lambdas)-1, 4, OpLe, 0.15, 0,
+		"Theorem 5.4: at λ=1 the bound drops far below t/n = 0.4 and validity collapses")
 	sweep.Note = "validity holds while t/n is below the bound and collapses once the rate pushes the bound under t/n"
 
 	thresh := NewTable("E6b: same attack, rate fixed at λ=0.25, Byzantine share swept (n=10, k=21)",
 		"t", "t/n", "λ(n-t)", "paper bound t/n ≤", "validity ok")
 	for _, tt := range []int{1, 2, 3, 4, 5} {
 		tt := tt
-		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool { return run(n, tt, 0.25, seed) })
+		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, tt, 0.25, seed) })
 		rateNT := 0.25 * float64(n-tt)
-		thresh.AddRow(tt, fmt.Sprintf("%.2f", float64(tt)/float64(n)), rateNT, 1/(1+rateNT), rate(countTrue(oks), trials))
+		thresh.AddRow(tt, Float(float64(tt)/float64(n), "%.2f"), rateNT, 1/(1+rateNT), runner.Rate(runner.CountTrue(oks), trials))
 	}
+	thresh.Expect(0, 4, OpGe, 0.9, 0,
+		"Theorem 5.4: t/n = 0.1 sits well below the λ=0.25 bound — validity must hold")
+	thresh.Expect(len(thresh.Rows)-1, 4, OpLe, 0.2, 0,
+		"Theorem 5.4: t/n = 0.5 sits above the λ=0.25 bound — validity must collapse")
 	return []*Table{sweep, thresh}
 }

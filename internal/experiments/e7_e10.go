@@ -14,6 +14,7 @@ import (
 	"repro/internal/chain"
 	"repro/internal/dag"
 	"repro/internal/msgnet"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -69,7 +70,7 @@ func RunE7(o Options) []*Table {
 	var xs, ys []float64
 	for _, n := range ns {
 		n := n
-		bursts := parallelTrials(trials, o.Seed, func(seed uint64) float64 {
+		bursts := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) float64 {
 			return float64(maxByzGapBurst(seed, n, n/4, lambda, 40*n))
 		})
 		sum := stats.Summarize(bursts)
@@ -79,6 +80,8 @@ func RunE7(o Options) []*Table {
 	}
 	a, b, r2 := stats.LogFit(xs, ys)
 	burstTbl.Note = fmt.Sprintf("log fit: burst ≈ %.3g + %.3g·log n, r² = %.3f — the Θ(λ log n) of Lemma 5.5", a, b, r2)
+	burstTbl.ExpectCell(len(burstTbl.Rows)-1, 2, OpGt, 0, 2, 0,
+		"Lemma 5.5: the max Byzantine burst grows with n — Θ(λ log n), not O(1)")
 
 	runTbl := NewTable("E7b: longest Byzantine run in the first k ordered DAG values (DagChainExtender, t/n=0.25, λ=1, k=81)",
 		"n", "mean max run", "±95%", "byz fraction in first k")
@@ -92,7 +95,7 @@ func RunE7(o Options) []*Table {
 			maxRun int
 			frac   float64
 		}
-		rs := parallelTrials(trials/2+1, o.Seed, func(seed uint64) res {
+		rs := runner.Trials(trials/2+1, o.Seed, o.Workers, func(seed uint64) res {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: n / 4, Lambda: lambda, K: 81, Seed: seed,
 			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
@@ -126,6 +129,8 @@ func RunE7(o Options) []*Table {
 		}
 		rs1, rs2 := stats.Summarize(runs), stats.Summarize(fracs)
 		runTbl.AddRow(n, rs1.Mean, rs1.CI95(), rs2.Mean)
+		runTbl.Expect(len(runTbl.Rows)-1, 3, OpGt, 0.25, 0,
+			"Lemma 5.5: the Byzantine share of the ordered prefix exceeds the token share t/n = 0.25")
 	}
 	runTbl.Note = "the Byzantine share of the ordering exceeds the token share t/n — the inserted private chains"
 	return []*Table{burstTbl, runTbl}
@@ -151,21 +156,28 @@ func RunE8(o Options) []*Table {
 		cols = append(cols, fmt.Sprintf("λ=%.2g", lambda))
 	}
 	grid := NewTable("E8a: DAG (GHOST pivot) validity vs DagChainExtender, n=10, k=81", cols...)
-	cell := func(t int, lambda float64) string {
-		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+	cell := func(t int, lambda float64) runner.Ratio {
+		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed,
 			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		return rate(countTrue(oks), trials)
+		return runner.Rate(runner.CountTrue(oks), trials)
 	}
 	for _, t := range ts {
-		row := []any{t, fmt.Sprintf("%.2f", float64(t)/float64(n))}
+		row := []any{t, Float(float64(t)/float64(n), "%.2f")}
 		for _, lambda := range lambdas {
 			row = append(row, cell(t, lambda))
 		}
 		grid.AddRow(row...)
+		ri := len(grid.Rows) - 1
+		grid.ExpectCell(ri, len(cols)-1, OpEq, ri, 2, 0.15,
+			"Theorem 5.6: DAG validity is independent of the rate — the highest-λ column matches the lowest")
+		for ci := 2; ci < len(cols); ci++ {
+			grid.Expect(ri, ci, OpGe, 0.75, 0,
+				"Theorem 5.6: DAG resilience stays near the optimal 1/2 for every t/n <= 0.4")
+		}
 	}
 	grid.Note = "columns barely move with λ (contrast E6a, where the chain collapses by λ=0.25)"
 
@@ -173,13 +185,15 @@ func RunE8(o Options) []*Table {
 		"pivot", "validity ok")
 	for _, p := range []dagba.PivotRule{dagba.Ghost, dagba.Longest} {
 		p := p
-		oks := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: 4, Lambda: 1, K: k, Seed: seed,
 			}, dagba.Rule{Pivot: p}, &adversary.DagChainExtender{Pivot: p})
 			return r.Verdict.Validity
 		})
-		pivots.AddRow(p.String(), rate(countTrue(oks), trials))
+		pivots.AddRow(p.String(), runner.Rate(runner.CountTrue(oks), trials))
+		pivots.Expect(len(pivots.Rows)-1, 1, OpGe, 0.75, 0,
+			"Theorem 5.6: both pivot rules hold validity under the pivot-extending attack at the hostile corner")
 	}
 	return []*Table{grid, pivots}
 }
@@ -225,6 +239,11 @@ func RunE9(o Options) []*Table {
 
 		tbl.AddRow(n, appendMsgs, n+n*n, readMsgs, 2*n, readBytes,
 			fmt.Sprintf("%d -> %d", readBytes, grownReadBytes))
+		row := len(tbl.Rows) - 1
+		tbl.ExpectCell(row, 1, OpEq, row, 2, 0,
+			"Section 4: one append costs exactly n broadcast + n² ack messages")
+		tbl.ExpectCell(row, 3, OpEq, row, 4, 0,
+			"Section 4: one read costs exactly n requests + n view responses")
 	}
 	tbl.Note = "every local view is retransmitted in full on each read — protocols with full participation pay ever-growing traffic"
 	return []*Table{tbl}
@@ -246,25 +265,34 @@ func RunE10(o Options) []*Table {
 		"λ", "λ(n-t)", "chain bound 1/(1+λ(n-t))", "chain (rand ties)", "DAG (GHOST)", "timestamps")
 	for _, lambda := range lambdas {
 		lambda := lambda
-		chainOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
 				chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
 				dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		tsOK := parallelTrials(trials, o.Seed, func(seed uint64) bool {
+		tsOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
 				timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
 			return r.Verdict.Validity
 		})
 		rateNT := lambda * float64(n-t)
 		tbl.AddRow(lambda, rateNT, 1/(1+rateNT),
-			rate(countTrue(chainOK), trials), rate(countTrue(dagOK), trials), rate(countTrue(tsOK), trials))
+			runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials), runner.Rate(runner.CountTrue(tsOK), trials))
+		row := len(tbl.Rows) - 1
+		tbl.ExpectCell(row, 4, OpGe, row, 3, 0,
+			"Section 5 headline: at every rate the DAG is at least as resilient as the chain")
+		tbl.Expect(row, 4, OpGe, 0.7, 0,
+			"Theorem 5.6: DAG validity stays high at t/n = 0.4 regardless of the rate")
+		tbl.Expect(row, 5, OpGe, 0.75, 0,
+			"Theorem 5.2: the timestamp baseline ignores the rate entirely")
 	}
+	tbl.Expect(len(tbl.Rows)-1, 3, OpLe, 0.2, 0,
+		"Theorem 5.4: at the highest rate the chain's bound 1/(1+λ(n-t)) is far below t/n and validity collapses")
 	tbl.Note = "why BlockDAGs excel blockchains: the DAG column tracks the timestamp baseline; the chain column tracks its rate-dependent bound"
 	return []*Table{tbl}
 }

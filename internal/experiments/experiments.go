@@ -1,30 +1,30 @@
 // Package experiments regenerates every quantitative claim of the paper as
-// a printed table: one experiment per theorem/lemma (see DESIGN.md's
-// experiment index E1–E20). The same functions back the amexp CLI and the
+// structured, typed results: one experiment per theorem/lemma (see
+// DESIGN.md's experiment index E1–E21). Each run yields tables of typed
+// cells plus declarative checks — the paper's predictions as executable
+// predicates — and the same functions back the amexp CLI and the
 // root-level benchmarks, so a reader can diff "paper says" against
-// "this machine measured" from either entry point.
+// "this machine measured" from either entry point. Rendering (text,
+// markdown, JSON, CSV) lives in internal/report.
 //
 // Experiments are deterministic given (Options.Seed, Options.Trials);
-// trials fan out across CPU cores with share-nothing workers (each trial
-// builds its own simulator and memory), merged in trial order.
+// trials fan out across share-nothing workers (each trial builds its own
+// simulator and memory) via internal/runner, merged in trial order.
 package experiments
 
-import (
-	"fmt"
-	"runtime"
-	"strings"
-	"sync"
-)
+import "strings"
 
 // Options scales an experiment run.
 type Options struct {
 	// Trials is the number of repetitions per parameter point; 0 means the
 	// experiment's default.
-	Trials int
+	Trials int `json:"trials,omitempty"`
 	// Seed is the base seed; trial i of a point uses Seed + i.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Quick trims parameter grids for fast smoke runs (benches use this).
-	Quick bool
+	Quick bool `json:"quick,omitempty"`
+	// Workers overrides the trial fan-out width; 0 means one per CPU.
+	Workers int `json:"workers,omitempty"`
 }
 
 func (o Options) trials(def int) int {
@@ -36,7 +36,7 @@ func (o Options) trials(def int) int {
 
 // Experiment is one reproducible unit: a theorem or lemma of the paper.
 type Experiment struct {
-	ID       string // "E1" .. "E10"
+	ID       string // "E1" .. "E21"
 	Title    string
 	PaperRef string // theorem/lemma/section
 	Run      func(Options) []*Table
@@ -77,125 +77,4 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
-}
-
-// Table is a rendered result: named columns, string cells.
-type Table struct {
-	Title string
-	Note  string
-	Cols  []string
-	Rows  [][]string
-}
-
-// NewTable creates a table with the given title and columns.
-func NewTable(title string, cols ...string) *Table {
-	return &Table{Title: title, Cols: cols}
-}
-
-// AddRow appends a row; cells are formatted with %v, floats with %.4g.
-func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
-		case float32:
-			row[i] = fmt.Sprintf("%.4g", v)
-		case string:
-			row[i] = v
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
-	}
-	t.Rows = append(t.Rows, row)
-}
-
-// String renders the table as aligned monospace text.
-func (t *Table) String() string {
-	widths := make([]int, len(t.Cols))
-	for i, c := range t.Cols {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	var b strings.Builder
-	if t.Title != "" {
-		fmt.Fprintf(&b, "== %s ==\n", t.Title)
-	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Cols)
-	sep := make([]string, len(t.Cols))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	writeRow(sep)
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	if t.Note != "" {
-		fmt.Fprintf(&b, "note: %s\n", t.Note)
-	}
-	return b.String()
-}
-
-// parallelTrials runs f for seeds base..base+n-1 on all cores and returns
-// the results in seed order. f must be a pure function of its seed.
-func parallelTrials[T any](n int, base uint64, f func(seed uint64) T) []T {
-	out := make([]T, n)
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = f(base + uint64(i))
-			}
-		}()
-	}
-	wg.Wait()
-	return out
-}
-
-// rate formats successes/trials as "0.85 (17/20)".
-func rate(successes, trials int) string {
-	if trials == 0 {
-		return "n/a"
-	}
-	return fmt.Sprintf("%.2f (%d/%d)", float64(successes)/float64(trials), successes, trials)
-}
-
-// countTrue counts true values.
-func countTrue(bs []bool) int {
-	n := 0
-	for _, b := range bs {
-		if b {
-			n++
-		}
-	}
-	return n
 }

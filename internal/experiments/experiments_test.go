@@ -1,33 +1,9 @@
 package experiments
 
 import (
-	"strconv"
 	"strings"
 	"testing"
 )
-
-func TestTableRendering(t *testing.T) {
-	tbl := NewTable("title", "a", "bb")
-	tbl.AddRow(1, 2.5)
-	tbl.AddRow("x", "y")
-	tbl.Note = "n"
-	s := tbl.String()
-	for _, want := range []string{"== title ==", "a", "bb", "2.5", "note: n"} {
-		if !strings.Contains(s, want) {
-			t.Errorf("rendered table missing %q:\n%s", want, s)
-		}
-	}
-}
-
-func TestTableRowWidth(t *testing.T) {
-	tbl := NewTable("t", "col")
-	tbl.AddRow("longer-than-col")
-	lines := strings.Split(strings.TrimSpace(tbl.String()), "\n")
-	// header, separator, row — all same width
-	if len(lines) != 4 {
-		t.Fatalf("lines = %v", lines)
-	}
-}
 
 func TestByID(t *testing.T) {
 	if _, ok := ByID("E7"); !ok {
@@ -57,17 +33,116 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 	}
 }
 
-func TestParallelTrialsOrderAndDeterminism(t *testing.T) {
-	f := func(seed uint64) uint64 { return seed * 3 }
-	out := parallelTrials(20, 100, f)
-	for i, v := range out {
-		if v != (100+uint64(i))*3 {
-			t.Fatalf("out[%d] = %d", i, v)
+func TestCellText(t *testing.T) {
+	for _, tc := range []struct {
+		cell Cell
+		want string
+	}{
+		{Cell{Kind: KindStr, Str: "x"}, "x"},
+		{Cell{Kind: KindInt, Int: -3}, "-3"},
+		{Cell{Kind: KindBool, Bool: true}, "true"},
+		{Cell{Kind: KindFloat, Float: 2.5}, "2.5"},
+		{Cell{Kind: KindFloat, Float: 0.123456}, "0.1235"},
+		{Cell{Kind: KindFloat, Float: 0.4, Fmt: "%.2f"}, "0.40"},
+		{Cell{Kind: KindRatio, Num: 17, Den: 20}, "0.85 (17/20)"},
+		{Cell{Kind: KindRatio, Num: 0, Den: 0}, "n/a"},
+	} {
+		if got := tc.cell.Text(); got != tc.want {
+			t.Errorf("Text(%+v) = %q, want %q", tc.cell, got, tc.want)
 		}
 	}
 }
 
-// smoke runs every experiment at minimal scale and sanity-checks output.
+func TestCellValue(t *testing.T) {
+	for _, tc := range []struct {
+		cell Cell
+		want float64
+		ok   bool
+	}{
+		{Cell{Kind: KindFloat, Float: 2.5}, 2.5, true},
+		{Cell{Kind: KindInt, Int: 3}, 3, true},
+		{Cell{Kind: KindBool, Bool: true}, 1, true},
+		{Cell{Kind: KindBool, Bool: false}, 0, true},
+		{Cell{Kind: KindRatio, Num: 17, Den: 20}, 0.85, true},
+		{Cell{Kind: KindRatio, Num: 0, Den: 0}, 0, false},
+		{Cell{Kind: KindStr, Str: "x"}, 0, false},
+	} {
+		got, ok := tc.cell.Value()
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Value(%+v) = (%v,%v), want (%v,%v)", tc.cell, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestAddRowTyping(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c", "d", "e")
+	tbl.AddRow(1, 2.5, true, "x", Float(0.4, "%.2f"))
+	row := tbl.Rows[0]
+	kinds := []CellKind{KindInt, KindFloat, KindBool, KindStr, KindFloat}
+	for i, k := range kinds {
+		if row[i].Kind != k {
+			t.Errorf("cell %d kind = %s, want %s", i, row[i].Kind, k)
+		}
+	}
+}
+
+func TestCheckEval(t *testing.T) {
+	tbl := NewTable("t", "x", "y")
+	tbl.AddRow(1, 0.8)
+	tbl.AddRow(2, 0.3)
+	tbl.Expect(0, 1, OpGe, 0.7, 0, "r1")
+	tbl.Expect(1, 1, OpLe, 0.5, 0, "r2")
+	tbl.ExpectCell(0, 1, OpGe, 1, 1, 0, "r3")
+	tbl.Expect(1, 1, OpGe, 0.9, 0, "r4") // fails
+	tbl.Expect(5, 1, OpGe, 0, 0, "r5")   // out of range -> eval error
+	tables := []*Table{tbl}
+	var results []CheckResult
+	for _, c := range tbl.checks {
+		results = append(results, c.Eval(tables))
+	}
+	wantPass := []bool{true, true, true, false, false}
+	for i, want := range wantPass {
+		if results[i].Pass != want {
+			t.Errorf("check %d (%s): pass = %v, want %v", i, results[i].Check.Ref, results[i].Pass, want)
+		}
+	}
+	if results[4].Err == "" {
+		t.Error("out-of-range check did not report an eval error")
+	}
+	if FailedChecks(results) != 2 {
+		t.Errorf("FailedChecks = %d, want 2", FailedChecks(results))
+	}
+}
+
+func TestCheckTolerance(t *testing.T) {
+	tbl := NewTable("t", "x")
+	tbl.AddRow(0.8)
+	tbl.Expect(0, 0, OpEq, 0.7, 0.15, "within tol")
+	tbl.Expect(0, 0, OpEq, 0.7, 0.05, "outside tol")
+	tbl.Expect(0, 0, OpLe, 0.75, 0.1, "le with tol")
+	tbl.Expect(0, 0, OpGe, 0.85, 0.1, "ge with tol")
+	want := []bool{true, false, true, true}
+	for i, c := range tbl.checks {
+		if got := c.Eval([]*Table{tbl}); got.Pass != want[i] {
+			t.Errorf("%s: pass = %v, want %v", c.Ref, got.Pass, want[i])
+		}
+	}
+}
+
+// rateCell reads a numeric cell, failing the test on non-numeric cells.
+func rateCell(t *testing.T, c Cell) float64 {
+	t.Helper()
+	v, ok := c.Value()
+	if !ok {
+		t.Fatalf("cell %+v is not numeric", c)
+	}
+	return v
+}
+
+// TestAllExperimentsSmoke runs every experiment at minimal scale through
+// the Result pipeline and sanity-checks the typed output: no ragged rows,
+// populated metadata, and every declared prediction evaluable (checks may
+// fail at this tiny scale, but they must never hit an index error).
 func TestAllExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments smoke test skipped in -short mode")
@@ -77,11 +152,17 @@ func TestAllExperimentsSmoke(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			tables := e.Run(o)
-			if len(tables) == 0 {
+			r := Run(e, o)
+			if r.ID != e.ID || r.Title != e.Title || r.PaperRef != e.PaperRef {
+				t.Fatalf("result metadata mismatch: %+v", r)
+			}
+			if r.Seed != o.Seed {
+				t.Fatalf("result seed = %d, want %d", r.Seed, o.Seed)
+			}
+			if len(r.Tables) == 0 {
 				t.Fatal("no tables")
 			}
-			for _, tbl := range tables {
+			for _, tbl := range r.Tables {
 				if len(tbl.Rows) == 0 {
 					t.Fatalf("empty table %q", tbl.Title)
 				}
@@ -89,21 +170,26 @@ func TestAllExperimentsSmoke(t *testing.T) {
 					if len(row) != len(tbl.Cols) {
 						t.Fatalf("ragged row in %q: %v", tbl.Title, row)
 					}
+					for _, c := range row {
+						if c.Text() == "" {
+							t.Fatalf("empty cell text in %q: %+v", tbl.Title, c)
+						}
+					}
+				}
+				if tbl.checks != nil {
+					t.Fatalf("table %q kept its checks after Run hoisted them", tbl.Title)
+				}
+			}
+			if len(r.Checks) == 0 {
+				t.Fatalf("experiment %s declares no prediction checks", e.ID)
+			}
+			for _, cr := range r.EvalChecks() {
+				if cr.Err != "" {
+					t.Fatalf("check eval error: %s (%+v)", cr.Err, cr.Check)
 				}
 			}
 		})
 	}
-}
-
-// parseRate extracts the leading float from a "0.85 (17/20)" cell.
-func parseRate(t *testing.T, cell string) float64 {
-	t.Helper()
-	fields := strings.Fields(cell)
-	v, err := strconv.ParseFloat(fields[0], 64)
-	if err != nil {
-		t.Fatalf("cannot parse rate cell %q", cell)
-	}
-	return v
 }
 
 func TestE10HeadlineShape(t *testing.T) {
@@ -114,9 +200,9 @@ func TestE10HeadlineShape(t *testing.T) {
 	tbl := tables[0]
 	// At the highest rate (last row): chain must be far below DAG.
 	last := tbl.Rows[len(tbl.Rows)-1]
-	chainRate := parseRate(t, last[3])
-	dagRate := parseRate(t, last[4])
-	tsRate := parseRate(t, last[5])
+	chainRate := rateCell(t, last[3])
+	dagRate := rateCell(t, last[4])
+	tsRate := rateCell(t, last[5])
 	if chainRate >= dagRate {
 		t.Fatalf("headline inverted: chain %.2f >= dag %.2f", chainRate, dagRate)
 	}
@@ -133,7 +219,7 @@ func TestE1TheoremHolds(t *testing.T) {
 	family := tables[0]
 	okCol := len(family.Cols) - 1
 	for _, row := range family.Rows {
-		if row[okCol] != "false" {
+		if row[okCol].Kind != KindBool || row[okCol].Bool {
 			t.Fatalf("a protocol solved consensus: %v", row)
 		}
 	}
@@ -149,67 +235,10 @@ func TestE7LogFitPositiveSlope(t *testing.T) {
 		t.Fatalf("note missing fit: %q", note)
 	}
 	// Mean max burst must increase from the first to the last n.
-	first := tables[0].Rows[0]
-	last := tables[0].Rows[len(tables[0].Rows)-1]
-	f, _ := strconv.ParseFloat(first[2], 64)
-	l, _ := strconv.ParseFloat(last[2], 64)
+	f := rateCell(t, tables[0].Rows[0][2])
+	l := rateCell(t, tables[0].Rows[len(tables[0].Rows)-1][2])
 	if l <= f {
 		t.Fatalf("burst did not grow with n: %v -> %v", f, l)
-	}
-}
-
-func TestMarkdownRendering(t *testing.T) {
-	tbl := NewTable("ti|tle", "a", "b")
-	tbl.AddRow(1, "x")
-	tbl.Note = "n"
-	md := tbl.Markdown()
-	for _, want := range []string{"**ti|tle**", "| a | b |", "| --- | --- |", "| 1 | x |", "_n_"} {
-		if !strings.Contains(md, want) {
-			t.Errorf("markdown missing %q:\n%s", want, md)
-		}
-	}
-}
-
-func TestCellValue(t *testing.T) {
-	for _, tc := range []struct {
-		cell string
-		want float64
-		ok   bool
-	}{
-		{"0.85 (17/20)", 0.85, true},
-		{"3", 3, true},
-		{"-1.5e2", -150, true},
-		{"n/a", 0, false},
-		{"", 0, false},
-	} {
-		got, ok := CellValue(tc.cell)
-		if ok != tc.ok || (ok && got != tc.want) {
-			t.Errorf("CellValue(%q) = (%v,%v)", tc.cell, got, ok)
-		}
-	}
-}
-
-func TestBars(t *testing.T) {
-	tbl := NewTable("t", "x", "rate")
-	tbl.AddRow("a", "1.0 (20/20)")
-	tbl.AddRow("bb", "0.5 (10/20)")
-	tbl.AddRow("c", "n/a")
-	out := tbl.Bars(1, 10)
-	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("lines = %d", len(lines))
-	}
-	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
-		t.Errorf("full bar missing: %q", lines[1])
-	}
-	if !strings.Contains(lines[2], strings.Repeat("█", 5)) || strings.Contains(lines[2], strings.Repeat("█", 6)) {
-		t.Errorf("half bar wrong: %q", lines[2])
-	}
-	if !strings.Contains(lines[3], "| -") {
-		t.Errorf("non-numeric row wrong: %q", lines[3])
-	}
-	if tbl.Bars(9, 10) != "" || tbl.Bars(1, 0) != "" {
-		t.Error("invalid args not rejected")
 	}
 }
 
@@ -219,10 +248,10 @@ func TestE17BurstinessShape(t *testing.T) {
 	}
 	tables := RunE17(Options{Quick: true, Trials: 15, Seed: 9})
 	for _, row := range tables[0].Rows {
-		dagPoisson := parseRate(t, row[3])
-		dagRR := parseRate(t, row[4])
+		dagPoisson := rateCell(t, row[3])
+		dagRR := rateCell(t, row[4])
 		if dagRR < dagPoisson-0.1 {
-			t.Fatalf("round-robin made the dag WORSE at λ=%s: %.2f vs %.2f", row[0], dagRR, dagPoisson)
+			t.Fatalf("round-robin made the dag WORSE at λ=%s: %.2f vs %.2f", row[0].Text(), dagRR, dagPoisson)
 		}
 	}
 }
@@ -233,10 +262,10 @@ func TestE18LatencyShape(t *testing.T) {
 	}
 	tables := RunE18(Options{Quick: true, Trials: 10, Seed: 9})
 	for _, row := range tables[0].Rows {
-		ideal := parseRate(t, row[1])
-		ts := parseRate(t, row[2])
-		chainLat := parseRate(t, row[3])
-		dagLat := parseRate(t, row[4])
+		ideal := rateCell(t, row[1])
+		ts := rateCell(t, row[2])
+		chainLat := rateCell(t, row[3])
+		dagLat := rateCell(t, row[4])
 		if ts > ideal*1.3 {
 			t.Fatalf("timestamp latency %.2f far above ideal %.2f", ts, ideal)
 		}
@@ -253,8 +282,8 @@ func TestE21GhostShape(t *testing.T) {
 	tables := RunE21(Options{Quick: true, Trials: 15, Seed: 9})
 	// At the highest rate GHOST must beat longest-chain.
 	last := tables[0].Rows[len(tables[0].Rows)-1]
-	ghost := parseRate(t, last[1])
-	longest := parseRate(t, last[2])
+	ghost := rateCell(t, last[1])
+	longest := rateCell(t, last[2])
 	if ghost < longest {
 		t.Fatalf("ghost (%.2f) not better than longest (%.2f) under the private fork", ghost, longest)
 	}
@@ -268,7 +297,7 @@ func TestE20RateShareShape(t *testing.T) {
 	// Dag validity spread across shapes stays small.
 	lo, hi := 2.0, -1.0
 	for _, row := range tables[0].Rows {
-		v := parseRate(t, row[4])
+		v := rateCell(t, row[4])
 		if v < lo {
 			lo = v
 		}

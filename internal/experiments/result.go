@@ -1,0 +1,70 @@
+package experiments
+
+import "time"
+
+// Result is one experiment run as a structured record: identity, the
+// options it ran under, typed tables, the declarative paper predictions
+// against those tables, and wall-clock cost. It is the unit the report
+// package renders and the bench harness records.
+type Result struct {
+	ID       string        `json:"id"`
+	Title    string        `json:"title"`
+	PaperRef string        `json:"paper_ref"`
+	Options  Options       `json:"options"`
+	Seed     uint64        `json:"seed"`
+	Tables   []*Table      `json:"tables"`
+	Checks   []Check       `json:"checks,omitempty"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// NewResult assembles a Result from already-built tables, hoisting the
+// checks each table declared into Result.Checks with table indices
+// resolved. Callers outside the experiment registry (amcheck) use it to
+// wrap ad-hoc tables in the same structured record.
+func NewResult(id, title, paperRef string, tables []*Table) *Result {
+	r := &Result{ID: id, Title: title, PaperRef: paperRef, Tables: tables}
+	for ti, t := range tables {
+		for _, c := range t.checks {
+			c.Table = ti
+			if c.Against != nil {
+				ref := *c.Against // copy: the table's declaration stays index-free
+				ref.Table = ti
+				c.Against = &ref
+			}
+			r.Checks = append(r.Checks, c)
+		}
+		t.checks = nil
+	}
+	return r
+}
+
+// Run executes the experiment and assembles its Result.
+func Run(e Experiment, o Options) *Result {
+	start := time.Now()
+	tables := e.Run(o)
+	r := NewResult(e.ID, e.Title, e.PaperRef, tables)
+	r.Options = o
+	r.Seed = o.Seed
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// EvalChecks evaluates every declared check against the result's tables.
+func (r *Result) EvalChecks() []CheckResult {
+	out := make([]CheckResult, len(r.Checks))
+	for i, c := range r.Checks {
+		out[i] = c.Eval(r.Tables)
+	}
+	return out
+}
+
+// FailedChecks counts the checks that did not pass.
+func FailedChecks(results []CheckResult) int {
+	n := 0
+	for _, cr := range results {
+		if !cr.Pass {
+			n++
+		}
+	}
+	return n
+}

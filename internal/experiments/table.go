@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/runner"
+)
+
+// CellKind discriminates the typed payload of a Cell.
+type CellKind string
+
+const (
+	KindStr   CellKind = "str"
+	KindFloat CellKind = "float"
+	KindInt   CellKind = "int"
+	KindBool  CellKind = "bool"
+	KindRatio CellKind = "ratio"
+)
+
+// Cell is one typed table entry. Exactly the field selected by Kind is
+// meaningful (Num/Den together for KindRatio); Fmt is optional formatting
+// metadata for KindFloat (a printf verb, default "%.4g").
+type Cell struct {
+	Kind  CellKind `json:"kind"`
+	Str   string   `json:"str,omitempty"`
+	Float float64  `json:"float,omitempty"`
+	Int   int64    `json:"int,omitempty"`
+	Bool  bool     `json:"bool,omitempty"`
+	Num   int      `json:"num,omitempty"`
+	Den   int      `json:"den,omitempty"`
+	Fmt   string   `json:"fmt,omitempty"`
+}
+
+// Float formats a float with an explicit printf verb (e.g. "%.2f") instead
+// of the default "%.4g" applied to bare float64 row values.
+func Float(v float64, format string) Cell {
+	return Cell{Kind: KindFloat, Float: v, Fmt: format}
+}
+
+// Text is the canonical display form of the cell — the single place cell
+// values are turned into strings.
+func (c Cell) Text() string {
+	switch c.Kind {
+	case KindFloat:
+		f := c.Fmt
+		if f == "" {
+			f = "%.4g"
+		}
+		return fmt.Sprintf(f, c.Float)
+	case KindInt:
+		return strconv.FormatInt(c.Int, 10)
+	case KindBool:
+		return strconv.FormatBool(c.Bool)
+	case KindRatio:
+		if c.Den == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f (%d/%d)", float64(c.Num)/float64(c.Den), c.Num, c.Den)
+	default:
+		return c.Str
+	}
+}
+
+// Value returns the cell's numeric reading: the float itself, the int,
+// bools as 0/1, ratios as Num/Den. ok is false for string cells and
+// empty ratios.
+func (c Cell) Value() (float64, bool) {
+	switch c.Kind {
+	case KindFloat:
+		return c.Float, true
+	case KindInt:
+		return float64(c.Int), true
+	case KindBool:
+		if c.Bool {
+			return 1, true
+		}
+		return 0, true
+	case KindRatio:
+		if c.Den == 0 {
+			return 0, false
+		}
+		return float64(c.Num) / float64(c.Den), true
+	default:
+		return 0, false
+	}
+}
+
+// Table is one result table: named columns, typed cells, and any checks
+// declared against its cells (collected into Result.Checks by Run).
+type Table struct {
+	Title string   `json:"title"`
+	Note  string   `json:"note,omitempty"`
+	Cols  []string `json:"cols"`
+	Rows  [][]Cell `json:"rows"`
+
+	checks []Check
+}
+
+// NewTable creates a table with the given title and columns.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// AddRow appends a row, converting each value to a typed Cell: floats
+// (default "%.4g" formatting), ints, bools, strings, runner.Ratio, or a
+// ready-made Cell. Anything else is formatted with %v into a string cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]Cell, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case Cell:
+			row[i] = v
+		case runner.Ratio:
+			row[i] = Cell{Kind: KindRatio, Num: v.Num, Den: v.Den}
+		case float64:
+			row[i] = Cell{Kind: KindFloat, Float: v}
+		case float32:
+			row[i] = Cell{Kind: KindFloat, Float: float64(v)}
+		case int:
+			row[i] = Cell{Kind: KindInt, Int: int64(v)}
+		case int64:
+			row[i] = Cell{Kind: KindInt, Int: v}
+		case bool:
+			row[i] = Cell{Kind: KindBool, Bool: v}
+		case string:
+			row[i] = Cell{Kind: KindStr, Str: v}
+		default:
+			row[i] = Cell{Kind: KindStr, Str: fmt.Sprintf("%v", c)}
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Expect declares a check of cell (row, col) against the constant want.
+// Row/col indices may refer to rows added later; they are only resolved
+// at evaluation time.
+func (t *Table) Expect(row, col int, op Op, want, tol float64, ref string) {
+	t.checks = append(t.checks, Check{Row: row, Col: col, Op: op, Want: want, Tol: tol, Ref: ref})
+}
+
+// ExpectCell declares a check of cell (row, col) against another cell of
+// the same table.
+func (t *Table) ExpectCell(row, col int, op Op, wantRow, wantCol int, tol float64, ref string) {
+	t.checks = append(t.checks, Check{
+		Row: row, Col: col, Op: op,
+		Against: &CellRef{Row: wantRow, Col: wantCol},
+		Tol:     tol, Ref: ref,
+	})
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+// WriteJSON emits the results as one indented JSON array. The encoding
+// round-trips: ReadJSON(WriteJSON(rs)) reproduces the records.
+func WriteJSON(w io.Writer, results []*experiments.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// ReadJSON parses a JSON array written by WriteJSON.
+func ReadJSON(r io.Reader) ([]*experiments.Result, error) {
+	var out []*experiments.Result
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JSONLine renders one result as a single-line JSON record — the form the
+// bench harness logs so BENCH_*.json entries share this code path.
+func JSONLine(r *experiments.Result) (string, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// WriteCSV emits every cell of every table in long form, one record per
+// cell: experiment id, table index and title, row/col coordinates, the
+// column name, the cell kind, its numeric value (empty when non-numeric),
+// and its display text.
+func WriteCSV(w io.Writer, results []*experiments.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "table", "table_title", "row", "col", "column", "kind", "value", "text"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for ti, t := range r.Tables {
+			for ri, row := range t.Rows {
+				for ci, cell := range row {
+					name := ""
+					if ci < len(t.Cols) {
+						name = t.Cols[ci]
+					}
+					val := ""
+					if v, ok := cell.Value(); ok {
+						val = strconv.FormatFloat(v, 'g', -1, 64)
+					}
+					rec := []string{
+						r.ID, strconv.Itoa(ti), t.Title,
+						strconv.Itoa(ri), strconv.Itoa(ci), name,
+						string(cell.Kind), val, cell.Text(),
+					}
+					if err := cw.Write(rec); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

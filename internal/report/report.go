@@ -1,0 +1,190 @@
+// Package report renders experiment results. All presentation of the
+// typed tables built by internal/experiments lives here: aligned
+// monospace text and GitHub-flavoured markdown (byte-compatible with the
+// committed golden output), machine-readable JSON and CSV, ASCII bar
+// charts, and the textual form of evaluated prediction checks.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TableText renders the table as aligned monospace text.
+func TableText(t *experiments.Table) string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	texts := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		texts[r] = make([]string, len(row))
+		for i, cell := range row {
+			texts[r][i] = cell.Text()
+			if i < len(widths) && len(texts[r][i]) > widths[i] {
+				widths[i] = len(texts[r][i])
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range texts {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// TableMarkdown renders the table as GitHub-flavoured markdown (used by
+// `amexp -format md` to regenerate EXPERIMENTS.md sections).
+func TableMarkdown(t *experiments.Table) string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Cols, " | ") + " |\n")
+	sep := make([]string, len(t.Cols))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		texts := make([]string, len(row))
+		for i, cell := range row {
+			texts[i] = cell.Text()
+		}
+		b.WriteString("| " + strings.Join(texts, " | ") + " |\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n_%s_\n", t.Note)
+	}
+	return b.String()
+}
+
+// Bars renders one numeric column of the table as a horizontal bar chart
+// — the textual "figure" form of a sweep. Bars scale to the column's
+// maximum; width is the maximum bar length in characters. Non-numeric
+// cells render as empty bars.
+func Bars(t *experiments.Table, col, width int) string {
+	if col < 0 || col >= len(t.Cols) || width < 1 {
+		return ""
+	}
+	maxVal := 0.0
+	vals := make([]float64, len(t.Rows))
+	oks := make([]bool, len(t.Rows))
+	for i, row := range t.Rows {
+		if col < len(row) {
+			vals[i], oks[i] = row[col].Value()
+			if oks[i] && vals[i] > maxVal {
+				maxVal = vals[i]
+			}
+		}
+	}
+	labels := make([]string, len(t.Rows))
+	labelW := 0
+	for i, row := range t.Rows {
+		if len(row) > 0 {
+			labels[i] = row[0].Text()
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s\n", t.Cols[col], t.Cols[0])
+	for i := range t.Rows {
+		n := 0
+		if oks[i] && maxVal > 0 {
+			n = int(vals[i]/maxVal*float64(width) + 0.5)
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s", labelW, labels[i], strings.Repeat("█", n), strings.Repeat(" ", width-n))
+		if oks[i] {
+			fmt.Fprintf(&b, "| %.3g\n", vals[i])
+		} else {
+			b.WriteString("| -\n")
+		}
+	}
+	return b.String()
+}
+
+// Header is the one-line experiment banner amexp prints above the tables.
+func Header(r *experiments.Result) string {
+	return fmt.Sprintf("### %s — %s (%s) [%v]\n\n", r.ID, r.Title, r.PaperRef, r.Elapsed.Round(time.Millisecond))
+}
+
+// Text renders the full experiment section: banner plus every table,
+// each followed by a blank line.
+func Text(r *experiments.Result) string {
+	var b strings.Builder
+	b.WriteString(Header(r))
+	for _, t := range r.Tables {
+		b.WriteString(TableText(t))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the full experiment section as markdown.
+func Markdown(r *experiments.Result) string {
+	var b strings.Builder
+	b.WriteString(Header(r))
+	for _, t := range r.Tables {
+		b.WriteString(TableMarkdown(t))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ChecksText renders the evaluated prediction checks of one result, one
+// line per check plus a summary line.
+func ChecksText(r *experiments.Result) string {
+	results := r.EvalChecks()
+	var b strings.Builder
+	pass := 0
+	for _, cr := range results {
+		status := "FAIL"
+		if cr.Pass {
+			status = "pass"
+			pass++
+		}
+		c := cr.Check
+		if cr.Err != "" {
+			fmt.Fprintf(&b, "%s  %s tbl %d (%d,%d): %s — %s\n", status, r.ID, c.Table, c.Row, c.Col, cr.Err, c.Ref)
+			continue
+		}
+		tol := ""
+		if c.Tol != 0 {
+			tol = fmt.Sprintf(" ±%.3g", c.Tol)
+		}
+		fmt.Fprintf(&b, "%s  %s tbl %d (%d,%d): got %.4g %s %.4g%s — %s\n",
+			status, r.ID, c.Table, c.Row, c.Col, cr.Got, c.Op, cr.Want, tol, c.Ref)
+	}
+	fmt.Fprintf(&b, "checks %s: %d pass, %d fail\n", r.ID, pass, len(results)-pass)
+	return b.String()
+}

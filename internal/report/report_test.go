@@ -1,0 +1,246 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// fixture builds a small table exercising every cell kind.
+func fixture() *experiments.Table {
+	tbl := experiments.NewTable("title", "a", "bb", "rate")
+	tbl.AddRow(1, 2.5, experiments.Cell{Kind: experiments.KindRatio, Num: 17, Den: 20})
+	tbl.AddRow("x", true, experiments.Cell{Kind: experiments.KindRatio})
+	tbl.Note = "n"
+	return tbl
+}
+
+// TestTableTextGolden pins the exact text rendering — the format the
+// pre-refactor Table.String produced and the committed docs use.
+func TestTableTextGolden(t *testing.T) {
+	got := TableText(fixture())
+	lines := strings.Split(got, "\n")
+	wantLines := []string{
+		"== title ==",
+		"a  bb    rate        ",
+		"-  ----  ------------",
+		"1  2.5   0.85 (17/20)",
+		"x  true  n/a         ",
+		"note: n",
+		"",
+	}
+	if len(lines) != len(wantLines) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(wantLines), got)
+	}
+	for i := range wantLines {
+		if lines[i] != wantLines[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], wantLines[i])
+		}
+	}
+}
+
+func TestTableMarkdownGolden(t *testing.T) {
+	want := "**title**\n\n" +
+		"| a | bb | rate |\n" +
+		"| --- | --- | --- |\n" +
+		"| 1 | 2.5 | 0.85 (17/20) |\n" +
+		"| x | true | n/a |\n" +
+		"\n_n_\n"
+	if got := TableMarkdown(fixture()); got != want {
+		t.Errorf("markdown mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestTableTextDegenerate covers the index-panic fixes: rows shorter and
+// longer than Cols, and zero-length rows, must render without panicking.
+func TestTableTextDegenerate(t *testing.T) {
+	tbl := experiments.NewTable("t", "a", "b")
+	tbl.Rows = [][]experiments.Cell{
+		{{Kind: experiments.KindInt, Int: 1}},
+		{},
+		{{Kind: experiments.KindStr, Str: "x"}, {Kind: experiments.KindStr, Str: "y"}, {Kind: experiments.KindStr, Str: "z"}},
+	}
+	out := TableText(tbl)
+	for _, wantSub := range []string{"1", "x  y  z"} {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("degenerate render missing %q:\n%s", wantSub, out)
+		}
+	}
+	md := TableMarkdown(tbl)
+	if !strings.Contains(md, "| x | y | z |") {
+		t.Errorf("degenerate markdown wrong:\n%s", md)
+	}
+}
+
+func TestBars(t *testing.T) {
+	tbl := experiments.NewTable("t", "x", "rate")
+	tbl.AddRow("a", experiments.Cell{Kind: experiments.KindRatio, Num: 20, Den: 20})
+	tbl.AddRow("bb", experiments.Cell{Kind: experiments.KindRatio, Num: 10, Den: 20})
+	tbl.AddRow("c", experiments.Cell{Kind: experiments.KindRatio})
+	out := Bars(tbl, 1, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Errorf("full bar missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("█", 5)) || strings.Contains(lines[2], strings.Repeat("█", 6)) {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "| -") {
+		t.Errorf("non-numeric row wrong: %q", lines[3])
+	}
+	if Bars(tbl, 9, 10) != "" || Bars(tbl, 1, 0) != "" || Bars(tbl, -1, 10) != "" {
+		t.Error("invalid args not rejected")
+	}
+}
+
+// TestBarsDegenerate: zero-length rows must not panic the label pass.
+func TestBarsDegenerate(t *testing.T) {
+	tbl := experiments.NewTable("t", "x", "rate")
+	tbl.Rows = [][]experiments.Cell{
+		{{Kind: experiments.KindStr, Str: "a"}, {Kind: experiments.KindFloat, Float: 1}},
+		{},
+		{{Kind: experiments.KindStr, Str: "c"}},
+	}
+	out := Bars(tbl, 1, 8)
+	if !strings.Contains(out, "█") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 4 {
+		t.Errorf("expected header + 3 rows, got %d lines:\n%s", got, out)
+	}
+}
+
+func TestChecksText(t *testing.T) {
+	tbl := experiments.NewTable("t", "x")
+	tbl.AddRow(0.8)
+	tbl.Expect(0, 0, experiments.OpGe, 0.5, 0, "holds")
+	tbl.Expect(0, 0, experiments.OpLe, 0.5, 0, "fails")
+	r := experiments.NewResult("EX", "title", "ref", []*experiments.Table{tbl})
+	out := ChecksText(r)
+	for _, want := range []string{"pass  EX tbl 0 (0,0)", "FAIL  EX tbl 0 (0,0)", "checks EX: 1 pass, 1 fail"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("checks text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestJSONRoundTrip: Result → JSON → Result → JSON must be byte-stable,
+// and the decoded record must re-render to identical text.
+func TestJSONRoundTrip(t *testing.T) {
+	e, _ := experiments.ByID("E9")
+	r := experiments.Run(e, experiments.Options{Quick: true, Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*experiments.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteJSON(&buf2, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("JSON round trip not byte-stable:\nfirst:\n%s\nsecond:\n%s", buf.Bytes(), buf2.Bytes())
+	}
+	if got, want := Text(decoded[0]), Text(r); got != want {
+		t.Errorf("decoded record renders differently:\n%s\nvs\n%s", got, want)
+	}
+	if len(decoded[0].Checks) != len(r.Checks) {
+		t.Errorf("checks lost in round trip: %d vs %d", len(decoded[0].Checks), len(r.Checks))
+	}
+}
+
+func TestJSONLineCompact(t *testing.T) {
+	e, _ := experiments.ByID("E9")
+	r := experiments.Run(e, experiments.Options{Quick: true, Seed: 1})
+	line, err := JSONLine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(line, "\n") {
+		t.Error("JSONLine is not a single line")
+	}
+	var decoded experiments.Result
+	if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+		t.Fatalf("JSONLine not valid JSON: %v", err)
+	}
+	if decoded.ID != "E9" {
+		t.Errorf("decoded id = %q", decoded.ID)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := experiments.NewResult("EX", "title", "ref", []*experiments.Table{fixture()})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*experiments.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 rows × 3 cells
+	if len(recs) != 7 {
+		t.Fatalf("got %d records, want 7", len(recs))
+	}
+	if recs[0][0] != "experiment" || recs[1][0] != "EX" {
+		t.Errorf("unexpected records: %v", recs[:2])
+	}
+	// ratio cell: value column holds 0.85, text column the full form
+	if recs[1+2][7] != "0.85" || recs[1+2][8] != "0.85 (17/20)" {
+		t.Errorf("ratio record wrong: %v", recs[3])
+	}
+	// n/a ratio: empty value
+	if recs[1+5][7] != "" || recs[1+5][8] != "n/a" {
+		t.Errorf("n/a record wrong: %v", recs[6])
+	}
+}
+
+var elapsedRe = regexp.MustCompile(`(?m)^(### .*) \[[^\]]*\]$`)
+
+// TestAmexpQuickGolden is the acceptance gate for the refactor: running
+// every experiment at -quick scale with seed 1 must render (modulo the
+// elapsed time in each banner) byte-identically to the committed golden
+// output captured from the pre-refactor pipeline — and every ported paper
+// prediction must hold.
+func TestAmexpQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run skipped in -short mode (runs all 21 experiments)")
+	}
+	want, err := os.ReadFile("testdata/amexp-quick.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	failed := 0
+	for _, e := range experiments.All() {
+		r := experiments.Run(e, experiments.Options{Quick: true, Seed: 1})
+		b.WriteString(Text(r))
+		failed += experiments.FailedChecks(r.EvalChecks())
+	}
+	got := elapsedRe.ReplaceAllString(b.String(), "$1")
+	if got != string(want) {
+		t.Errorf("quick output diverged from golden (run `go run ./cmd/amexp -e all -quick` to inspect)")
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Errorf("first difference at line %d:\ngot:  %q\nwant: %q", i+1, gl[i], wl[i])
+				break
+			}
+		}
+	}
+	if failed != 0 {
+		t.Errorf("%d paper prediction(s) failed at quick scale", failed)
+	}
+}

@@ -1,0 +1,75 @@
+// Package runner holds the shared trial fan-out used by every experiment:
+// deterministic seed-indexed repetitions spread across worker goroutines,
+// plus the small aggregation helpers (success counting, success ratios)
+// their tables are built from.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Trials runs f for seeds base..base+n-1 across workers goroutines
+// (workers <= 0 means one per CPU) and returns the results in seed order.
+// f must be a pure function of its seed, so the output is independent of
+// the worker count.
+func Trials[T any](n int, base uint64, workers int, f func(seed uint64) T) []T {
+	out := make([]T, n)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(base + uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// CountTrue counts true values.
+func CountTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Ratio is a successes/trials pair kept in exact integer form; tables
+// format it as "0.85 (17/20)" and checks read it as Num/Den.
+type Ratio struct {
+	Num int `json:"num"`
+	Den int `json:"den"`
+}
+
+// Rate pairs successes with the trial count as a Ratio.
+func Rate(successes, trials int) Ratio {
+	return Ratio{Num: successes, Den: trials}
+}
+
+// Value returns Num/Den, or 0 for an empty ratio.
+func (r Ratio) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}

@@ -1,0 +1,54 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTrialsOrderAndDeterminism(t *testing.T) {
+	f := func(seed uint64) uint64 { return seed * 3 }
+	out := Trials(20, 100, 0, f)
+	for i, v := range out {
+		if v != (100+uint64(i))*3 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestTrialsWorkerCountInvariance(t *testing.T) {
+	f := func(seed uint64) uint64 { return seed*seed + 7 }
+	want := Trials(33, 5, 1, f)
+	for _, workers := range []int{2, 4, 16, 100, -3} {
+		got := Trials(33, 5, workers, f)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d changed the output", workers)
+		}
+	}
+}
+
+func TestTrialsZeroAndOne(t *testing.T) {
+	if out := Trials(0, 1, 0, func(seed uint64) int { return 1 }); len(out) != 0 {
+		t.Fatalf("n=0 returned %v", out)
+	}
+	if out := Trials(1, 9, 4, func(seed uint64) uint64 { return seed }); len(out) != 1 || out[0] != 9 {
+		t.Fatalf("n=1 returned %v", out)
+	}
+}
+
+func TestCountTrue(t *testing.T) {
+	if got := CountTrue([]bool{true, false, true, true}); got != 3 {
+		t.Fatalf("CountTrue = %d", got)
+	}
+	if got := CountTrue(nil); got != 0 {
+		t.Fatalf("CountTrue(nil) = %d", got)
+	}
+}
+
+func TestRatioValue(t *testing.T) {
+	if v := Rate(17, 20).Value(); v != 0.85 {
+		t.Fatalf("Rate(17,20).Value() = %v", v)
+	}
+	if v := Rate(0, 0).Value(); v != 0 {
+		t.Fatalf("empty ratio value = %v", v)
+	}
+}
