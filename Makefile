@@ -25,9 +25,13 @@ check:
 cover:
 	$(GO) test ./... -cover
 
-# One benchmark per experiment plus substrate micro-benches.
+# One benchmark per experiment plus substrate micro-benches. The run is
+# piped through cmd/benchjson, which echoes the human-readable output and
+# writes the machine-readable record to BENCH_PR2.json. Override BENCHTIME
+# for steadier numbers (e.g. make bench BENCHTIME=1s).
+BENCHTIME ?= 0.2s
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
 
 # Regenerate every experiment at full scale (the EXPERIMENTS.md numbers).
 experiments:

@@ -329,3 +329,71 @@ func BenchmarkProtocolRunSync(b *testing.B) {
 		syncba.MustRun(syncba.Config{N: 9, T: 4, Seed: uint64(i)}, &syncba.LoudFlip{})
 	}
 }
+
+// stepHistory builds a protocol-shaped history of the given size: honest
+// blocks extend the current structure while a minority keeps forking, the
+// block mix the agreement runs produce.
+func stepHistory(size int, multiParent bool) *appendmem.Memory {
+	m := appendmem.New(8)
+	rng := xrand.New(9, 9)
+	var ids []appendmem.MsgID
+	for i := 0; i < size; i++ {
+		var parents []appendmem.MsgID
+		if len(ids) > 0 {
+			if multiParent {
+				for j := 0; j < 1+rng.Intn(2); j++ {
+					parents = append(parents, ids[rng.Intn(len(ids))])
+				}
+			} else {
+				parents = append(parents, ids[rng.Intn(len(ids))])
+			}
+		}
+		msg := m.Writer(appendmem.NodeID(rng.Intn(8))).MustAppend(1, 0, parents)
+		ids = append(ids, msg.ID)
+	}
+	return m
+}
+
+// The Step pairs measure the per-step cost of a consumer re-reading a
+// growing memory (view sizes cycling 2000..2200): a from-scratch Build per
+// read versus one Cached handle that extends. The Extend variants pay one
+// rebuild per 200 steps when the cycle wraps (the fallback path) and
+// amortized O(1) per new block otherwise.
+
+func BenchmarkChainStepBuild2000(b *testing.B) {
+	m := stepHistory(2200, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := chain.Build(m.ViewAt(2000 + i%201))
+		_ = tree.LongestTips()
+	}
+}
+
+func BenchmarkChainStepExtend2000(b *testing.B) {
+	m := stepHistory(2200, false)
+	c := chain.NewCached()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := c.At(m.ViewAt(2000 + i%201))
+		_ = tree.LongestTips()
+	}
+}
+
+func BenchmarkDagStepBuild2000(b *testing.B) {
+	m := stepHistory(2200, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dag.Build(m.ViewAt(2000 + i%201))
+		_ = d.GhostPivot()
+	}
+}
+
+func BenchmarkDagStepExtend2000(b *testing.B) {
+	m := stepHistory(2200, true)
+	c := dag.NewCached()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := c.At(m.ViewAt(2000 + i%201))
+		_ = d.GhostPivot()
+	}
+}

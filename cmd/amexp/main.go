@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -27,6 +29,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole program so deferred cleanups (profile writers,
+// output files) execute before the process exits with a status code.
+func run() int {
 	all := experiments.All()
 	eHelp := fmt.Sprintf("experiment id (%s..%s) or 'all'", all[0].ID, all[len(all)-1].ID)
 	var (
@@ -40,6 +48,8 @@ func main() {
 		bars    = flag.Int("bars", -1, "also render this column index of each table as an ASCII bar chart (text/md only)")
 		check   = flag.Bool("check", false, "evaluate each experiment's predictions; exit 2 if any fail")
 		outPath = flag.String("o", "", "write output to this file instead of stdout")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -47,14 +57,42 @@ func main() {
 		for _, e := range all {
 			fmt.Printf("%-4s %-55s %s\n", e.ID, e.Title, e.PaperRef)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	switch *format {
 	case "text", "md", "json", "csv":
 	default:
 		fmt.Fprintf(os.Stderr, "amexp: unknown format %q (want text, md, json or csv)\n", *format)
-		os.Exit(1)
+		return 1
 	}
 
 	opts := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick, Workers: *workers}
@@ -65,7 +103,7 @@ func main() {
 		e, ok := experiments.ByID(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "amexp: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			return 1
 		}
 		selected = []experiments.Experiment{e}
 	}
@@ -75,7 +113,7 @@ func main() {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		out = f
@@ -115,12 +153,12 @@ func main() {
 	case "json":
 		if err := report.WriteJSON(out, results); err != nil {
 			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	case "csv":
 		if err := report.WriteCSV(out, results); err != nil {
 			fmt.Fprintf(os.Stderr, "amexp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *format == "json" || *format == "csv" {
@@ -133,6 +171,7 @@ func main() {
 
 	if *check && failed > 0 {
 		fmt.Fprintf(os.Stderr, "amexp: %d prediction check(s) failed\n", failed)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -41,11 +41,13 @@ type ChainForker struct {
 	// Value is the vote Byzantine blocks carry; 0 means -1.
 	Value int64
 	env   *agreement.Env
+	idx   *chain.Cached
 }
 
 // Init implements agreement.Adversary.
 func (a *ChainForker) Init(env *agreement.Env) {
 	a.env = env
+	a.idx = chain.NewCached()
 	if a.Value == 0 {
 		a.Value = -1
 	}
@@ -55,7 +57,7 @@ func (a *ChainForker) Init(env *agreement.Env) {
 // same append as the last correct node"), producing two longest chains.
 func (a *ChainForker) OnGrant(g access.Grant) {
 	view := a.env.Mem.Read()
-	tree := chain.Build(view)
+	tree := a.idx.At(view)
 	w := a.env.Writer(g.Node)
 	tips := tree.LongestTips()
 	if len(tips) == 0 {
@@ -81,11 +83,13 @@ type ChainTieBreaker struct {
 	// Value is the vote Byzantine blocks carry; 0 means -1.
 	Value int64
 	env   *agreement.Env
+	idx   *chain.Cached
 }
 
 // Init implements agreement.Adversary.
 func (a *ChainTieBreaker) Init(env *agreement.Env) {
 	a.env = env
+	a.idx = chain.NewCached()
 	if a.Value == 0 {
 		a.Value = -1
 	}
@@ -94,9 +98,9 @@ func (a *ChainTieBreaker) Init(env *agreement.Env) {
 // OnGrant extends the first-arrived longest tip of the *fresh* memory.
 func (a *ChainTieBreaker) OnGrant(g access.Grant) {
 	view := a.env.Mem.Read()
-	tip, ok := chain.SelectTip(view, chain.FirstTieBreaker{}, nil)
-	if !ok {
-		tip = appendmem.None
+	tip := appendmem.None
+	if tips := a.idx.At(view).LongestTips(); len(tips) > 0 {
+		tip = tips[0]
 	}
 	a.env.Writer(g.Node).MustAppend(a.Value, 0, []appendmem.MsgID{tip})
 }
@@ -115,11 +119,13 @@ type DagChainExtender struct {
 	// Value is the vote Byzantine blocks carry; 0 means -1.
 	Value int64
 	env   *agreement.Env
+	idx   *dag.Cached
 }
 
 // Init implements agreement.Adversary.
 func (a *DagChainExtender) Init(env *agreement.Env) {
 	a.env = env
+	a.idx = dag.NewCached()
 	if a.Value == 0 {
 		a.Value = -1
 	}
@@ -128,7 +134,7 @@ func (a *DagChainExtender) Init(env *agreement.Env) {
 // OnGrant extends the fresh pivot tip with a single-parent block.
 func (a *DagChainExtender) OnGrant(g access.Grant) {
 	view := a.env.Mem.Read()
-	d := dag.Build(view)
+	d := a.idx.At(view)
 	pivot := a.Pivot.Pivot(d)
 	w := a.env.Writer(g.Node)
 	if len(pivot) == 0 {
@@ -146,15 +152,20 @@ func (a *DagChainExtender) OnGrant(g access.Grant) {
 type Equivocator struct {
 	env  *agreement.Env
 	flip bool
+	idx  *chain.Cached
 }
 
 // Init implements agreement.Adversary.
-func (a *Equivocator) Init(env *agreement.Env) { a.env = env }
+func (a *Equivocator) Init(env *agreement.Env) {
+	a.env = env
+	a.flip = false
+	a.idx = chain.NewCached()
+}
 
 // OnGrant alternately extends the two earliest longest tips.
 func (a *Equivocator) OnGrant(g access.Grant) {
 	view := a.env.Mem.Read()
-	tree := chain.Build(view)
+	tree := a.idx.At(view)
 	tips := tree.LongestTips()
 	w := a.env.Writer(g.Node)
 	switch {
@@ -186,11 +197,13 @@ type DagLastMinute struct {
 	// Value is the vote of the private blocks; 0 means -1.
 	Value int64
 	env   *agreement.Env
+	idx   *dag.Cached
 }
 
 // Init implements agreement.Adversary.
 func (a *DagLastMinute) Init(env *agreement.Env) {
 	a.env = env
+	a.idx = dag.NewCached()
 	if a.Margin == 0 {
 		a.Margin = 6
 	}
@@ -203,7 +216,7 @@ func (a *DagLastMinute) Init(env *agreement.Env) {
 // extends the pivot tip with single-parent blocks.
 func (a *DagLastMinute) OnGrant(g access.Grant) {
 	view := a.env.Mem.Read()
-	d := dag.Build(view)
+	d := a.idx.At(view)
 	pivot := a.Pivot.Pivot(d)
 	if len(d.Linearize(pivot)) < a.env.Cfg.K-a.Margin {
 		return // too early: wasting the token IS the strategy

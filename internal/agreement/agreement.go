@@ -151,6 +151,27 @@ type HonestRule interface {
 	Decide(view appendmem.View, k int, rng *xrand.PCG) (int64, bool)
 }
 
+// PerNodeState is optionally implemented by HonestRules that keep per-node
+// incremental state — e.g. cached substrate indexes that extend with the
+// node's monotonically growing view instead of rebuilding per read.
+// RunRandomized calls NewNodeRule once per correct node and drives that
+// node exclusively through the returned instance; a rule without it is
+// shared, stateless, across all nodes. The returned rule must decide and
+// append exactly like the original: per-node state is a performance
+// vehicle, never a behavioural one.
+type PerNodeState interface {
+	NewNodeRule() HonestRule
+}
+
+// nodeRule returns the per-node instance of rule when it keeps per-node
+// state, else rule itself.
+func nodeRule(rule HonestRule) HonestRule {
+	if f, ok := rule.(PerNodeState); ok {
+		return f.NewNodeRule()
+	}
+	return rule
+}
+
 // Env is the run environment handed to adversaries: full fresh access to
 // the memory, the roster and the configuration.
 type Env struct {
@@ -196,13 +217,17 @@ func (Silent) OnGrant(access.Grant) {}
 // staleness handicap).
 type ValueFlip struct {
 	Rule  HonestRule
-	Value int64 // the vote to cast; 0 means -1
+	Value int64      // the vote to cast; 0 means -1
+	rule  HonestRule // per-run instance (fresh caches), set by Init
 	env   *Env
 }
 
 // Init implements Adversary.
 func (a *ValueFlip) Init(env *Env) {
 	a.env = env
+	// The adversary reads fresh on every grant, so one per-run rule
+	// instance sees monotonically growing views and can reuse its index.
+	a.rule = nodeRule(a.Rule)
 	if a.Value == 0 {
 		a.Value = -1
 	}
@@ -210,7 +235,7 @@ func (a *ValueFlip) Init(env *Env) {
 
 // OnGrant implements Adversary.
 func (a *ValueFlip) OnGrant(g access.Grant) {
-	a.Rule.Append(a.env.Mem.Read(), a.env.Writer(g.Node), a.Value, a.env.Rng)
+	a.rule.Append(a.env.Mem.Read(), a.env.Writer(g.Node), a.Value, a.env.Rng)
 }
 
 // Result collects everything an experiment wants from one run.
@@ -284,6 +309,16 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	lastView := make([]appendmem.View, cfg.N)
 	for i := range lastView {
 		lastView[i] = mem.ViewAt(0)
+	}
+
+	// Per-node rule instances: a correct node's views grow monotonically
+	// over the run, so a rule with per-node state (cached substrate
+	// indexes) extends one index per node instead of rebuilding per step.
+	nodeRules := make([]HonestRule, cfg.N)
+	for i := range nodeRules {
+		if !roster.IsByzantine(appendmem.NodeID(i)) {
+			nodeRules[i] = nodeRule(rule)
+		}
 	}
 
 	// Only non-crash correct nodes are expected to decide; crash nodes may
@@ -370,7 +405,7 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 							return
 						}
 						b := mem.Len()
-						rule.Append(view, mem.Writer(id), cfg.Inputs[id], nodeRngs[id])
+						nodeRules[id].Append(view, mem.Writer(id), cfg.Inputs[id], nodeRngs[id])
 						recordAppends(b, "delayed")
 						maybeStall()
 						if mem.Len() >= cfg.MaxAppends {
@@ -378,7 +413,7 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 						}
 					})
 				} else {
-					rule.Append(view, mem.Writer(id), cfg.Inputs[id], nodeRngs[id])
+					nodeRules[id].Append(view, mem.Writer(id), cfg.Inputs[id], nodeRngs[id])
 					recordAppends(before, "")
 				}
 			}
@@ -418,7 +453,7 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 			lastView[id] = mem.Read()
 			cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Read, Node: id})
 			if !outcome.Decided[id] {
-				if v, ok := rule.Decide(lastView[id], cfg.K, nodeRngs[id]); ok {
+				if v, ok := nodeRules[id].Decide(lastView[id], cfg.K, nodeRngs[id]); ok {
 					outcome.Decide(id, v)
 					result.DecideTime[id] = s.Now()
 					result.DecideViewSize[id] = lastView[id].Size()

@@ -16,6 +16,7 @@
 package chainba
 
 import (
+	"repro/internal/agreement"
 	"repro/internal/appendmem"
 	"repro/internal/chain"
 	"repro/internal/node"
@@ -31,17 +32,45 @@ import (
 // the decision prefix is c blocks deep at decision time. Deep prefixes are
 // harder to perturb late — experiment E19 measures how much that buys each
 // structure.
+//
+// The zero value is stateless and rebuilds the chain index on every call.
+// The agreement harness instead drives each correct node through
+// NewNodeRule, whose per-node cached indexes extend with the node's
+// monotonically growing view (see chain.Cached); behaviour is identical
+// either way.
 type Rule struct {
 	TB      chain.TieBreaker
 	Confirm int
+
+	// Per-node incremental indexes, nil in the shared zero value. Appends
+	// and decisions hold separate handles because their view streams
+	// advance independently (an append may use a view older than the last
+	// decision's refresh, e.g. under -FreshHonestReads decisions).
+	app, dec *chain.Cached
+}
+
+// NewNodeRule implements agreement.PerNodeState: a copy of the rule with
+// fresh per-node index caches.
+func (r Rule) NewNodeRule() agreement.HonestRule {
+	r.app, r.dec = chain.NewCached(), chain.NewCached()
+	return r
+}
+
+// tree indexes view through c when the rule carries per-node caches, else
+// from scratch.
+func tree(c *chain.Cached, view appendmem.View) *chain.Tree {
+	if c != nil {
+		return c.At(view)
+	}
+	return chain.Build(view)
 }
 
 // Append extends the tie-broken longest chain of the node's view with the
 // node's input value. On an empty view the block attaches to the genesis.
 func (r Rule) Append(view appendmem.View, w *appendmem.Writer, input int64, rng *xrand.PCG) {
-	tip, ok := chain.SelectTip(view, r.TB, rng)
-	if !ok {
-		tip = appendmem.None
+	tip := appendmem.None
+	if tips := tree(r.app, view).LongestTips(); len(tips) > 0 {
+		tip = r.TB.Pick(tips, view, rng)
 	}
 	w.MustAppend(input, 0, []appendmem.MsgID{tip})
 }
@@ -49,11 +78,11 @@ func (r Rule) Append(view appendmem.View, w *appendmem.Writer, input int64, rng 
 // Decide fires once the view contains a longest chain of length at least k
 // and returns the sign of the sum of that chain's first k values.
 func (r Rule) Decide(view appendmem.View, k int, rng *xrand.PCG) (int64, bool) {
-	tree := chain.Build(view)
-	if tree.Height() < k+r.Confirm {
+	t := tree(r.dec, view)
+	if t.Height() < k+r.Confirm {
 		return 0, false
 	}
-	tips := tree.LongestTips()
+	tips := t.LongestTips()
 	tip := r.TB.Pick(tips, view, rng)
-	return node.SumSign(tree.PrefixValues(tip, k)), true
+	return node.SumSign(t.PrefixValues(tip, k)), true
 }

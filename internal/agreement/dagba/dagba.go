@@ -14,6 +14,7 @@
 package dagba
 
 import (
+	"repro/internal/agreement"
 	"repro/internal/appendmem"
 	"repro/internal/dag"
 	"repro/internal/node"
@@ -51,15 +52,42 @@ func (p PivotRule) Pivot(d *dag.Dag) []appendmem.MsgID {
 // depth. With Confirm = c > 0 a node decides on the first k ordered values
 // only once the ordering covers k+c values, making late insertion into the
 // decision prefix (Lemma 5.5's attack) land beyond position k.
+//
+// The zero value is stateless and rebuilds the DAG index on every call.
+// The agreement harness instead drives each correct node through
+// NewNodeRule, whose per-node cached indexes extend with the node's
+// monotonically growing view (see dag.Cached); behaviour is identical
+// either way.
 type Rule struct {
 	Pivot   PivotRule
 	Confirm int
+
+	// Per-node incremental indexes, nil in the shared zero value. Appends
+	// and decisions hold separate handles because their view streams
+	// advance independently.
+	app, dec *dag.Cached
+}
+
+// NewNodeRule implements agreement.PerNodeState: a copy of the rule with
+// fresh per-node index caches.
+func (r Rule) NewNodeRule() agreement.HonestRule {
+	r.app, r.dec = dag.NewCached(), dag.NewCached()
+	return r
+}
+
+// index indexes view through c when the rule carries per-node caches, else
+// from scratch.
+func index(c *dag.Cached, view appendmem.View) *dag.Dag {
+	if c != nil {
+		return c.At(view)
+	}
+	return dag.Build(view)
 }
 
 // Append references all tips of the node's view, pivot tip first (the
 // selected parent), and carries the node's input value.
 func (r Rule) Append(view appendmem.View, w *appendmem.Writer, input int64, _ *xrand.PCG) {
-	d := dag.Build(view)
+	d := index(r.app, view)
 	tips := d.Tips()
 	if len(tips) == 0 {
 		w.MustAppend(input, 0, nil)
@@ -80,7 +108,7 @@ func (r Rule) Append(view appendmem.View, w *appendmem.Writer, input int64, _ *x
 // Decide fires once the pivot-chain ordering covers at least k values and
 // returns the sign of the sum of the first k ordered values.
 func (r Rule) Decide(view appendmem.View, k int, _ *xrand.PCG) (int64, bool) {
-	d := dag.Build(view)
+	d := index(r.dec, view)
 	pivot := r.Pivot.Pivot(d)
 	vals := d.OrderedValues(pivot, k+r.Confirm)
 	if len(vals) < k+r.Confirm {
@@ -93,6 +121,6 @@ func (r Rule) Decide(view appendmem.View, k int, _ *xrand.PCG) (int64, bool) {
 // experiments to analyse the Byzantine composition of the first k values
 // (Lemma 5.5).
 func (r Rule) Ordering(view appendmem.View) []appendmem.MsgID {
-	d := dag.Build(view)
+	d := index(r.dec, view)
 	return d.Linearize(r.Pivot.Pivot(d))
 }

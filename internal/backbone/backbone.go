@@ -19,6 +19,8 @@
 package backbone
 
 import (
+	"sort"
+
 	"repro/internal/agreement"
 	"repro/internal/appendmem"
 	"repro/internal/chain"
@@ -58,8 +60,38 @@ func chopDepth(a, b []appendmem.MsgID) int {
 	return n - common
 }
 
-func analyze(r *agreement.Result, k int, prefix prefixFor, structured, total int) Report {
+// analyze computes the report. prefix and finalStructured typically close
+// over one cached index (chain.Cached / dag.Cached); analyze visits the
+// per-node decision views in ascending size order and the final (largest)
+// view last, so the index only ever extends — each block is processed once
+// across the whole analysis instead of once per view.
+func analyze(r *agreement.Result, k int, prefix prefixFor, finalStructured func() int, total int) Report {
 	rep := Report{}
+
+	// Common prefix across the decided correct nodes' decision views.
+	// chopDepth is taken as a max over unordered pairs, so visiting the
+	// views sorted by size leaves the result unchanged.
+	var sizes []int
+	for _, id := range r.Roster.Correct() {
+		if !r.Outcome.Decided[id] || r.DecideViewSize[id] == 0 {
+			continue
+		}
+		sizes = append(sizes, r.DecideViewSize[id])
+	}
+	sort.Ints(sizes)
+	prefixes := make([][]appendmem.MsgID, 0, len(sizes))
+	for _, size := range sizes {
+		prefixes = append(prefixes, prefix(r.Mem.ViewAt(size), k))
+	}
+	for i := 0; i < len(prefixes); i++ {
+		for j := i + 1; j < len(prefixes); j++ {
+			if d := chopDepth(prefixes[i], prefixes[j]); d > rep.CommonPrefixViolation {
+				rep.CommonPrefixViolation = d
+			}
+		}
+	}
+
+	structured := finalStructured()
 	if r.Duration > 0 {
 		rep.Growth = float64(structured) / (float64(r.Duration) / r.Cfg.Delta)
 	}
@@ -76,22 +108,6 @@ func analyze(r *agreement.Result, k int, prefix prefixFor, structured, total int
 	if total > 0 {
 		rep.Wasted = float64(total-structured) / float64(total)
 	}
-
-	// Common prefix across the decided correct nodes' decision views.
-	var prefixes [][]appendmem.MsgID
-	for _, id := range r.Roster.Correct() {
-		if !r.Outcome.Decided[id] || r.DecideViewSize[id] == 0 {
-			continue
-		}
-		prefixes = append(prefixes, prefix(r.Mem.ViewAt(r.DecideViewSize[id]), k))
-	}
-	for i := 0; i < len(prefixes); i++ {
-		for j := i + 1; j < len(prefixes); j++ {
-			if d := chopDepth(prefixes[i], prefixes[j]); d > rep.CommonPrefixViolation {
-				rep.CommonPrefixViolation = d
-			}
-		}
-	}
 	return rep
 }
 
@@ -99,8 +115,9 @@ func analyze(r *agreement.Result, k int, prefix prefixFor, structured, total int
 // run. The canonical selection uses first-arrived tie-breaking, which is
 // deterministic and view-only.
 func AnalyzeChain(r *agreement.Result, k int) Report {
+	idx := chain.NewCached()
 	sel := func(view appendmem.View, k int) []appendmem.MsgID {
-		tree := chain.Build(view)
+		tree := idx.At(view)
 		tips := tree.LongestTips()
 		if len(tips) == 0 {
 			return nil
@@ -111,36 +128,33 @@ func AnalyzeChain(r *agreement.Result, k int) Report {
 		}
 		return ids
 	}
-	tree := chain.Build(r.FinalView)
-	return analyze(r, k, sel, tree.Height(), r.TotalAppends)
+	final := func() int { return idx.At(r.FinalView).Height() }
+	return analyze(r, k, sel, final, r.TotalAppends)
 }
 
 // AnalyzeDag measures the backbone properties of a DAG (Algorithm 6) run
 // under the given pivot choice.
 func AnalyzeDag(r *agreement.Result, k int, ghost bool) Report {
-	sel := func(view appendmem.View, k int) []appendmem.MsgID {
-		d := dag.Build(view)
-		var pivot []appendmem.MsgID
+	idx := dag.NewCached()
+	pivotOf := func(d *dag.Dag) []appendmem.MsgID {
 		if ghost {
-			pivot = d.GhostPivot()
-		} else {
-			pivot = d.LongestPivot()
+			return d.GhostPivot()
 		}
-		ids := d.Linearize(pivot)
+		return d.LongestPivot()
+	}
+	sel := func(view appendmem.View, k int) []appendmem.MsgID {
+		d := idx.At(view)
+		ids := d.Linearize(pivotOf(d))
 		if len(ids) > k {
 			ids = ids[:k]
 		}
 		return ids
 	}
-	d := dag.Build(r.FinalView)
-	var pivot []appendmem.MsgID
-	if ghost {
-		pivot = d.GhostPivot()
-	} else {
-		pivot = d.LongestPivot()
+	final := func() int {
+		d := idx.At(r.FinalView)
+		return len(d.Linearize(pivotOf(d)))
 	}
-	ordered := len(d.Linearize(pivot))
-	return analyze(r, k, sel, ordered, r.TotalAppends)
+	return analyze(r, k, sel, final, r.TotalAppends)
 }
 
 // HonestShare returns the honest fraction of all appends in the run — the

@@ -16,9 +16,13 @@
 //     the adversary"): whenever a Byzantine tip ties, it wins.
 //   - Randomized (Ren [21]): a uniformly random longest tip.
 //
-// A Tree is an immutable index built from a View; rebuilding per read is
-// O(view size) and keeps protocols stateless between reads, matching the
-// model where a read returns the complete memory.
+// A Tree is a dense-slice index over a View's MsgID space (IDs are the
+// contiguous 0..Size-1 arrival prefix of one append-only Memory, parents
+// always precede children). Build constructs it from scratch in O(view);
+// Extend ingests only the suffix appended since the previous view, keeping
+// depth, height and the longest-tip set incrementally correct in O(1) per
+// block — a consumer that re-reads a growing memory every step (see
+// Cached) pays amortized O(1) per block instead of O(view) per step.
 package chain
 
 import (
@@ -31,13 +35,26 @@ import (
 // Tree indexes the parent structure of a view. Blocks whose parent is not
 // visible in the view are "dangling" and excluded from depth computations;
 // with the append memory this only happens for malformed (Byzantine)
-// references, since parents must be appended before children.
+// references, since parents must be appended before children. The
+// parent-keyed children slices use index int(id)+1 so the virtual genesis
+// (appendmem.None) occupies slot 0.
 type Tree struct {
-	view     appendmem.View
-	depth    map[appendmem.MsgID]int // genesis-adjacent blocks have depth 1
-	children map[appendmem.MsgID][]appendmem.MsgID
-	roots    []appendmem.MsgID // blocks with parent None
+	view  appendmem.View
+	built int // number of view-prefix blocks ingested
+	size  int // non-dangling blocks
+
+	depth    []int32             // by id; genesis-adjacent = 1; 0 = dangling
+	children [][]appendmem.MsgID // by parent id+1
+	roots    []appendmem.MsgID   // blocks with parent None
 	height   int
+	// levelTips is the arrival-ordered set of blocks at depth == height,
+	// maintained on Extend so LongestTips is O(tips) instead of O(view).
+	levelTips []appendmem.MsgID
+
+	// Epoch-stamped scratch for Forks: a slot is marked in the current pass
+	// iff its stamp equals the current epoch.
+	mark      []uint64
+	markEpoch uint64
 }
 
 // Parent returns the chain parent of msg: Parents[0], or None when the
@@ -49,38 +66,64 @@ func Parent(msg *appendmem.Message) appendmem.MsgID {
 	return msg.Parents[0]
 }
 
-// Build indexes the chain structure of view.
+// Build indexes the chain structure of view from scratch.
 func Build(view appendmem.View) *Tree {
 	t := &Tree{
 		view:     view,
-		depth:    make(map[appendmem.MsgID]int, view.Size()),
-		children: make(map[appendmem.MsgID][]appendmem.MsgID),
+		depth:    make([]int32, 0, view.Size()),
+		children: make([][]appendmem.MsgID, 1, view.Size()+1),
 	}
-	// MsgIDs are assigned in arrival order and parents always precede
-	// children, so one increasing-ID pass computes all depths.
-	for id := appendmem.MsgID(0); int(id) < view.Size(); id++ {
-		msg := view.Message(id)
+	t.extend(view.Size())
+	return t
+}
+
+// Extend ingests the blocks appended between the Tree's current view and
+// view, which must be a later read of the same memory (the Tree's view is
+// a prefix of it). All queries afterwards answer for the extended view. It
+// panics when view is not an extension.
+func (t *Tree) Extend(view appendmem.View) {
+	if !t.view.SubsetOf(view) {
+		panic("chain: Extend with a view that does not extend the indexed one")
+	}
+	t.view = view
+	t.extend(view.Size())
+}
+
+// extend ingests ids [t.built, size). MsgIDs are assigned in arrival order
+// and parents always precede children, so one increasing-ID pass computes
+// all depths.
+func (t *Tree) extend(size int) {
+	for id := appendmem.MsgID(t.built); int(id) < size; id++ {
+		msg := t.view.Message(id)
 		p := Parent(msg)
+		t.depth = append(t.depth, 0)
+		t.children = append(t.children, nil)
+		t.mark = append(t.mark, 0)
 		switch {
 		case p == appendmem.None:
 			t.depth[id] = 1
 			t.roots = append(t.roots, id)
 		default:
-			pd, ok := t.depth[p]
-			if !ok {
+			pd := t.depth[p]
+			if pd == 0 {
 				continue // dangling: parent invisible or itself dangling
 			}
 			t.depth[id] = pd + 1
 		}
-		t.children[p] = append(t.children[p], id)
-		if t.depth[id] > t.height {
-			t.height = t.depth[id]
+		t.size++
+		t.children[p+1] = append(t.children[p+1], id)
+		if int(t.depth[id]) > t.height {
+			t.height = int(t.depth[id])
+			t.levelTips = t.levelTips[:0]
+		}
+		if int(t.depth[id]) == t.height {
+			t.levelTips = append(t.levelTips, id)
 		}
 	}
-	return t
+	t.built = size
 }
 
-// View returns the view the tree was built from.
+// View returns the view the tree was built from (the latest extension).
 func (t *Tree) View() appendmem.View { return t.view }
 
 // Height returns the length of the longest chain (0 for an empty view).
@@ -89,41 +132,49 @@ func (t *Tree) Height() int { return t.height }
 // Depth returns the depth of a block (1 for genesis children) and whether
 // the block is in the tree (visible and not dangling).
 func (t *Tree) Depth(id appendmem.MsgID) (int, bool) {
-	d, ok := t.depth[id]
-	return d, ok
+	if id < 0 || int(id) >= t.built || t.depth[id] == 0 {
+		return 0, false
+	}
+	return int(t.depth[id]), true
+}
+
+// depthOf returns the block's depth, 0 when absent or dangling.
+func (t *Tree) depthOf(id appendmem.MsgID) int32 {
+	if id < 0 || int(id) >= t.built {
+		return 0
+	}
+	return t.depth[id]
 }
 
 // Children returns the blocks whose parent is id (use None for the genesis
 // level), in arrival order.
 func (t *Tree) Children(id appendmem.MsgID) []appendmem.MsgID {
-	return append([]appendmem.MsgID(nil), t.children[id]...)
+	if id < appendmem.None || int(id)+1 >= len(t.children) {
+		return nil
+	}
+	return append([]appendmem.MsgID(nil), t.children[id+1]...)
 }
 
 // LongestTips returns the tips of all longest chains — every block at
-// maximal depth — in arrival order. Empty when the view is empty.
+// maximal depth — in arrival order. Empty when the view is empty. The set
+// is maintained incrementally, so the call costs O(tips).
 func (t *Tree) LongestTips() []appendmem.MsgID {
 	if t.height == 0 {
 		return nil
 	}
-	var tips []appendmem.MsgID
-	for id := appendmem.MsgID(0); int(id) < t.view.Size(); id++ {
-		if t.depth[id] == t.height {
-			tips = append(tips, id)
-		}
-	}
-	return tips
+	return append([]appendmem.MsgID(nil), t.levelTips...)
 }
 
 // ChainTo returns the chain from the genesis child down to tip, inclusive,
 // oldest first. It returns nil when tip is not in the tree.
 func (t *Tree) ChainTo(tip appendmem.MsgID) []appendmem.MsgID {
-	d, ok := t.depth[tip]
-	if !ok {
+	d := t.depthOf(tip)
+	if d == 0 {
 		return nil
 	}
 	chain := make([]appendmem.MsgID, d)
 	cur := tip
-	for i := d - 1; i >= 0; i-- {
+	for i := int(d) - 1; i >= 0; i-- {
 		chain[i] = cur
 		cur = Parent(t.view.Message(cur))
 	}
@@ -133,7 +184,7 @@ func (t *Tree) ChainTo(tip appendmem.MsgID) []appendmem.MsgID {
 // Subtree returns the number of blocks in the subtree rooted at id,
 // including id itself. Returns 0 when id is not in the tree.
 func (t *Tree) Subtree(id appendmem.MsgID) int {
-	if _, ok := t.depth[id]; !ok {
+	if t.depthOf(id) == 0 {
 		return 0
 	}
 	count := 0
@@ -142,7 +193,7 @@ func (t *Tree) Subtree(id appendmem.MsgID) int {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		count++
-		stack = append(stack, t.children[cur]...)
+		stack = append(stack, t.children[cur+1]...)
 	}
 	return count
 }
@@ -150,15 +201,18 @@ func (t *Tree) Subtree(id appendmem.MsgID) int {
 // Forks returns the number of blocks that are not on any longest chain —
 // the "wasted" appends of Theorem 5.4's analysis.
 func (t *Tree) Forks() int {
-	onLongest := make(map[appendmem.MsgID]bool)
+	t.markEpoch++
+	e := t.markEpoch
 	for _, tip := range t.LongestTips() {
-		for _, id := range t.ChainTo(tip) {
-			onLongest[id] = true
+		cur := tip
+		for cur != appendmem.None && t.mark[cur] != e {
+			t.mark[cur] = e
+			cur = Parent(t.view.Message(cur))
 		}
 	}
 	wasted := 0
-	for id := range t.depth {
-		if !onLongest[id] {
+	for id := 0; id < t.built; id++ {
+		if t.depth[id] != 0 && t.mark[id] != e {
 			wasted++
 		}
 	}
@@ -258,10 +312,40 @@ func (t *Tree) CommonPrefix(a, b appendmem.MsgID) []appendmem.MsgID {
 // helper for rendering and tests.
 func (t *Tree) SortByDepth(ids []appendmem.MsgID) {
 	sort.Slice(ids, func(i, j int) bool {
-		di, dj := t.depth[ids[i]], t.depth[ids[j]]
+		di, dj := t.depthOf(ids[i]), t.depthOf(ids[j])
 		if di != dj {
 			return di < dj
 		}
 		return ids[i] < ids[j]
 	})
+}
+
+// Cached is a reusable index handle for one consumer whose reads of a
+// single memory grow monotonically (every View is a prefix of the next —
+// the append-memory invariant every protocol loop and analyzer obeys). At
+// extends the held index by the view's new suffix instead of rebuilding;
+// when handed a view of a different memory or an older prefix (e.g. an
+// asynchronous node's stale append view) it falls back to a from-scratch
+// Build, so it is always correct and only *fast* in the monotone case.
+//
+// The zero value is not ready; use NewCached. A Cached must not be shared
+// across goroutines.
+type Cached struct {
+	t *Tree
+}
+
+// NewCached returns an empty handle; the first At builds the index.
+func NewCached() *Cached { return &Cached{} }
+
+// At returns the index of view, extending the previously returned index
+// when view is a forward read of the same memory. The returned Tree is
+// owned by the handle and is invalidated (re-pointed at a larger view) by
+// the next At call.
+func (c *Cached) At(view appendmem.View) *Tree {
+	if c.t != nil && c.t.view.SubsetOf(view) {
+		c.t.Extend(view)
+		return c.t
+	}
+	c.t = Build(view)
+	return c.t
 }

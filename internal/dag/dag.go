@@ -18,6 +18,20 @@
 // deterministic tie-break. The linearization is a linear extension of the
 // DAG's ancestry partial order and identical for identical views — the two
 // properties Byzantine agreement on the DAG rests on.
+//
+// # Incremental indexing
+//
+// A Dag is a dense-slice index over the view's MsgID space (IDs are the
+// contiguous 0..Size-1 arrival prefix of one append-only Memory, and
+// parents always carry smaller IDs than their children). Build constructs
+// the index from scratch; Extend ingests only the blocks appended since the
+// previous view, keeping every derived quantity — depth, selected-parent
+// tree depth, GHOST subtree weights and their per-parent tie-state, the tip
+// set, both pivot anchors — incrementally correct. Extending by one block
+// costs O(parents) plus one walk up the block's selected-parent path for
+// the weight updates, instead of the O(view) full rebuild; a consumer that
+// re-reads a growing memory every step (see Cached) pays amortized O(1) per
+// block instead of O(view) per step.
 package dag
 
 import (
@@ -28,15 +42,43 @@ import (
 
 // Dag indexes the multi-parent structure of a view. Blocks with any parent
 // reference outside the view are dangling and excluded (with the append
-// memory this needs a malformed reference, since parents precede children).
+// memory this needs a malformed reference, since parents always precede
+// children). All per-block data lives in slices indexed by MsgID; the
+// parent-keyed slices use index int(id)+1 so the virtual genesis
+// (appendmem.None) occupies slot 0.
 type Dag struct {
-	view     appendmem.View
-	inDag    map[appendmem.MsgID]bool
-	children map[appendmem.MsgID][]appendmem.MsgID // over all parent edges
-	treeKids map[appendmem.MsgID][]appendmem.MsgID // selected-parent tree
-	depth    map[appendmem.MsgID]int               // longest all-parent path; genesis children = 1
-	weight   map[appendmem.MsgID]int               // selected-parent subtree size
-	height   int
+	view  appendmem.View
+	built int // number of view-prefix blocks ingested == len(inDag)
+	size  int // non-dangling blocks
+
+	inDag     []bool              // by id
+	depth     []int32             // longest all-parent path; genesis children = 1; 0 = dangling
+	treeDepth []int32             // selected-parent tree depth; 0 = dangling
+	weight    []int32             // selected-parent subtree size
+	children  [][]appendmem.MsgID // by parent id+1, over all parent edges
+	treeKids  [][]appendmem.MsgID // by parent id+1, selected-parent tree
+	ghostBest []appendmem.MsgID   // by parent id+1: earliest heaviest tree kid; None when childless
+	parent    []appendmem.MsgID   // selected parent, cached to avoid Message lookups on hot walks
+
+	height int
+
+	// Longest selected-parent chain anchor: the earliest-arrived deepest
+	// tree block (LongestPivot's tie-break), maintained on Extend.
+	bestTreeTip   appendmem.MsgID
+	bestTreeDepth int32
+
+	// tips is the current childless set in ascending id (= arrival) order.
+	tips []appendmem.MsgID
+
+	// Epoch-stamped scratch for the traversal helpers: a slot is "visited"
+	// in the current traversal iff its stamp equals the current epoch, so
+	// clearing between traversals is a counter increment, not an O(V) wipe.
+	visited      []uint64
+	visitEpoch   uint64
+	ordered      []uint64
+	orderedEpoch uint64
+	dfsStack     []appendmem.MsgID
+	epochBuf     []appendmem.MsgID
 }
 
 // SelectedParent returns the block's selected parent: Parents[0], or None
@@ -48,22 +90,43 @@ func SelectedParent(msg *appendmem.Message) appendmem.MsgID {
 	return msg.Parents[0]
 }
 
-// Build indexes the DAG of view.
+// Build indexes the DAG of view from scratch.
 func Build(view appendmem.View) *Dag {
 	d := &Dag{
-		view:     view,
-		inDag:    make(map[appendmem.MsgID]bool, view.Size()),
-		children: make(map[appendmem.MsgID][]appendmem.MsgID),
-		treeKids: make(map[appendmem.MsgID][]appendmem.MsgID),
-		depth:    make(map[appendmem.MsgID]int, view.Size()),
-		weight:   make(map[appendmem.MsgID]int, view.Size()),
+		view:        view,
+		inDag:       make([]bool, 0, view.Size()),
+		depth:       make([]int32, 0, view.Size()),
+		treeDepth:   make([]int32, 0, view.Size()),
+		weight:      make([]int32, 0, view.Size()),
+		children:    make([][]appendmem.MsgID, 1, view.Size()+1),
+		treeKids:    make([][]appendmem.MsgID, 1, view.Size()+1),
+		ghostBest:   make([]appendmem.MsgID, 1, view.Size()+1),
+		parent:      make([]appendmem.MsgID, 0, view.Size()),
+		bestTreeTip: appendmem.None,
 	}
-	// IDs arrive in causal order (parents have smaller ids), so one pass
-	// computes membership and depth.
-	for id := appendmem.MsgID(0); int(id) < view.Size(); id++ {
-		msg := view.Message(id)
+	d.ghostBest[0] = appendmem.None
+	d.extend(view.Size())
+	return d
+}
+
+// Extend ingests the blocks appended between the Dag's current view and
+// view, which must be a later read of the same memory (the Dag's view is a
+// prefix of it). All queries afterwards answer for the extended view. It
+// panics when view is not an extension.
+func (d *Dag) Extend(view appendmem.View) {
+	if !d.view.SubsetOf(view) {
+		panic("dag: Extend with a view that does not extend the indexed one")
+	}
+	d.view = view
+	d.extend(view.Size())
+}
+
+// extend ingests ids [d.built, size).
+func (d *Dag) extend(size int) {
+	for id := appendmem.MsgID(d.built); int(id) < size; id++ {
+		msg := d.view.Message(id)
 		ok := true
-		maxDepth := 0
+		var maxDepth int32
 		for _, p := range msg.Parents {
 			if p == appendmem.None {
 				continue
@@ -76,100 +139,172 @@ func Build(view appendmem.View) *Dag {
 				maxDepth = d.depth[p]
 			}
 		}
+		// Grow the per-id slots (zero values = dangling).
+		d.inDag = append(d.inDag, false)
+		d.depth = append(d.depth, 0)
+		d.treeDepth = append(d.treeDepth, 0)
+		d.weight = append(d.weight, 0)
+		d.children = append(d.children, nil)
+		d.treeKids = append(d.treeKids, nil)
+		d.ghostBest = append(d.ghostBest, appendmem.None)
+		d.parent = append(d.parent, appendmem.None)
+		d.visited = append(d.visited, 0)
+		d.ordered = append(d.ordered, 0)
 		if !ok {
 			continue
 		}
 		d.inDag[id] = true
+		d.size++
 		d.depth[id] = maxDepth + 1
-		if d.depth[id] > d.height {
-			d.height = d.depth[id]
+		if int(d.depth[id]) > d.height {
+			d.height = int(d.depth[id])
 		}
+		// Child edges (one per distinct parent) and tip maintenance: every
+		// referenced parent stops being childless, the new block becomes the
+		// (largest-id) tip.
 		if len(msg.Parents) == 0 {
-			d.children[appendmem.None] = append(d.children[appendmem.None], id)
+			d.children[0] = append(d.children[0], id)
 		} else {
-			seen := make(map[appendmem.MsgID]bool, len(msg.Parents))
-			for _, p := range msg.Parents {
-				if seen[p] {
+			for i, p := range msg.Parents {
+				dup := false
+				for _, q := range msg.Parents[:i] {
+					if q == p {
+						dup = true
+						break
+					}
+				}
+				if dup {
 					continue
 				}
-				seen[p] = true
-				d.children[p] = append(d.children[p], id)
+				d.children[p+1] = append(d.children[p+1], id)
+				if p != appendmem.None {
+					d.dropTip(p)
+				}
 			}
 		}
-		d.treeKids[SelectedParent(msg)] = append(d.treeKids[SelectedParent(msg)], id)
-	}
-	// Selected-parent subtree weights, by decreasing id (children first).
-	for id := appendmem.MsgID(view.Size()) - 1; id >= 0; id-- {
-		if !d.inDag[id] {
-			continue
+		d.tips = append(d.tips, id)
+
+		// Selected-parent tree: attach, then push the new block's unit
+		// weight up the selected-parent path, keeping each ancestor's
+		// heaviest-kid tie-state exact.
+		sp := SelectedParent(msg)
+		d.parent[id] = sp
+		d.treeKids[sp+1] = append(d.treeKids[sp+1], id)
+		if sp == appendmem.None {
+			d.treeDepth[id] = 1
+		} else {
+			d.treeDepth[id] = d.treeDepth[sp] + 1
 		}
-		d.weight[id]++ // itself
-		if p := SelectedParent(view.Message(id)); p != appendmem.None {
-			d.weight[p] += d.weight[id]
+		if d.treeDepth[id] > d.bestTreeDepth {
+			d.bestTreeDepth, d.bestTreeTip = d.treeDepth[id], id
+		}
+		d.weight[id] = 1
+		d.bumpGhostBest(sp, id)
+		for p := sp; p != appendmem.None; {
+			d.weight[p]++
+			pp := d.parent[p]
+			d.bumpGhostBest(pp, p)
+			p = pp
 		}
 	}
-	return d
+	d.built = size
 }
 
-// View returns the view the DAG was built from.
+// dropTip removes p from the tip set; no-op when p is not a tip.
+func (d *Dag) dropTip(p appendmem.MsgID) {
+	for i, t := range d.tips {
+		if t == p {
+			d.tips = append(d.tips[:i], d.tips[i+1:]...)
+			return
+		}
+	}
+}
+
+// bumpGhostBest re-establishes "ghostBest[p] is the earliest-arrived
+// maximum-weight selected-parent kid of p" after kid's weight grew by one.
+// Increments preserve the invariant with a single comparison: kid either
+// was the best (still is), strictly passes the best, or ties it — and a tie
+// goes to the earlier arrival, matching the from-scratch arrival-order scan.
+func (d *Dag) bumpGhostBest(p, kid appendmem.MsgID) {
+	cur := d.ghostBest[p+1]
+	if cur == kid {
+		return
+	}
+	if cur == appendmem.None || d.weight[kid] > d.weight[cur] ||
+		(d.weight[kid] == d.weight[cur] && kid < cur) {
+		d.ghostBest[p+1] = kid
+	}
+}
+
+// View returns the view the DAG was built from (the latest extension).
 func (d *Dag) View() appendmem.View { return d.view }
 
 // Size returns the number of non-dangling blocks.
-func (d *Dag) Size() int { return len(d.inDag) }
+func (d *Dag) Size() int { return d.size }
 
 // Height returns the longest all-parent path length from genesis.
 func (d *Dag) Height() int { return d.height }
 
 // Contains reports whether the block is in the DAG (visible, well-formed).
-func (d *Dag) Contains(id appendmem.MsgID) bool { return d.inDag[id] }
+func (d *Dag) Contains(id appendmem.MsgID) bool {
+	return id >= 0 && int(id) < d.built && d.inDag[id]
+}
 
 // Depth returns the block's depth (genesis children have depth 1) and
 // whether it is in the DAG.
 func (d *Dag) Depth(id appendmem.MsgID) (int, bool) {
-	dep, ok := d.depth[id]
-	return dep, ok
+	if !d.Contains(id) {
+		return 0, false
+	}
+	return int(d.depth[id]), true
 }
 
 // Weight returns the selected-parent subtree size of the block (the GHOST
 // weight), or 0 when absent.
-func (d *Dag) Weight(id appendmem.MsgID) int { return d.weight[id] }
+func (d *Dag) Weight(id appendmem.MsgID) int {
+	if !d.Contains(id) {
+		return 0
+	}
+	return int(d.weight[id])
+}
 
 // Tips returns the blocks with no children over any parent edge — the set
 // C of "last states which do not have child nodes" that Algorithm 6 Line 5
 // references — in arrival order.
 func (d *Dag) Tips() []appendmem.MsgID {
-	var tips []appendmem.MsgID
-	for id := appendmem.MsgID(0); int(id) < d.view.Size(); id++ {
-		if d.inDag[id] && len(d.children[id]) == 0 {
-			tips = append(tips, id)
-		}
+	if len(d.tips) == 0 {
+		return nil
 	}
-	return tips
+	return append([]appendmem.MsgID(nil), d.tips...)
+}
+
+// kids returns the child list slot for id (None maps to the genesis slot);
+// nil when id is outside the indexed range.
+func (d *Dag) kids(of [][]appendmem.MsgID, id appendmem.MsgID) []appendmem.MsgID {
+	if id < appendmem.None || int(id)+1 >= len(of) {
+		return nil
+	}
+	return of[id+1]
 }
 
 // Children returns the blocks that list id among their parents (None for
 // genesis children), in arrival order.
 func (d *Dag) Children(id appendmem.MsgID) []appendmem.MsgID {
-	return append([]appendmem.MsgID(nil), d.children[id]...)
+	return append([]appendmem.MsgID(nil), d.kids(d.children, id)...)
 }
 
 // GhostPivot returns the pivot chain chosen by the GHOST rule: from the
 // genesis, repeatedly descend into the selected-parent child with the
 // largest subtree weight, breaking ties by arrival order. Oldest first;
-// empty for an empty DAG.
+// empty for an empty DAG. The heaviest-kid choice is maintained
+// incrementally on Extend, so retrieval is O(pivot length).
 func (d *Dag) GhostPivot() []appendmem.MsgID {
 	var pivot []appendmem.MsgID
 	cur := appendmem.None
 	for {
-		kids := d.treeKids[cur]
-		if len(kids) == 0 {
+		best := d.ghostBest[cur+1]
+		if best == appendmem.None {
 			return pivot
-		}
-		best := kids[0]
-		for _, k := range kids[1:] {
-			if d.weight[k] > d.weight[best] {
-				best = k
-			}
 		}
 		pivot = append(pivot, best)
 		cur = best
@@ -177,69 +312,88 @@ func (d *Dag) GhostPivot() []appendmem.MsgID {
 }
 
 // LongestPivot returns the pivot chain chosen by the longest-chain rule
-// over the selected-parent tree, ties by arrival order. Oldest first.
+// over the selected-parent tree, ties by arrival order. Oldest first. The
+// deepest tree tip is maintained on Extend, so retrieval is O(pivot
+// length).
 func (d *Dag) LongestPivot() []appendmem.MsgID {
-	// Longest selected-parent chain: compute tree depth per block.
-	treeDepth := make(map[appendmem.MsgID]int, len(d.inDag))
-	var best appendmem.MsgID = appendmem.None
-	bestDepth := 0
-	for id := appendmem.MsgID(0); int(id) < d.view.Size(); id++ {
-		if !d.inDag[id] {
-			continue
-		}
-		p := SelectedParent(d.view.Message(id))
-		td := 1
-		if p != appendmem.None {
-			td = treeDepth[p] + 1
-		}
-		treeDepth[id] = td
-		if td > bestDepth {
-			bestDepth, best = td, id
-		}
-	}
-	if best == appendmem.None {
+	if d.bestTreeTip == appendmem.None {
 		return nil
 	}
-	pivot := make([]appendmem.MsgID, bestDepth)
-	cur := best
-	for i := bestDepth - 1; i >= 0; i-- {
+	pivot := make([]appendmem.MsgID, d.bestTreeDepth)
+	cur := d.bestTreeTip
+	for i := int(d.bestTreeDepth) - 1; i >= 0; i-- {
 		pivot[i] = cur
-		cur = SelectedParent(d.view.Message(cur))
+		cur = d.parent[cur]
 	}
 	return pivot
 }
 
-// PastCone returns the set of all ancestors of id over all parent edges,
-// including id itself. Empty when id is not in the DAG.
-func (d *Dag) PastCone(id appendmem.MsgID) map[appendmem.MsgID]bool {
-	cone := make(map[appendmem.MsgID]bool)
-	if !d.inDag[id] {
-		return cone
+// PastCone returns all ancestors of id over all parent edges, including id
+// itself, in ascending id order. Empty when id is not in the DAG. The
+// traversal reuses the Dag's epoch-stamped scratch, so the only allocation
+// is the returned slice.
+func (d *Dag) PastCone(id appendmem.MsgID) []appendmem.MsgID {
+	if !d.Contains(id) {
+		return nil
 	}
-	stack := []appendmem.MsgID{id}
+	d.visitEpoch++
+	e := d.visitEpoch
+	d.visited[id] = e
+	stack := append(d.dfsStack[:0], id)
+	cone := []appendmem.MsgID{id}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if cone[cur] {
-			continue
-		}
-		cone[cur] = true
 		for _, p := range d.view.Message(cur).Parents {
-			if p != appendmem.None && !cone[p] {
+			if p != appendmem.None && d.visited[p] != e {
+				d.visited[p] = e
+				cone = append(cone, p)
 				stack = append(stack, p)
 			}
 		}
 	}
+	d.dfsStack = stack
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
 	return cone
 }
 
 // IsAncestor reports whether a is an ancestor of b (or equal) over all
-// parent edges.
+// parent edges. The search walks b's ancestry pruning branches that are
+// already too shallow or too old to reach a, and stops as soon as a is
+// found instead of materializing the full cone.
 func (d *Dag) IsAncestor(a, b appendmem.MsgID) bool {
-	if !d.inDag[a] || !d.inDag[b] {
+	if !d.Contains(a) || !d.Contains(b) {
 		return false
 	}
-	return d.PastCone(b)[a]
+	if a == b {
+		return true
+	}
+	da := d.depth[a]
+	d.visitEpoch++
+	e := d.visitEpoch
+	d.visited[b] = e
+	stack := append(d.dfsStack[:0], b)
+	found := false
+	for len(stack) > 0 && !found {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range d.view.Message(cur).Parents {
+			if p == a {
+				found = true
+				break
+			}
+			// Ancestor ids strictly decrease and depths strictly decrease
+			// along parent edges: anything older or shallower than a cannot
+			// lead back to it.
+			if p == appendmem.None || p < a || d.depth[p] <= da || d.visited[p] == e {
+				continue
+			}
+			d.visited[p] = e
+			stack = append(stack, p)
+		}
+	}
+	d.dfsStack = stack[:0]
+	return found
 }
 
 // Linearize returns the total order over the past cone of the pivot tip:
@@ -251,18 +405,21 @@ func (d *Dag) IsAncestor(a, b appendmem.MsgID) bool {
 // will be, once a later pivot block references them).
 func (d *Dag) Linearize(pivot []appendmem.MsgID) []appendmem.MsgID {
 	var order []appendmem.MsgID
-	ordered := make(map[appendmem.MsgID]bool)
+	d.orderedEpoch++
+	oe := d.orderedEpoch
 	for _, pb := range pivot {
 		// Epoch members: ancestors of pb not ordered by earlier pivot
 		// blocks. The DFS stops at already-ordered blocks, so each block
 		// is visited once across the whole linearization (amortized
 		// O(V+E) instead of one full past-cone walk per pivot block).
-		var epoch []appendmem.MsgID
-		visited := map[appendmem.MsgID]bool{pb: true}
-		stack := make([]appendmem.MsgID, 0, len(d.view.Message(pb).Parents))
+		d.visitEpoch++
+		ve := d.visitEpoch
+		d.visited[pb] = ve
+		epoch := d.epochBuf[:0]
+		stack := d.dfsStack[:0]
 		for _, p := range d.view.Message(pb).Parents {
-			if p != appendmem.None && !ordered[p] && !visited[p] {
-				visited[p] = true
+			if p != appendmem.None && d.ordered[p] != oe && d.visited[p] != ve {
+				d.visited[p] = ve
 				stack = append(stack, p)
 			}
 		}
@@ -271,12 +428,13 @@ func (d *Dag) Linearize(pivot []appendmem.MsgID) []appendmem.MsgID {
 			stack = stack[:len(stack)-1]
 			epoch = append(epoch, cur)
 			for _, p := range d.view.Message(cur).Parents {
-				if p != appendmem.None && !ordered[p] && !visited[p] {
-					visited[p] = true
+				if p != appendmem.None && d.ordered[p] != oe && d.visited[p] != ve {
+					d.visited[p] = ve
 					stack = append(stack, p)
 				}
 			}
 		}
+		d.dfsStack = stack
 		sort.Slice(epoch, func(i, j int) bool {
 			a, b := d.view.Message(epoch[i]), d.view.Message(epoch[j])
 			if d.depth[epoch[i]] != d.depth[epoch[j]] {
@@ -288,10 +446,11 @@ func (d *Dag) Linearize(pivot []appendmem.MsgID) []appendmem.MsgID {
 			return a.Seq < b.Seq
 		})
 		for _, id := range epoch {
-			ordered[id] = true
+			d.ordered[id] = oe
 			order = append(order, id)
 		}
-		ordered[pb] = true
+		d.epochBuf = epoch[:0]
+		d.ordered[pb] = oe
 		order = append(order, pb)
 	}
 	return order
@@ -310,4 +469,34 @@ func (d *Dag) OrderedValues(pivot []appendmem.MsgID, k int) []int64 {
 		vals[i] = d.view.Message(id).Value
 	}
 	return vals
+}
+
+// Cached is a reusable index handle for one consumer whose reads of a
+// single memory grow monotonically (every View is a prefix of the next —
+// the append-memory invariant every protocol loop and analyzer obeys). At
+// extends the held index by the view's new suffix instead of rebuilding;
+// when handed a view of a different memory or an older prefix (e.g. an
+// asynchronous node's stale append view) it falls back to a from-scratch
+// Build, so it is always correct and only *fast* in the monotone case.
+//
+// The zero value is not ready; use NewCached. A Cached must not be shared
+// across goroutines.
+type Cached struct {
+	d *Dag
+}
+
+// NewCached returns an empty handle; the first At builds the index.
+func NewCached() *Cached { return &Cached{} }
+
+// At returns the index of view, extending the previously returned index
+// when view is a forward read of the same memory. The returned Dag is
+// owned by the handle and is invalidated (re-pointed at a larger view) by
+// the next At call.
+func (c *Cached) At(view appendmem.View) *Dag {
+	if c.d != nil && c.d.view.SubsetOf(view) {
+		c.d.Extend(view)
+		return c.d
+	}
+	c.d = Build(view)
+	return c.d
 }

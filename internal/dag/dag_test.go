@@ -234,7 +234,7 @@ func TestPropertyLinearizeIsLinearExtension(t *testing.T) {
 			if len(cone) != len(order) {
 				return false
 			}
-			for id := range cone {
+			for _, id := range cone {
 				if _, ok := pos[id]; !ok {
 					return false
 				}
@@ -311,9 +311,13 @@ func TestPastConeClosed(t *testing.T) {
 			continue
 		}
 		cone := d.PastCone(id)
-		for member := range cone {
+		inCone := make(map[appendmem.MsgID]bool, len(cone))
+		for _, member := range cone {
+			inCone[member] = true
+		}
+		for _, member := range cone {
 			for _, p := range m.Message(member).Parents {
-				if p != appendmem.None && !cone[p] {
+				if p != appendmem.None && !inCone[p] {
 					t.Fatalf("past cone of %d not ancestor-closed at %d", id, member)
 				}
 			}

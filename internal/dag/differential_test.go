@@ -100,3 +100,149 @@ func TestDifferentialPivotRulesOnPath(t *testing.T) {
 		}
 	}
 }
+
+// equalIDs reports element-wise equality, treating nil and empty alike.
+func equalIDs(a, b []appendmem.MsgID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertSameDag compares every observable of an incrementally extended index
+// against a from-scratch one.
+func assertSameDag(t *testing.T, step int, inc, ref *Dag) {
+	t.Helper()
+	if inc.Size() != ref.Size() {
+		t.Fatalf("prefix %d: size %d vs %d", step, inc.Size(), ref.Size())
+	}
+	if inc.Height() != ref.Height() {
+		t.Fatalf("prefix %d: height %d vs %d", step, inc.Height(), ref.Height())
+	}
+	if !equalIDs(inc.Tips(), ref.Tips()) {
+		t.Fatalf("prefix %d: tips %v vs %v", step, inc.Tips(), ref.Tips())
+	}
+	if !equalIDs(inc.GhostPivot(), ref.GhostPivot()) {
+		t.Fatalf("prefix %d: ghost pivot %v vs %v", step, inc.GhostPivot(), ref.GhostPivot())
+	}
+	if !equalIDs(inc.LongestPivot(), ref.LongestPivot()) {
+		t.Fatalf("prefix %d: longest pivot %v vs %v", step, inc.LongestPivot(), ref.LongestPivot())
+	}
+	for id := appendmem.MsgID(0); int(id) < step; id++ {
+		if inc.Contains(id) != ref.Contains(id) {
+			t.Fatalf("prefix %d: Contains(%d) differs", step, id)
+		}
+		di, oki := inc.Depth(id)
+		dr, okr := ref.Depth(id)
+		if di != dr || oki != okr {
+			t.Fatalf("prefix %d: depth(%d) %d,%v vs %d,%v", step, id, di, oki, dr, okr)
+		}
+		if inc.Weight(id) != ref.Weight(id) {
+			t.Fatalf("prefix %d: weight(%d) %d vs %d", step, id, inc.Weight(id), ref.Weight(id))
+		}
+		if !equalIDs(inc.Children(id), ref.Children(id)) {
+			t.Fatalf("prefix %d: children(%d) differ", step, id)
+		}
+		if !equalIDs(inc.PastCone(id), ref.PastCone(id)) {
+			t.Fatalf("prefix %d: past cone(%d) differs", step, id)
+		}
+	}
+	if !equalIDs(inc.Linearize(inc.GhostPivot()), ref.Linearize(ref.GhostPivot())) {
+		t.Fatalf("prefix %d: ghost linearizations differ", step)
+	}
+	if !equalIDs(inc.Linearize(inc.LongestPivot()), ref.Linearize(ref.LongestPivot())) {
+		t.Fatalf("prefix %d: longest linearizations differ", step)
+	}
+}
+
+// adversarialHistory mixes honest inclusive appends (all current tips, pivot
+// first) with withholding-style private-chain extensions and arbitrary
+// multi-parent blocks — the block shapes every adversary in the repo emits.
+func adversarialHistory(rng *xrand.PCG, steps int) *appendmem.Memory {
+	n := 4
+	m := appendmem.New(n)
+	private := appendmem.None // tip of a privately extended chain
+	for s := 0; s < steps; s++ {
+		w := m.Writer(appendmem.NodeID(rng.Intn(n)))
+		switch style := rng.Intn(4); {
+		case style == 0 && m.Len() > 0: // withholding: extend a private chain
+			msg := w.MustAppend(-1, 0, []appendmem.MsgID{private})
+			private = msg.ID
+		case style == 1 && m.Len() > 0: // arbitrary parents, duplicates allowed
+			var parents []appendmem.MsgID
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				parents = append(parents, appendmem.MsgID(rng.Intn(m.Len())))
+			}
+			w.MustAppend(int64(s), 0, parents)
+		default: // honest inclusive append over the full view
+			d := Build(m.Read())
+			tips := d.Tips()
+			if len(tips) == 0 {
+				w.MustAppend(int64(s), 0, nil)
+				break
+			}
+			pivot := d.GhostPivot()
+			parents := []appendmem.MsgID{pivot[len(pivot)-1]}
+			for _, tip := range tips {
+				if tip != parents[0] {
+					parents = append(parents, tip)
+				}
+			}
+			w.MustAppend(int64(s), 0, parents)
+		}
+	}
+	return m
+}
+
+// TestDifferentialExtendVsBuild: for every prefix of randomized adversarial
+// histories, a Dag grown one block at a time through Extend must agree with
+// a from-scratch Build on every observable.
+func TestDifferentialExtendVsBuild(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := xrand.New(seed, 99)
+		m := adversarialHistory(rng, 70)
+		inc := Build(m.ViewAt(0))
+		for s := 0; s <= m.Len(); s++ {
+			view := m.ViewAt(s)
+			inc.Extend(view)
+			assertSameDag(t, s, inc, Build(view))
+		}
+	}
+}
+
+// TestCachedFallsBackOnRegression: a Cached handle handed non-monotone view
+// sizes (stale async reads) must still answer exactly like Build — the
+// rebuild fallback, not a wrong in-place answer.
+func TestCachedFallsBackOnRegression(t *testing.T) {
+	rng := xrand.New(5, 99)
+	m := adversarialHistory(rng, 60)
+	c := NewCached()
+	sizes := []int{10, 25, 25, 7, 40, 12, 60, 60, 3, 55}
+	for _, s := range sizes {
+		view := m.ViewAt(s)
+		assertSameDag(t, s, c.At(view), Build(view))
+	}
+}
+
+// TestExtendRejectsForeignView: Extend must refuse a view that is not an
+// extension of the indexed one.
+func TestExtendRejectsForeignView(t *testing.T) {
+	m := adversarialHistory(xrand.New(6, 99), 20)
+	other := adversarialHistory(xrand.New(7, 99), 20)
+	d := Build(m.ViewAt(10))
+	for _, bad := range []appendmem.View{m.ViewAt(5), other.Read()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Extend accepted a non-extension view")
+				}
+			}()
+			d.Extend(bad)
+		}()
+	}
+}

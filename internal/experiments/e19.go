@@ -65,18 +65,21 @@ func RunE19(o Options) []*Table {
 
 	burst := NewTable("E19b: the surgical last-minute burst (Lemma 5.5's literal adversary) is self-defeating",
 		"adversary", "dag validity")
+	// Adversary *factories*, not instances: runner.Trials fans trials out
+	// across goroutines and a shared adversary value would be Init'd (and
+	// its incremental index mutated) concurrently.
 	for _, tc := range []struct {
 		label string
-		adv   agreement.Adversary
+		adv   func() agreement.Adversary
 	}{
-		{"continuous private chains", &adversary.DagChainExtender{Pivot: dagba.Ghost}},
-		{"silent until k-6, then burst", &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 6}},
-		{"silent until k-12, then burst", &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 12}},
+		{"continuous private chains", func() agreement.Adversary { return &adversary.DagChainExtender{Pivot: dagba.Ghost} }},
+		{"silent until k-6, then burst", func() agreement.Adversary { return &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 6} }},
+		{"silent until k-12, then burst", func() agreement.Adversary { return &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 12} }},
 	} {
 		tc := tc
 		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
-				dagba.Rule{Pivot: dagba.Ghost}, tc.adv)
+				dagba.Rule{Pivot: dagba.Ghost}, tc.adv())
 			return r.Verdict.Validity
 		})
 		burst.AddRow(tc.label, runner.Rate(runner.CountTrue(oks), trials))
