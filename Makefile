@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check cover bench experiments quick examples clean
+.PHONY: all build test vet check cover bench bench-diff experiments quick examples clean
 
 all: build vet test check
 
@@ -27,11 +27,25 @@ cover:
 
 # One benchmark per experiment plus substrate micro-benches. The run is
 # piped through cmd/benchjson, which echoes the human-readable output and
-# writes the machine-readable record to BENCH_PR2.json. Override BENCHTIME
-# for steadier numbers (e.g. make bench BENCHTIME=1s).
+# writes the machine-readable record to $(BENCH). Each benchmark runs
+# BENCHCOUNT times and benchjson records the per-metric minimum, which
+# filters out scheduling/GC interference spikes; override BENCHTIME for
+# steadier numbers still (e.g. make bench BENCHTIME=1s) and BENCH to
+# record under a different name (e.g. make bench BENCH=BENCH_local.json).
 BENCHTIME ?= 0.2s
+BENCHCOUNT ?= 3
+BENCH ?= BENCH_PR3.json
+BENCH_BASE ?= BENCH_PR2.json
+BENCH_THRESHOLD ?= 0.35
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | $(GO) run ./cmd/benchjson -o $(BENCH)
+
+# Diff the committed benchmark records: fails if any B/op or allocs/op
+# metric in $(BENCH) regressed more than BENCH_THRESHOLD (fractional)
+# against $(BENCH_BASE), or any ns/op more than twice that — the memory
+# metrics are deterministic, wall clock on a shared 1-CPU box is not.
+bench-diff:
+	$(GO) run ./cmd/benchjson -baseline $(BENCH_BASE) -compare $(BENCH) -threshold $(BENCH_THRESHOLD)
 
 # Regenerate every experiment at full scale (the EXPERIMENTS.md numbers).
 experiments:

@@ -248,12 +248,23 @@ func BenchmarkE21_GhostAdvantage(b *testing.B) {
 // --- substrate micro-benchmarks ---
 
 func BenchmarkAppendMemoryAppend(b *testing.B) {
+	// Restart the memory every 64k appends: experiments run many
+	// bounded histories, not one unbounded one, and without the bound
+	// the benchmark mostly times the GC marking a multi-hundred-MB
+	// live heap whenever b.N grows past a few million.
 	m := appendmem.New(8)
 	w := m.Writer(0)
 	parent := appendmem.None
+	parents := []appendmem.MsgID{parent}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		msg := w.MustAppend(1, 0, []appendmem.MsgID{parent})
+		if i&(1<<16-1) == 0 && i > 0 {
+			m = appendmem.New(8)
+			w = m.Writer(0)
+			parent = appendmem.None
+		}
+		parents[0] = parent
+		msg := w.MustAppend(1, 0, parents)
 		parent = msg.ID
 	}
 }

@@ -1,16 +1,30 @@
 // Command benchjson converts `go test -bench` output into a machine-readable
-// JSON record. It reads the benchmark output on stdin, echoes it through to
-// stdout unchanged (so the human-readable numbers stay visible in the
-// terminal), and writes the parsed records to the -o file.
+// JSON record and compares records across runs.
 //
-// Usage:
+// Record mode (the default) reads the benchmark output on stdin, echoes it
+// through to stdout unchanged (so the human-readable numbers stay visible
+// in the terminal), and writes the parsed records to the -o file:
 //
 //	go test -run='^$' -bench=. -benchmem | benchjson -o BENCH.json
 //
 // Each `BenchmarkName-P  N  v1 unit1  v2 unit2 ...` result line becomes one
 // record with the benchmark name (GOMAXPROCS suffix split off), the
 // iteration count, and a metrics map keyed by unit (ns/op, B/op, allocs/op,
-// plus any custom b.ReportMetric units).
+// plus any custom b.ReportMetric units). Repeated results for the same
+// benchmark (`go test -count=N`) are merged by per-metric minimum — the
+// usual noise-robust estimator, since scheduling and GC interference only
+// ever inflate a measurement.
+//
+// Compare mode diffs two committed records without running anything:
+//
+//	benchjson -baseline BENCH_PR2.json -compare BENCH_PR3.json -threshold 0.3
+//
+// It prints per-benchmark ns/op, B/op and allocs/op deltas and exits 1 when
+// any metric regressed by more than the threshold (a fraction: 0.3 means
+// +30%). Passing -baseline together with -o applies the same gate to a
+// freshly recorded run:
+//
+//	go test -run='^$' -bench=. -benchmem | benchjson -o BENCH.json -baseline OLD.json
 package main
 
 import (
@@ -19,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -65,12 +80,137 @@ func parseLine(line string) (benchmark, bool) {
 	return b, len(b.Metrics) > 0
 }
 
+// readRecord loads a benchjson -o file.
+func readRecord(path string) (record, error) {
+	var rec record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// compareUnits are the metrics diffed by compare mode, in display order.
+// Only ns/op is wall-clock noisy; B/op and allocs/op are effectively
+// deterministic for these benchmarks, so compare gates them with the
+// tight threshold and ns/op with the looser timeThreshold.
+var compareUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// compare prints the per-benchmark deltas of cur vs base and returns the
+// number of regressions: metrics whose relative increase exceeds their
+// threshold. Benchmarks present on only one side are reported but never
+// count as regressions (adding or removing a benchmark is a deliberate
+// act).
+func compare(base, cur record, threshold, timeThreshold float64) int {
+	baseBy := make(map[string]benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	curBy := make(map[string]benchmark, len(cur.Benchmarks))
+	names := make([]string, 0, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+
+	regressions := 0
+	fmt.Printf("%-36s %14s %14s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, name := range names {
+		nb := curBy[name]
+		ob, ok := baseBy[name]
+		if !ok {
+			fmt.Printf("%-36s %s\n", name, "(new benchmark, no baseline)")
+			continue
+		}
+		cells := make([]string, len(compareUnits))
+		for i, unit := range compareUnits {
+			nv, nok := nb.Metrics[unit]
+			ov, ook := ob.Metrics[unit]
+			switch {
+			case !nok || !ook:
+				cells[i] = "-"
+			case ov == 0:
+				if nv == 0 {
+					cells[i] = "0 = 0"
+				} else {
+					cells[i] = fmt.Sprintf("0 -> %g", nv)
+				}
+			default:
+				rel := (nv - ov) / ov
+				limit := threshold
+				if unit == "ns/op" {
+					limit = timeThreshold
+				}
+				mark := ""
+				if rel > limit {
+					mark = " !"
+					regressions++
+				}
+				cells[i] = fmt.Sprintf("%+.1f%%%s", 100*rel, mark)
+			}
+		}
+		fmt.Printf("%-36s %14s %14s %14s\n", name, cells[0], cells[1], cells[2])
+	}
+	var removed []string
+	for name := range baseBy {
+		if _, ok := curBy[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("%-36s %s\n", name, "(removed: in baseline only)")
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d metric(s) regressed past the threshold (B/op, allocs/op: %.0f%%; ns/op: %.0f%%)\n",
+			regressions, 100*threshold, 100*timeThreshold)
+	} else {
+		fmt.Printf("benchjson: no regression past the threshold (B/op, allocs/op: %.0f%%; ns/op: %.0f%%)\n",
+			100*threshold, 100*timeThreshold)
+	}
+	return regressions
+}
+
 func main() {
-	out := flag.String("o", "", "write the JSON records to this file (required)")
+	out := flag.String("o", "", "write the JSON records parsed from stdin to this file")
+	baseline := flag.String("baseline", "", "baseline JSON record to compare against")
+	compareWith := flag.String("compare", "", "compare this JSON record to -baseline without reading stdin")
+	threshold := flag.Float64("threshold", 0.25, "relative regression threshold for B/op and allocs/op (0.25 = +25%)")
+	timeThreshold := flag.Float64("time-threshold", -1, "relative regression threshold for ns/op; default 2x -threshold (wall clock is the noisy metric)")
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
+	if *timeThreshold < 0 {
+		*timeThreshold = 2 * *threshold
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Pure compare mode: diff two committed records.
+	if *compareWith != "" {
+		if *baseline == "" {
+			fail(fmt.Errorf("-compare requires -baseline"))
+		}
+		base, err := readRecord(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		cur, err := readRecord(*compareWith)
+		if err != nil {
+			fail(err)
+		}
+		if compare(base, cur, *threshold, *timeThreshold) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *out == "" {
+		fail(fmt.Errorf("-o is required (or use -baseline with -compare)"))
 	}
 
 	rec := record{}
@@ -90,23 +230,44 @@ func main() {
 			rec.CPU = strings.TrimPrefix(line, "cpu: ")
 		default:
 			if b, ok := parseLine(line); ok {
-				rec.Benchmarks = append(rec.Benchmarks, b)
+				merged := false
+				for i := range rec.Benchmarks {
+					if rec.Benchmarks[i].Name == b.Name {
+						for unit, v := range b.Metrics {
+							if old, ok := rec.Benchmarks[i].Metrics[unit]; !ok || v < old {
+								rec.Benchmarks[i].Metrics[unit] = v
+							}
+						}
+						merged = true
+						break
+					}
+				}
+				if !merged {
+					rec.Benchmarks = append(rec.Benchmarks, b)
+				}
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rec.Benchmarks), *out)
+
+	if *baseline != "" {
+		base, err := readRecord(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		if compare(base, rec, *threshold, *timeThreshold) > 0 {
+			os.Exit(1)
+		}
+	}
 }

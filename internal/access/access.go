@@ -116,6 +116,7 @@ type PoissonAuthority struct {
 	seq     int
 	handle  func(Grant)
 	active  bool
+	tick    func() // fire bound once, so scheduling a grant allocates nothing
 }
 
 // NewPoissonAuthority creates an authority for n nodes where each node's
@@ -145,24 +146,29 @@ func (a *PoissonAuthority) Stop() { a.active = false }
 func (a *PoissonAuthority) Issued() int { return a.seq }
 
 func (a *PoissonAuthority) scheduleNext() {
+	if a.tick == nil {
+		a.tick = a.fire
+	}
 	wait := sim.Time(a.rng.Exp(a.rate))
-	a.s.After(wait, func() {
-		if !a.active {
-			return
-		}
-		node := appendmem.NodeID(a.rng.Intn(a.n))
-		if a.weights != nil {
-			node = appendmem.NodeID(a.rng.Pick(a.weights))
-		}
-		g := Grant{
-			Node: node,
-			At:   a.s.Now(),
-			Seq:  a.seq,
-		}
-		a.seq++
-		a.handle(g)
-		a.scheduleNext()
-	})
+	a.s.After(wait, a.tick)
+}
+
+func (a *PoissonAuthority) fire() {
+	if !a.active {
+		return
+	}
+	node := appendmem.NodeID(a.rng.Intn(a.n))
+	if a.weights != nil {
+		node = appendmem.NodeID(a.rng.Pick(a.weights))
+	}
+	g := Grant{
+		Node: node,
+		At:   a.s.Now(),
+		Seq:  a.seq,
+	}
+	a.seq++
+	a.handle(g)
+	a.scheduleNext()
 }
 
 // RoundRobinAuthority is the burst-free counterpart of PoissonAuthority:
@@ -179,6 +185,7 @@ type RoundRobinAuthority struct {
 	seq    int
 	handle func(Grant)
 	active bool
+	tick   func() // fire bound once, so scheduling a grant allocates nothing
 }
 
 // NewRoundRobinAuthority creates the deterministic authority with the
@@ -206,19 +213,24 @@ func (a *RoundRobinAuthority) Stop() { a.active = false }
 func (a *RoundRobinAuthority) Issued() int { return a.seq }
 
 func (a *RoundRobinAuthority) scheduleNext() {
-	a.s.After(a.gap, func() {
-		if !a.active {
-			return
-		}
-		g := Grant{
-			Node: appendmem.NodeID(a.seq % a.n),
-			At:   a.s.Now(),
-			Seq:  a.seq,
-		}
-		a.seq++
-		a.handle(g)
-		a.scheduleNext()
-	})
+	if a.tick == nil {
+		a.tick = a.fire
+	}
+	a.s.After(a.gap, a.tick)
+}
+
+func (a *RoundRobinAuthority) fire() {
+	if !a.active {
+		return
+	}
+	g := Grant{
+		Node: appendmem.NodeID(a.seq % a.n),
+		At:   a.s.Now(),
+		Seq:  a.seq,
+	}
+	a.seq++
+	a.handle(g)
+	a.scheduleNext()
 }
 
 // NewWeightedPoissonAuthority generalizes NewPoissonAuthority to

@@ -31,10 +31,56 @@ import (
 	"repro/internal/access"
 	"repro/internal/appendmem"
 	"repro/internal/node"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
+
+// trialScratch is the reusable per-run state: the simulator (whose event
+// heap keeps its high-water-mark capacity across runs) and the per-node
+// scratch slices. Pooled via scratchPool so parallel trial fan-outs reuse
+// warmed-up capacity instead of re-growing it every run; everything in it
+// is re-initialized by RunRandomized, and nothing in it escapes into the
+// returned Result (the Memory, which does escape, is never pooled).
+type trialScratch struct {
+	sim      *sim.Sim
+	lastView []appendmem.View
+	crashAt  []sim.Time
+	rules    []HonestRule
+	rngs     []*xrand.PCG
+	readAt   []sim.Time
+	readFns  []func()
+}
+
+var scratchPool = runner.NewPool(func() *trialScratch {
+	return &trialScratch{sim: sim.New()}
+})
+
+// release zeroes the scratch (dropping references into the run's Memory and
+// rule state) and returns it to the pool.
+func (ts *trialScratch) release() {
+	ts.sim.Reset()
+	for i := range ts.lastView {
+		ts.lastView[i] = appendmem.View{}
+	}
+	for i := range ts.rules {
+		ts.rules[i] = nil
+	}
+	for i := range ts.rngs {
+		ts.rngs[i] = nil
+	}
+	for i := range ts.readFns {
+		ts.readFns[i] = nil
+	}
+	ts.lastView = ts.lastView[:0]
+	ts.crashAt = ts.crashAt[:0]
+	ts.rules = ts.rules[:0]
+	ts.rngs = ts.rngs[:0]
+	ts.readAt = ts.readAt[:0]
+	ts.readFns = ts.readFns[:0]
+	scratchPool.Put(ts)
+}
 
 // RandomizedConfig configures one run under randomized memory access.
 type RandomizedConfig struct {
@@ -276,12 +322,15 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	root := xrand.New(cfg.Seed, 0xA11CE)
 	rngAuthority := root.Split()
 	rngAdv := root.Split()
-	nodeRngs := make([]*xrand.PCG, cfg.N)
+	scratch := scratchPool.Get()
+	defer scratch.release()
+	nodeRngs := runner.Resize(scratch.rngs, cfg.N)
+	scratch.rngs = nodeRngs
 	for i := range nodeRngs {
 		nodeRngs[i] = root.Split()
 	}
 
-	s := sim.New()
+	s := scratch.sim
 	mem := appendmem.New(cfg.N)
 	roster := node.NewRoster(cfg.N, cfg.T).WithCrashes(cfg.Crashes)
 	outcome := node.NewOutcome(cfg.N)
@@ -297,7 +346,8 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	// Expected run duration: K appends at aggregate rate Nλ/Δ, doubled for
 	// slack; used only to place crash times.
 	expDuration := sim.Time(2 * float64(cfg.K) * cfg.Delta / (cfg.Lambda * float64(cfg.N)))
-	crashAt := make([]sim.Time, cfg.N)
+	crashAt := runner.Resize(scratch.crashAt, cfg.N)
+	scratch.crashAt = crashAt
 	for i := range crashAt {
 		crashAt[i] = sim.Time(math.Inf(1))
 		if roster.Role(appendmem.NodeID(i)) == node.Crash {
@@ -306,7 +356,8 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	}
 	alive := func(id appendmem.NodeID) bool { return s.Now() < crashAt[id] }
 
-	lastView := make([]appendmem.View, cfg.N)
+	lastView := runner.Resize(scratch.lastView, cfg.N)
+	scratch.lastView = lastView
 	for i := range lastView {
 		lastView[i] = mem.ViewAt(0)
 	}
@@ -314,7 +365,8 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	// Per-node rule instances: a correct node's views grow monotonically
 	// over the run, so a rule with per-node state (cached substrate
 	// indexes) extends one index per node instead of rebuilding per step.
-	nodeRules := make([]HonestRule, cfg.N)
+	nodeRules := runner.Resize(scratch.rules, cfg.N)
+	scratch.rules = nodeRules
 	for i := range nodeRules {
 		if !roster.IsByzantine(appendmem.NodeID(i)) {
 			nodeRules[i] = nodeRule(rule)
@@ -438,16 +490,26 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	}
 
 	// Per-node read schedule: refresh view and attempt decision every Δ at
-	// a fixed per-node phase.
-	var scheduleRead func(id appendmem.NodeID, at sim.Time)
-	scheduleRead = func(id appendmem.NodeID, at sim.Time) {
-		s.At(at, func() {
+	// a fixed per-node phase. Each node gets ONE closure for the whole run;
+	// rescheduling re-queues that same func value, so the steady state of
+	// the read loop allocates nothing.
+	readAt := runner.Resize(scratch.readAt, cfg.N)
+	scratch.readAt = readAt
+	readFns := runner.Resize(scratch.readFns, cfg.N)
+	scratch.readFns = readFns
+	for i := 0; i < cfg.N; i++ {
+		id := appendmem.NodeID(i)
+		if roster.IsByzantine(id) {
+			continue
+		}
+		readFns[id] = func() {
 			if done || !alive(id) || roster.IsByzantine(id) {
 				return
 			}
 			if s.Now() < stallUntil {
 				// Blacked out: no refresh, no decision; try again later.
-				scheduleRead(id, at+sim.Time(cfg.Delta))
+				readAt[id] += sim.Time(cfg.Delta)
+				s.At(readAt[id], readFns[id])
 				return
 			}
 			lastView[id] = mem.Read()
@@ -467,15 +529,17 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 					}
 				}
 			}
-			scheduleRead(id, at+sim.Time(cfg.Delta))
-		})
+			readAt[id] += sim.Time(cfg.Delta)
+			s.At(readAt[id], readFns[id])
+		}
 	}
 	for i := 0; i < cfg.N; i++ {
 		id := appendmem.NodeID(i)
 		if roster.IsByzantine(id) {
 			continue
 		}
-		scheduleRead(id, sim.Time(root.Float64()*cfg.Delta))
+		readAt[id] = sim.Time(root.Float64() * cfg.Delta)
+		s.At(readAt[id], readFns[id])
 	}
 
 	authority.Start()

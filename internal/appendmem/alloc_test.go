@@ -1,0 +1,82 @@
+package appendmem
+
+import "testing"
+
+// TestAppendNoAllocs pins the tentpole property of the slab layout: an
+// append whose chunk, parent arena and author register all have spare
+// capacity allocates nothing — no per-message box, no per-parents slice.
+// The 520-append warm-up parks the memory mid-chunk (chunk 5 spans ids
+// 496..1007) with arena and register capacity past the measured window,
+// so the measured appends never cross a growth boundary.
+func TestAppendNoAllocs(t *testing.T) {
+	m := New(4)
+	w := m.Writer(0)
+	parents := []MsgID{None}
+	for i := 0; i < 520; i++ {
+		msg := w.MustAppend(int64(i), 0, parents)
+		parents[0] = msg.ID
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		msg := w.MustAppend(1, 0, parents)
+		parents[0] = msg.ID
+	})
+	if allocs != 0 {
+		t.Fatalf("append allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestViewEachNoAllocs pins allocation-free full-view iteration: Each
+// walks the per-author registers in (author, seq) order with no sorting
+// scratch and no per-message boxing.
+func TestViewEachNoAllocs(t *testing.T) {
+	m := New(4)
+	parents := []MsgID{None}
+	for i := 0; i < 200; i++ {
+		msg := m.Writer(NodeID(i % 4)).MustAppend(int64(i), 0, parents)
+		parents[0] = msg.ID
+	}
+	v := m.Read()
+
+	var sum int64
+	yield := func(msg *Message) bool {
+		sum += msg.Value
+		return true
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sum = 0
+		v.Each(yield)
+	})
+	if allocs != 0 {
+		t.Fatalf("full-view Each allocated %.1f times per op, want 0", allocs)
+	}
+	var want int64
+	for i := 0; i < 200; i++ {
+		want += int64(i)
+	}
+	if sum != want {
+		t.Fatalf("Each visited the wrong messages: sum=%d want=%d", sum, want)
+	}
+}
+
+// TestAppendStablePointers checks the property the whole zero-alloc design
+// rests on: growing the memory never moves already-returned messages.
+func TestAppendStablePointers(t *testing.T) {
+	m := New(2)
+	w := m.Writer(0)
+	var ptrs []*Message
+	parents := []MsgID{None}
+	for i := 0; i < 5000; i++ {
+		msg := w.MustAppend(int64(i), 0, parents)
+		parents[0] = msg.ID
+		ptrs = append(ptrs, msg)
+	}
+	for i, p := range ptrs {
+		if m.Message(MsgID(i)) != p {
+			t.Fatalf("message %d moved: %p vs %p", i, m.Message(MsgID(i)), p)
+		}
+		if p.Value != int64(i) {
+			t.Fatalf("message %d corrupted: value %d", i, p.Value)
+		}
+	}
+}

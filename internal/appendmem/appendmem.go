@@ -22,6 +22,16 @@
 // where a message "contains some value from this node and a reference to a
 // previous state of the memory".
 //
+// # Storage
+//
+// Messages live by value in chunked slabs: fixed-capacity []Message chunks
+// that are appended to but never reallocated, so a *Message obtained from
+// any accessor stays valid (and stable) for the life of the Memory. Parent
+// references are packed into a shared per-Memory arena with the same
+// stability guarantee. The steady state of an append — no chunk or arena
+// boundary crossed — performs zero heap allocations; boundary crossings
+// amortize to one allocation per chunkSize messages.
+//
 // A Memory is not safe for concurrent use; the deterministic simulator
 // drives each run from a single goroutine, and parallel trials use disjoint
 // Memory instances.
@@ -30,7 +40,7 @@ package appendmem
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // NodeID identifies a node (register owner) in [0, n).
@@ -61,12 +71,35 @@ var (
 	ErrUnknownParent = errors.New("appendmem: parent reference not in memory")
 )
 
+// Slab geometry. Chunk k holds baseChunk<<k messages — capacities double,
+// so a small run (one protocol trial) allocates one small chunk while a
+// large memory amortizes to O(log n) chunk allocations, like a growing
+// slice but without copying. The arena packs parent references in blocks
+// that also double, from arenaBase up to arenaMax. Chunks and arena
+// blocks are append-only and never grown past their fixed capacity,
+// which is what keeps interior pointers stable.
+const (
+	baseShift = 4 // first chunk holds 16 messages
+	baseChunk = 1 << baseShift
+	arenaBase = 64
+	arenaMax  = 16384
+)
+
+// chunkOf maps a message id to its (chunk index, offset): chunk k spans
+// ids [baseChunk·(2^k−1), baseChunk·(2^(k+1)−1)).
+func chunkOf(id MsgID) (int, int) {
+	k := bits.Len64(uint64(id)>>baseShift+1) - 1
+	return k, int(id) - ((1<<k)-1)<<baseShift
+}
+
 // Memory is the shared append memory for n nodes.
 type Memory struct {
 	n       int
-	log     []*Message // arrival order; index == MsgID
-	regs    [][]MsgID  // per-author registers, in author order
-	writers []*Writer
+	size    int         // total messages appended; the next MsgID
+	chunks  [][]Message // arrival order; message id lives in chunks[id>>chunkShift][id&chunkMask]
+	regs    [][]MsgID   // per-author registers, in author order
+	writers []Writer
+	arena   []MsgID // current parent-reference arena block
 }
 
 // New creates an append memory for n nodes. It panics when n <= 0.
@@ -74,9 +107,9 @@ func New(n int) *Memory {
 	if n <= 0 {
 		panic("appendmem: New with non-positive n")
 	}
-	m := &Memory{n: n, regs: make([][]MsgID, n), writers: make([]*Writer, n)}
+	m := &Memory{n: n, regs: make([][]MsgID, n), writers: make([]Writer, n)}
 	for i := range m.writers {
-		m.writers[i] = &Writer{mem: m, owner: NodeID(i)}
+		m.writers[i] = Writer{mem: m, owner: NodeID(i)}
 	}
 	return m
 }
@@ -85,7 +118,13 @@ func New(n int) *Memory {
 func (m *Memory) NumNodes() int { return m.n }
 
 // Len returns the total number of messages appended so far.
-func (m *Memory) Len() int { return len(m.log) }
+func (m *Memory) Len() int { return m.size }
+
+// msg returns the message with a valid id. Callers check the range.
+func (m *Memory) msg(id MsgID) *Message {
+	ci, off := chunkOf(id)
+	return &m.chunks[ci][off]
+}
 
 // Writer returns the append capability of node id. There is exactly one
 // Writer per register; handing it to one node enforces the single-writer
@@ -94,28 +133,28 @@ func (m *Memory) Writer(id NodeID) *Writer {
 	if id < 0 || int(id) >= m.n {
 		panic(fmt.Sprintf("appendmem: Writer(%d) out of range [0,%d)", id, m.n))
 	}
-	return m.writers[id]
+	return &m.writers[id]
 }
 
 // Message returns the message with the given id, or nil when the id is
 // invalid or None.
 func (m *Memory) Message(id MsgID) *Message {
-	if id < 0 || int(id) >= len(m.log) {
+	if id < 0 || int(id) >= m.size {
 		return nil
 	}
-	return m.log[id]
+	return m.msg(id)
 }
 
 // Read returns the current full view of the memory, M.read() in the paper.
 // The view is an immutable snapshot: later appends do not affect it.
-func (m *Memory) Read() View { return View{mem: m, size: len(m.log)} }
+func (m *Memory) Read() View { return View{mem: m, size: m.size} }
 
 // ViewAt returns the view consisting of the first size appended messages.
 // It panics when size is negative or exceeds Len. ViewAt(0) is the empty
 // initial memory state M(0).
 func (m *Memory) ViewAt(size int) View {
-	if size < 0 || size > len(m.log) {
-		panic(fmt.Sprintf("appendmem: ViewAt(%d) out of range [0,%d]", size, len(m.log)))
+	if size < 0 || size > m.size {
+		panic(fmt.Sprintf("appendmem: ViewAt(%d) out of range [0,%d]", size, m.size))
 	}
 	return View{mem: m, size: size}
 }
@@ -134,11 +173,51 @@ func (m *Memory) Register(id NodeID) []MsgID {
 // timestamp baseline protocol (Algorithm 4) may use it. The returned slice
 // is a copy in arrival order.
 func (m *Memory) Timestamps() []MsgID {
-	ids := make([]MsgID, len(m.log))
-	for i, msg := range m.log {
-		ids[i] = msg.ID
+	ids := make([]MsgID, m.size)
+	for i := range ids {
+		ids[i] = MsgID(i)
 	}
 	return ids
+}
+
+// append stores one message in the slabs and returns its stable address.
+func (m *Memory) append(author NodeID, value int64, round int, parents []MsgID) *Message {
+	ci, _ := chunkOf(MsgID(m.size))
+	if ci == len(m.chunks) {
+		m.chunks = append(m.chunks, make([]Message, 0, baseChunk<<ci))
+	}
+	var ps []MsgID
+	if len(parents) > 0 {
+		if cap(m.arena)-len(m.arena) < len(parents) {
+			c := cap(m.arena) * 2
+			if c < arenaBase {
+				c = arenaBase
+			}
+			if c > arenaMax {
+				c = arenaMax
+			}
+			if len(parents) > c {
+				c = len(parents)
+			}
+			m.arena = make([]MsgID, 0, c)
+		}
+		start := len(m.arena)
+		m.arena = append(m.arena, parents...)
+		ps = m.arena[start:len(m.arena):len(m.arena)]
+	}
+	chunk := append(m.chunks[ci], Message{
+		ID:      MsgID(m.size),
+		Author:  author,
+		Seq:     len(m.regs[author]),
+		Value:   value,
+		Round:   round,
+		Parents: ps,
+	})
+	m.chunks[ci] = chunk
+	msg := &chunk[len(chunk)-1]
+	m.regs[author] = append(m.regs[author], msg.ID)
+	m.size++
+	return msg
 }
 
 // Writer is the exclusive append capability for one register.
@@ -161,7 +240,8 @@ func (w *Writer) Crash() { w.crashed = true }
 // Append appends a message carrying value, round and parent references to
 // the owner's register and returns it. Parents must already be in memory
 // (a node may reference an obsolete state, but never a future one). The
-// append is visible to all subsequent reads.
+// append is visible to all subsequent reads. The returned pointer is
+// stable for the life of the Memory; parents are copied.
 func (w *Writer) Append(value int64, round int, parents []MsgID) (*Message, error) {
 	if w.crashed {
 		return nil, ErrCrashed
@@ -174,17 +254,7 @@ func (w *Writer) Append(value int64, round int, parents []MsgID) (*Message, erro
 			return nil, fmt.Errorf("%w: %d", ErrUnknownParent, p)
 		}
 	}
-	msg := &Message{
-		ID:      MsgID(len(w.mem.log)),
-		Author:  w.owner,
-		Seq:     len(w.mem.regs[w.owner]),
-		Value:   value,
-		Round:   round,
-		Parents: append([]MsgID(nil), parents...),
-	}
-	w.mem.log = append(w.mem.log, msg)
-	w.mem.regs[w.owner] = append(w.mem.regs[w.owner], msg.ID)
-	return msg, nil
+	return w.mem.append(w.owner, value, round, parents), nil
 }
 
 // MustAppend is Append but panics on error; for protocol code where a
@@ -220,7 +290,26 @@ func (v View) Message(id MsgID) *Message {
 	if !v.Contains(id) {
 		return nil
 	}
-	return v.mem.log[id]
+	return v.mem.msg(id)
+}
+
+// Each calls yield for every message in the view in (author, seq) order —
+// the same order Messages returns — stopping early when yield returns
+// false. It allocates nothing: per-author registers are walked in author
+// order, and within one author register order equals arrival order, so the
+// visible prefix of each register is exactly the author's messages in the
+// view.
+func (v View) Each(yield func(*Message) bool) {
+	for _, reg := range v.mem.regs {
+		for _, id := range reg {
+			if !v.Contains(id) {
+				break
+			}
+			if !yield(v.mem.msg(id)) {
+				return
+			}
+		}
+	}
 }
 
 // Messages returns all messages in the view sorted by (author, seq). This
@@ -228,13 +317,10 @@ func (v View) Message(id MsgID) *Message {
 // interleaving across registers, so protocols cannot extract a total order
 // the model forbids.
 func (v View) Messages() []*Message {
-	msgs := make([]*Message, v.size)
-	copy(msgs, v.mem.log[:v.size])
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].Author != msgs[j].Author {
-			return msgs[i].Author < msgs[j].Author
-		}
-		return msgs[i].Seq < msgs[j].Seq
+	msgs := make([]*Message, 0, v.size)
+	v.Each(func(m *Message) bool {
+		msgs = append(msgs, m)
+		return true
 	})
 	return msgs
 }
@@ -247,7 +333,7 @@ func (v View) ByAuthor(id NodeID) []*Message {
 		if !v.Contains(mid) {
 			break // register order equals arrival order per author
 		}
-		msgs = append(msgs, v.mem.log[mid])
+		msgs = append(msgs, v.mem.msg(mid))
 	}
 	return msgs
 }
@@ -256,16 +342,11 @@ func (v View) ByAuthor(id NodeID) []*Message {
 // sorted by (author, seq).
 func (v View) ByRound(round int) []*Message {
 	var msgs []*Message
-	for _, msg := range v.mem.log[:v.size] {
-		if msg.Round == round {
-			msgs = append(msgs, msg)
+	v.Each(func(m *Message) bool {
+		if m.Round == round {
+			msgs = append(msgs, m)
 		}
-	}
-	sort.Slice(msgs, func(i, j int) bool {
-		if msgs[i].Author != msgs[j].Author {
-			return msgs[i].Author < msgs[j].Author
-		}
-		return msgs[i].Seq < msgs[j].Seq
+		return true
 	})
 	return msgs
 }
@@ -276,7 +357,9 @@ func (v View) ByRound(round int) []*Message {
 // (Algorithm 4); chain and DAG protocols are forbidden this information.
 func (v View) ArrivalOrder() []*Message {
 	msgs := make([]*Message, v.size)
-	copy(msgs, v.mem.log[:v.size])
+	for i := range msgs {
+		msgs[i] = v.mem.msg(MsgID(i))
+	}
 	return msgs
 }
 
@@ -297,6 +380,8 @@ func (v View) Diff(older View) []*Message {
 		panic("appendmem: Diff with newer 'older' view")
 	}
 	msgs := make([]*Message, v.size-older.size)
-	copy(msgs, v.mem.log[older.size:v.size])
+	for i := range msgs {
+		msgs[i] = v.mem.msg(MsgID(older.size + i))
+	}
 	return msgs
 }

@@ -33,7 +33,7 @@ package bivalence
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -78,16 +78,33 @@ type Config struct {
 }
 
 // Key returns the canonical string identity of the configuration.
-func (c Config) Key() string {
-	var b strings.Builder
+func (c Config) Key() string { return string(appendKey(nil, c)) }
+
+// appendKey appends c's canonical identity — "[data|decided|decision]" per
+// state, '#', "(author,seq,value)" per message — to buf and returns it.
+// Explore reuses one scratch buffer through it, so checking whether a
+// successor configuration was already visited allocates nothing.
+func appendKey(buf []byte, c Config) []byte {
 	for _, s := range c.States {
-		fmt.Fprintf(&b, "[%s|%v|%d]", s.Data, s.Decided, s.Decision)
+		buf = append(buf, '[')
+		buf = append(buf, s.Data...)
+		buf = append(buf, '|')
+		buf = strconv.AppendBool(buf, s.Decided)
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(s.Decision), 10)
+		buf = append(buf, ']')
 	}
-	b.WriteByte('#')
+	buf = append(buf, '#')
 	for _, m := range c.Mem {
-		fmt.Fprintf(&b, "(%d,%d,%d)", m.Author, m.Seq, m.Value)
+		buf = append(buf, '(')
+		buf = strconv.AppendInt(buf, int64(m.Author), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(m.Seq), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(m.Value), 10)
+		buf = append(buf, ')')
 	}
-	return b.String()
+	return buf
 }
 
 // Initial returns the initial configuration for the given inputs.
@@ -108,21 +125,24 @@ func Apply(p Protocol, c Config, node int) (Config, bool) {
 	}
 	op := p.Next(node, s)
 	if op.Append {
+		// Mem is kept sorted by (author, seq) and the new message carries
+		// the author's next seq, so its slot is right after the author's
+		// existing block: one scan finds both the seq and the insertion
+		// point, no re-sort needed.
 		seq := 0
-		for _, m := range c.Mem {
+		pos := len(c.Mem)
+		for i, m := range c.Mem {
 			if m.Author == node {
 				seq++
+			} else if m.Author > node {
+				pos = i
+				break
 			}
 		}
-		mem := make([]Msg, len(c.Mem), len(c.Mem)+1)
-		copy(mem, c.Mem)
-		mem = append(mem, Msg{Author: node, Seq: seq, Value: op.Value})
-		sort.Slice(mem, func(i, j int) bool {
-			if mem[i].Author != mem[j].Author {
-				return mem[i].Author < mem[j].Author
-			}
-			return mem[i].Seq < mem[j].Seq
-		})
+		mem := make([]Msg, len(c.Mem)+1)
+		copy(mem, c.Mem[:pos])
+		mem[pos] = Msg{Author: node, Seq: seq, Value: op.Value}
+		copy(mem[pos+1:], c.Mem[pos:])
 		states := append([]State(nil), c.States...)
 		states[node] = p.OnAppend(node, s)
 		return Config{States: states, Mem: mem}, true
@@ -146,6 +166,7 @@ type Graph struct {
 	succ      [][]int // succ[i][node] = successor config index
 	valency   []uint8 // bit0: decision 0 reachable; bit1: decision 1
 	truncated bool
+	keyBuf    []byte // scratch for appendKey during exploration
 }
 
 // Explore builds the computation graph from c0, bounded by maxConfigs.
@@ -154,12 +175,12 @@ type Graph struct {
 func Explore(p Protocol, c0 Config, maxConfigs int) *Graph {
 	g := &Graph{p: p, n: len(c0.States), index: make(map[string]int)}
 	add := func(c Config) int {
-		k := c.Key()
-		if i, ok := g.index[k]; ok {
+		g.keyBuf = appendKey(g.keyBuf[:0], c)
+		if i, ok := g.index[string(g.keyBuf)]; ok { // no-alloc map probe
 			return i
 		}
 		i := len(g.configs)
-		g.index[k] = i
+		g.index[string(g.keyBuf)] = i
 		g.configs = append(g.configs, c)
 		g.succ = append(g.succ, nil)
 		return i
@@ -284,31 +305,30 @@ func (g *Graph) ExtendBivalence(i, p int) ([]int, bool) {
 }
 
 func (g *Graph) extend(i, p int, accept func(int) bool) ([]int, bool) {
-	type item struct {
-		cfg     int
-		stepped bool
-	}
-	seen := map[item]bool{}
-	prev := map[item]struct {
-		from item
-		ok   bool
-	}{}
-	start := item{i, false}
-	queue := []item{start}
+	// BFS items are (cfg, stepped) pairs, encoded as cfg<<1 | stepped and
+	// tracked in flat slices instead of maps — the search touches every
+	// reachable configuration twice at most, so dense indexing beats
+	// per-item map inserts. prev[x] holds the encoded predecessor + 1
+	// (0 = unset, i.e. the start item).
+	n2 := 2 * len(g.configs)
+	seen := make([]bool, n2)
+	prev := make([]int32, n2)
+	start := i << 1
+	queue := make([]int32, 1, 64)
+	queue[0] = int32(start)
 	seen[start] = true
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur.stepped && accept(cur.cfg) {
+	for qi := 0; qi < len(queue); qi++ {
+		cur := int(queue[qi])
+		cfg, stepped := cur>>1, cur&1 == 1
+		if stepped && accept(cfg) {
 			// Reconstruct path.
 			var rev []int
 			for at := cur; ; {
-				rev = append(rev, at.cfg)
-				pr, ok := prev[at]
-				if !ok || !pr.ok {
+				rev = append(rev, at>>1)
+				if prev[at] == 0 {
 					break
 				}
-				at = pr.from
+				at = int(prev[at]) - 1
 			}
 			path := make([]int, len(rev))
 			for k := range rev {
@@ -316,23 +336,22 @@ func (g *Graph) extend(i, p int, accept func(int) bool) ([]int, bool) {
 			}
 			return path, true
 		}
-		if g.succ[cur.cfg] == nil {
+		if g.succ[cfg] == nil {
 			continue // truncation frontier: successors unknown
 		}
 		for node := 0; node < g.n; node++ {
-			j := g.Succ(cur.cfg, node)
-			stepped := cur.stepped || node == p
-			if j == cur.cfg && node != p {
+			j := g.Succ(cfg, node)
+			if j == cfg && node != p {
 				continue
 			}
-			next := item{j, stepped}
+			next := j << 1
+			if stepped || node == p {
+				next |= 1
+			}
 			if !seen[next] {
 				seen[next] = true
-				prev[next] = struct {
-					from item
-					ok   bool
-				}{cur, true}
-				queue = append(queue, next)
+				prev[next] = int32(cur + 1)
+				queue = append(queue, int32(next))
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package bivalence
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -117,11 +118,16 @@ func (t *ThresholdVote) OnRead(_ int, s State, view []Msg) State {
 	if strings.HasPrefix(s.Data, "A:") {
 		return s // still has to append; reads before that change nothing
 	}
-	authors := map[int]bool{}
+	// The view is sorted by (author, seq), so distinct authors are the
+	// author-change boundaries — no set needed.
+	distinct, prev := 0, -1
 	for _, m := range view {
-		authors[m.Author] = true
+		if m.Author != prev {
+			distinct++
+			prev = m.Author
+		}
 	}
-	if len(authors) < t.Theta {
+	if distinct < t.Theta {
 		return s
 	}
 	return State{Data: s.Data, Decided: true, Decision: t.Decide.F(view)}
@@ -178,13 +184,29 @@ func (r *RetryVote) Name() string { return fmt.Sprintf("retry-vote(n=%d)", r.N) 
 
 // Init implements Protocol.
 func (r *RetryVote) Init(_, input int) State {
-	return State{Data: fmt.Sprintf("V:0:%d:a", input)}
+	return retryState(0, input, false)
+}
+
+// retryState renders the canonical "V:<phase>:<vote>:<a|r>" encoding.
+func retryState(phase, vote int, appended bool) State {
+	mode := ":a"
+	if appended {
+		mode = ":r"
+	}
+	return State{Data: "V:" + strconv.Itoa(phase) + ":" + strconv.Itoa(vote) + mode}
 }
 
 func parseRetry(data string) (phase, vote int, appended bool) {
-	var mode string
-	fmt.Sscanf(data, "V:%d:%d:%s", &phase, &vote, &mode)
-	return phase, vote, mode == "r"
+	// Inverse of retryState; a manual scan, since this runs on every
+	// Next/OnRead/OnAppend of the exploration.
+	i := 2
+	for ; i < len(data) && data[i] != ':'; i++ {
+		phase = phase*10 + int(data[i]-'0')
+	}
+	for i++; i < len(data) && data[i] != ':'; i++ {
+		vote = vote*10 + int(data[i]-'0')
+	}
+	return phase, vote, i+1 < len(data) && data[i+1] == 'r'
 }
 
 // Next implements Protocol.
@@ -199,7 +221,7 @@ func (r *RetryVote) Next(_ int, s State) Op {
 // OnAppend implements Protocol.
 func (r *RetryVote) OnAppend(_ int, s State) State {
 	phase, vote, _ := parseRetry(s.Data)
-	return State{Data: fmt.Sprintf("V:%d:%d:r", phase, vote)}
+	return retryState(phase, vote, true)
 }
 
 // OnRead implements Protocol.
@@ -209,20 +231,18 @@ func (r *RetryVote) OnRead(_ int, s State, view []Msg) State {
 		return s
 	}
 	// Phase-p votes are the appends with Seq == p.
-	var votes []int
+	count := [2]int{}
+	total := 0
 	for _, m := range view {
 		if m.Seq == phase {
-			votes = append(votes, m.Value)
+			count[m.Value]++
+			total++
 		}
 	}
-	if len(votes) < r.N-1 {
+	if total < r.N-1 {
 		return s
 	}
-	count := [2]int{}
-	for _, v := range votes {
-		count[v]++
-	}
-	if count[0] == len(votes) || count[1] == len(votes) {
+	if count[0] == total || count[1] == total {
 		d := 0
 		if count[1] > 0 {
 			d = 1
@@ -233,5 +253,5 @@ func (r *RetryVote) OnRead(_ int, s State, view []Msg) State {
 	if count[1] > count[0] {
 		adopt = 1
 	}
-	return State{Data: fmt.Sprintf("V:%d:%d:a", phase+1, adopt)}
+	return retryState(phase+1, adopt, false)
 }

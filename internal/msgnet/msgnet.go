@@ -56,6 +56,30 @@ type Network struct {
 	pubs     []ed25519.PublicKey
 	drop     func(Envelope) bool
 	stats    Stats
+
+	// In-flight envelopes, a value-typed min-heap ordered by (at, seq) —
+	// the same key the simulator fires by, so the single bound deliverNext
+	// callback (allocated once) always pops the envelope whose event is
+	// firing, instead of each Send allocating a capturing closure.
+	pending []delivery
+	dseq    uint64
+	tick    func()
+}
+
+// delivery is one in-flight envelope.
+type delivery struct {
+	at  sim.Time
+	seq uint64
+	env Envelope
+}
+
+// before orders deliveries exactly like the simulator orders their events:
+// scheduled time, then scheduling order.
+func (d *delivery) before(o *delivery) bool {
+	if d.at != o.at {
+		return d.at < o.at
+	}
+	return d.seq < o.seq
 }
 
 // New creates a network of n nodes on simulator s with delivery delays
@@ -141,11 +165,70 @@ func (nw *Network) Send(from, to appendmem.NodeID, kind string, body []byte) {
 	if delay == 0 {
 		delay = sim.Time(nw.maxDelay / 1e9)
 	}
-	nw.s.After(delay, func() {
-		if h := nw.handlers[env.To]; h != nil {
-			h(env)
+	if nw.tick == nil {
+		nw.tick = nw.deliverNext
+	}
+	nw.dseq++
+	nw.push(delivery{at: nw.s.Now() + delay, seq: nw.dseq, env: env})
+	nw.s.After(delay, nw.tick)
+}
+
+// push adds d to the pending min-heap.
+func (nw *Network) push(d delivery) {
+	h := append(nw.pending, d)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !d.before(&h[parent]) {
+			break
 		}
-	})
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = d
+	nw.pending = h
+}
+
+// pop removes and returns the minimum pending delivery.
+func (nw *Network) pop() delivery {
+	h := nw.pending
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = delivery{} // release the body
+	h = h[:n]
+	nw.pending = h
+	if n > 0 {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && h[r].before(&h[l]) {
+				m = r
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return min
+}
+
+// deliverNext fires the earliest in-flight envelope. The simulator fires
+// events in (time, scheduling-order) — the exact order of the pending
+// heap — so the popped envelope is always the one this event was
+// scheduled for.
+func (nw *Network) deliverNext() {
+	d := nw.pop()
+	if h := nw.handlers[d.env.To]; h != nil {
+		h(d.env)
+	}
 }
 
 // Broadcast sends to every node including the sender (the paper's

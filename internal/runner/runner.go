@@ -43,6 +43,45 @@ func Trials[T any](n int, base uint64, workers int, f func(seed uint64) T) []T {
 	return out
 }
 
+// Pool recycles per-trial state (a simulator, scratch slices) across the
+// trials of a fan-out, so parallel trials reuse warmed-up capacity instead
+// of re-growing it and fighting the GC. It is a typed wrapper over
+// sync.Pool: safe for concurrent Get/Put from trial workers, and drained by
+// the GC like any sync.Pool. Callers must fully re-initialize whatever
+// state they read — a pooled value carries only capacity, never content.
+type Pool[S any] struct {
+	p sync.Pool
+}
+
+// NewPool returns a pool producing fresh states with newFn when empty. S
+// should be a pointer type; non-pointer states would be boxed on every Put.
+func NewPool[S any](newFn func() S) *Pool[S] {
+	p := &Pool[S]{}
+	p.p.New = func() any { return newFn() }
+	return p
+}
+
+// Get returns a pooled or fresh state.
+func (p *Pool[S]) Get() S { return p.p.Get().(S) }
+
+// Put returns a state to the pool. The caller must not use it afterwards.
+func (p *Pool[S]) Put(s S) { p.p.Put(s) }
+
+// Resize returns s with length n and zeroed contents, reusing the backing
+// array when capacity allows — the scratch-slice companion of Pool. Zeroing
+// drops references a previous trial left behind.
+func Resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
 // CountTrue counts true values.
 func CountTrue(bs []bool) int {
 	n := 0

@@ -10,9 +10,14 @@
 // The simulator is single-goroutine by design. Parallelism in this
 // repository happens across independent trials (one Sim each), never inside
 // a run, which keeps executions replayable and the core free of locks.
+//
+// The event queue is a value-typed binary min-heap: events are stored
+// inline in one backing slice (no per-event pointer, no interface boxing),
+// so the steady state of a run — heap size fluctuating below its
+// high-water mark — schedules and fires events without allocating. The
+// ordering key (at, seq) is total (seq is unique), so the fire order is
+// independent of the heap's internal layout.
 package sim
-
-import "container/heap"
 
 // Time is virtual simulation time. The unit is arbitrary; protocols use Δ
 // (the synchrony bound) as their natural scale.
@@ -21,7 +26,7 @@ type Time float64
 // Sim is a discrete-event simulator. The zero value is ready to use.
 type Sim struct {
 	now     Time
-	events  eventHeap
+	events  []event // value-typed binary min-heap, ordered by (at, seq)
 	seq     uint64
 	stopped bool
 }
@@ -32,28 +37,71 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires before o: earlier time, scheduling order
+// breaking ties.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// siftUp restores the heap property after appending at index i.
+func (s *Sim) siftUp(i int) {
+	h := s.events
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(&h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// siftDown restores the heap property after replacing the root.
+func (s *Sim) siftDown() {
+	h := s.events
+	n := len(h)
+	e := h[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].before(&h[l]) {
+			m = r
+		}
+		if !h[m].before(&e) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = e
 }
 
 // New returns a fresh simulator with the clock at zero.
 func New() *Sim { return &Sim{} }
+
+// Reset returns the simulator to its initial state — clock at zero, no
+// pending events, not stopped — while retaining the event queue's backing
+// array, so a pooled Sim reuses its high-water-mark capacity across trials
+// instead of re-growing it. Queued event slots are zeroed to release their
+// closures to the GC.
+func (s *Sim) Reset() {
+	for i := range s.events {
+		s.events[i] = event{}
+	}
+	s.events = s.events[:0]
+	s.now = 0
+	s.seq = 0
+	s.stopped = false
+}
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
@@ -68,7 +116,8 @@ func (s *Sim) At(t Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.events = append(s.events, event{at: t, seq: s.seq, fn: fn})
+	s.siftUp(len(s.events) - 1)
 }
 
 // After schedules fn to run d time units from now. Negative d panics.
@@ -87,7 +136,14 @@ func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(*event)
+	e := s.events[0]
+	n := len(s.events) - 1
+	s.events[0] = s.events[n]
+	s.events[n] = event{} // release the closure
+	s.events = s.events[:n]
+	if n > 0 {
+		s.siftDown()
+	}
 	s.now = e.at
 	e.fn()
 	return true
