@@ -27,6 +27,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/xrand"
 )
 
@@ -308,6 +309,34 @@ func BenchmarkDagBuildAndLinearize1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		d := dag.Build(view)
 		_ = d.Linearize(d.GhostPivot())
+	}
+}
+
+// The Dispatch pair times the scheduler itself, not the trials: each
+// iteration fans 256 near-empty trial bodies out through the process-wide
+// pool (chunk claiming, work stealing, seed-order merge) and back. ns/op
+// and allocs/op here are the per-fan-out overhead an experiment pays on
+// top of its real per-trial work.
+
+func BenchmarkTrialsDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := runner.Trials(256, 1, 0, func(seed uint64) uint64 { return seed })
+		if len(out) != 256 {
+			b.Fatal("bad fan-out")
+		}
+	}
+}
+
+func BenchmarkTrialsReduceDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum := runner.TrialsReduce(256, 1, 0, uint64(0),
+			func(seed uint64) uint64 { return seed },
+			func(a, v uint64) uint64 { return a + v })
+		if sum == 0 {
+			b.Fatal("bad fold")
+		}
 	}
 }
 

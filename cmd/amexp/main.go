@@ -6,10 +6,16 @@
 //
 //	amexp -list
 //	amexp -e E10
+//	amexp -e E5,E8,E10
 //	amexp -e all -quick
 //	amexp -e E6 -trials 200 -seed 42
 //	amexp -e all -quick -format json -o results.json
 //	amexp -e all -quick -check
+//	amexp -e all -timing
+//
+// Selected experiments run concurrently on the shared trial scheduler;
+// output is still emitted in selection order, so it is byte-identical to
+// a serial run. -timing reports each experiment's wall clock on stderr.
 //
 // Exit codes: 0 on success, 1 on usage errors, 2 when -check finds a
 // failed prediction.
@@ -23,6 +29,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -36,7 +43,7 @@ func main() {
 // output files) execute before the process exits with a status code.
 func run() int {
 	all := experiments.All()
-	eHelp := fmt.Sprintf("experiment id (%s..%s) or 'all'", all[0].ID, all[len(all)-1].ID)
+	eHelp := fmt.Sprintf("experiment id (%s..%s), a comma-separated list, or 'all'", all[0].ID, all[len(all)-1].ID)
 	var (
 		exp     = flag.String("e", "all", eHelp)
 		trials  = flag.Int("trials", 0, "trials per parameter point (0 = experiment default)")
@@ -47,6 +54,7 @@ func run() int {
 		format  = flag.String("format", "text", "output format: text | md | json | csv")
 		bars    = flag.Int("bars", -1, "also render this column index of each table as an ASCII bar chart (text/md only)")
 		check   = flag.Bool("check", false, "evaluate each experiment's predictions; exit 2 if any fail")
+		timing  = flag.Bool("timing", false, "report per-experiment and total wall clock on stderr")
 		outPath = flag.String("o", "", "write output to this file instead of stdout")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -100,12 +108,19 @@ func run() int {
 	if strings.EqualFold(*exp, "all") {
 		selected = all
 	} else {
-		e, ok := experiments.ByID(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "amexp: unknown experiment %q (try -list)\n", *exp)
-			return 1
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				fmt.Fprintf(os.Stderr, "amexp: empty experiment id in %q\n", *exp)
+				return 1
+			}
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "amexp: unknown experiment %q (try -list)\n", id)
+				return 1
+			}
+			selected = append(selected, e)
 		}
-		selected = []experiments.Experiment{e}
 	}
 
 	var out io.Writer = os.Stdout
@@ -121,12 +136,18 @@ func run() int {
 
 	failed := 0
 	var results []*experiments.Result
-	for _, e := range selected {
-		r := experiments.Run(e, opts)
+	start := time.Now()
+	// All selected experiments run concurrently on the shared trial
+	// scheduler; RunStream hands back results in selection order, so the
+	// text/md streams below are byte-identical to a serial run.
+	experiments.RunStream(selected, opts, func(r *experiments.Result) {
+		if *timing {
+			fmt.Fprintf(os.Stderr, "amexp: %-4s %v\n", r.ID, r.Elapsed.Round(time.Millisecond))
+		}
 		switch *format {
 		case "text", "md":
-			// Stream each experiment as it finishes, interleaving the
-			// optional bar charts between tables.
+			// Stream each experiment as it is handed back, interleaving
+			// the optional bar charts between tables.
 			fmt.Fprint(out, report.Header(r))
 			for _, t := range r.Tables {
 				if *format == "md" {
@@ -147,6 +168,9 @@ func run() int {
 		if *check {
 			failed += experiments.FailedChecks(r.EvalChecks())
 		}
+	})
+	if *timing {
+		fmt.Fprintf(os.Stderr, "amexp: total %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	switch *format {

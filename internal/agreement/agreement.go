@@ -39,10 +39,12 @@ import (
 
 // trialScratch is the reusable per-run state: the simulator (whose event
 // heap keeps its high-water-mark capacity across runs) and the per-node
-// scratch slices. Pooled via scratchPool so parallel trial fan-outs reuse
-// warmed-up capacity instead of re-growing it every run; everything in it
-// is re-initialized by RunRandomized, and nothing in it escapes into the
-// returned Result (the Memory, which does escape, is never pooled).
+// scratch slices. Pooled via scratchPool — a runner.Pool, whose slots are
+// retained across GC cycles, unlike sync.Pool's — so trial fan-outs on
+// the persistent worker pool reuse warmed-up capacity instead of
+// re-growing it every run; everything in it is re-initialized by
+// RunRandomized, and nothing in it escapes into the returned Result (the
+// Memory, which does escape, is never pooled).
 type trialScratch struct {
 	sim      *sim.Sim
 	lastView []appendmem.View

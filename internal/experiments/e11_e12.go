@@ -28,7 +28,7 @@ func RunE11(o Options) []*Table {
 		"blackout w (Δ)", "validity ok", "regime")
 	for _, w := range stalls {
 		w := w
-		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			cfg := agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed}
 			if w > 0 {
 				cfg.StallAtSize = 30
@@ -41,7 +41,7 @@ func RunE11(o Options) []*Table {
 		if w > 0 {
 			regime = "temporarily asynchronous"
 		}
-		tbl.AddRow(w, runner.Rate(runner.CountTrue(oks), trials), regime)
+		tbl.AddRow(w, oks, regime)
 	}
 	tbl.Expect(0, 1, OpGe, 0.7, 0,
 		"Theorem 5.6: under synchrony (no blackout) the DAG holds validity at t/n = 0.4")
@@ -70,8 +70,8 @@ func RunE12(o Options) []*Table {
 		"λ", "λ(n-t)", "validity (stale views, Δ)", "validity (fresh views)")
 	for _, lambda := range lambdas {
 		lambda := lambda
-		run := func(fresh bool) []bool {
-			return runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		run := func(fresh bool) runner.Ratio {
+			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 				r := agreement.MustRun(agreement.RandomizedConfig{
 					N: n, T: t, Lambda: lambda, K: k, Seed: seed, FreshHonestReads: fresh,
 				}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
@@ -80,7 +80,7 @@ func RunE12(o Options) []*Table {
 		}
 		stale := run(false)
 		fresh := run(true)
-		tbl.AddRow(lambda, lambda*float64(n-t), runner.Rate(runner.CountTrue(stale), trials), runner.Rate(runner.CountTrue(fresh), trials))
+		tbl.AddRow(lambda, lambda*float64(n-t), stale, fresh)
 		row := len(tbl.Rows) - 1
 		tbl.ExpectCell(row, 3, OpGe, row, 2, 0,
 			"Theorem 5.4 mechanism: removing honest staleness never hurts — fresh views dominate stale ones")

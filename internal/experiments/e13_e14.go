@@ -11,7 +11,6 @@ import (
 	"repro/internal/bivalence"
 	"repro/internal/chain"
 	"repro/internal/runner"
-	"repro/internal/stats"
 	"repro/internal/stickybit"
 )
 
@@ -116,7 +115,11 @@ func RunE14(o Options) []*Table {
 			rep   backbone.Report
 			valid bool
 		}
-		rs := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) res {
+		type acc struct {
+			growth, quality, wasted, viol float64
+			valid                         int
+		}
+		sums := runner.TrialsReduce(trials, o.Seed, o.Workers, acc{}, func(seed uint64) res {
 			r, isDag := p.run(seed)
 			var rep backbone.Report
 			if isDag {
@@ -125,21 +128,20 @@ func RunE14(o Options) []*Table {
 				rep = backbone.AnalyzeChain(r, k)
 			}
 			return res{rep, r.Verdict.Validity}
-		})
-		var growth, quality, wasted, viol []float64
-		valid := 0
-		for _, r := range rs {
-			growth = append(growth, r.rep.Growth)
-			quality = append(quality, r.rep.Quality)
-			wasted = append(wasted, r.rep.Wasted)
-			viol = append(viol, float64(r.rep.CommonPrefixViolation))
+		}, func(a acc, r res) acc {
+			a.growth += r.rep.Growth
+			a.quality += r.rep.Quality
+			a.wasted += r.rep.Wasted
+			a.viol += float64(r.rep.CommonPrefixViolation)
 			if r.valid {
-				valid++
+				a.valid++
 			}
-		}
+			return a
+		})
+		nt := float64(trials)
 		tbl.AddRow(p.label,
-			stats.Mean(growth), stats.Mean(quality), stats.Mean(wasted), stats.Mean(viol),
-			runner.Rate(valid, trials))
+			sums.growth/nt, sums.quality/nt, sums.wasted/nt, sums.viol/nt,
+			runner.Rate(sums.valid, trials))
 	}
 	tbl.Expect(0, 2, OpEq, 1, 0,
 		"Section 5.2: with a silent adversary every chain block is honest — quality is exactly 1")

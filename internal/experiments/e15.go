@@ -58,7 +58,7 @@ func RunE15(o Options) []*Table {
 	n, t := 8, 3
 	for rounds := 1; rounds <= t+1; rounds++ {
 		rounds := rounds
-		amFails := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		amFails := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			c := n - t
 			r := syncba.MustRun(syncba.Config{
 				N: n, T: t, Rounds: rounds, Seed: seed,
@@ -66,7 +66,7 @@ func RunE15(o Options) []*Table {
 			}, &syncba.DelayedChain{})
 			return !r.Verdict.Agreement
 		})
-		mpFails := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		mpFails := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := dolev.MustRun(dolev.Config{
 				N: n, T: t, Rounds: rounds, Seed: seed, Adversary: &dolev.StagedRelease{},
 			})
@@ -80,7 +80,7 @@ func RunE15(o Options) []*Table {
 			stair.Expect(row, 1, OpEq, 0, 0, "Lemma 3.1: t+1 rounds always suffice in the append memory")
 			stair.Expect(row, 2, OpEq, 0, 0, "Section 3: t+1 rounds always suffice in message passing — the staircase transfers")
 		}
-		stair.AddRow(rounds, runner.Rate(runner.CountTrue(amFails), trials), runner.Rate(runner.CountTrue(mpFails), trials))
+		stair.AddRow(rounds, amFails, mpFails)
 	}
 	stair.Note = "both columns fail for every budget ≤ t and never at t+1 — the lower bound transfers, as Section 3 argues"
 

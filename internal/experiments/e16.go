@@ -42,19 +42,19 @@ func RunE16(o Options) []*Table {
 		"delay w (Δ)", "chain validity", "dag validity")
 	for _, w := range delays {
 		w := w
-		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
 			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
 			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		attacked.AddRow(w, runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
+		attacked.AddRow(w, chainOK, dagOK)
 	}
 	last := len(attacked.Rows) - 1
 	attacked.ExpectCell(last, 1, OpLe, 0, 1, 0,
@@ -69,14 +69,14 @@ func RunE16(o Options) []*Table {
 		"delay w (Δ)", "chain agreement", "dag agreement")
 	for _, w := range delays {
 		w := w
-		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
 				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
 			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, agreement.Silent{})
 			return r.Verdict.Agreement
 		})
-		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
 				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
@@ -88,7 +88,7 @@ func RunE16(o Options) []*Table {
 			"Theorem 5.1: random (non-adversarial) delays alone do not break chain agreement")
 		benign.Expect(row, 2, OpGe, 0.85, 0,
 			"Theorem 5.1: random delays alone do not break DAG agreement — the impossibility needs the worst-case scheduler")
-		benign.AddRow(w, runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
+		benign.AddRow(w, chainOK, dagOK)
 	}
 	benign.Note = "random delays alone are harmless; Theorem 5.1 needs the worst-case scheduler — which is the E1 model checker's job"
 	return []*Table{attacked, benign}

@@ -8,7 +8,6 @@ import (
 	"repro/internal/agreement/timestamp"
 	"repro/internal/chain"
 	"repro/internal/runner"
-	"repro/internal/stats"
 )
 
 // RunE17 — access-discipline ablation: the paper models proof-of-work as a
@@ -33,8 +32,8 @@ func RunE17(o Options) []*Table {
 		"λ", "chain, Poisson", "chain, round-robin", "dag, Poisson", "dag, round-robin")
 	for _, lambda := range lambdas {
 		lambda := lambda
-		run := func(rr bool, isDag bool) []bool {
-			return runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		run := func(rr bool, isDag bool) runner.Ratio {
+			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 				cfg := agreement.RandomizedConfig{
 					N: n, T: t, Lambda: lambda, K: k, Seed: seed, RoundRobinAccess: rr,
 				}
@@ -48,8 +47,8 @@ func RunE17(o Options) []*Table {
 			})
 		}
 		tbl.AddRow(lambda,
-			runner.Rate(runner.CountTrue(run(false, false)), trials), runner.Rate(runner.CountTrue(run(true, false)), trials),
-			runner.Rate(runner.CountTrue(run(false, true)), trials), runner.Rate(runner.CountTrue(run(true, true)), trials))
+			run(false, false), run(true, false),
+			run(false, true), run(true, true))
 		row := len(tbl.Rows) - 1
 		tbl.ExpectCell(row, 4, OpGe, row, 3, 0.1,
 			"Lemma 5.5: removing Poisson bursts (round-robin) heals the DAG's residual degradation")
@@ -80,7 +79,7 @@ func RunE18(o Options) []*Table {
 	for _, lambda := range lambdas {
 		lambda := lambda
 		mean := func(rule agreement.HonestRule) float64 {
-			times := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) float64 {
+			return runner.MeanTrials(trials, o.Seed, o.Workers, func(seed uint64) float64 {
 				r := agreement.MustRun(agreement.RandomizedConfig{
 					N: n, T: 0, Lambda: lambda, K: k, Seed: seed,
 				}, rule, agreement.Silent{})
@@ -97,7 +96,6 @@ func RunE18(o Options) []*Table {
 				}
 				return sum / float64(cnt)
 			})
-			return stats.Mean(times)
 		}
 		ideal := float64(k) / (float64(n) * lambda)
 		tbl.AddRow(lambda, ideal,

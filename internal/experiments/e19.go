@@ -42,17 +42,17 @@ func RunE19(o Options) []*Table {
 		"confirm depth", "chain (tiebreak attack)", "dag (private-chain attack)")
 	for _, c := range depths {
 		c := c
-		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
 				chainba.Rule{TB: chain.RandomTieBreaker{}, Confirm: c}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
 				dagba.Rule{Pivot: dagba.Ghost, Confirm: c}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		sweep.AddRow(c, runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
+		sweep.AddRow(c, chainOK, dagOK)
 		row := len(sweep.Rows) - 1
 		if row > 0 {
 			sweep.ExpectCell(row, 1, OpEq, 0, 1, 0.15,
@@ -65,7 +65,7 @@ func RunE19(o Options) []*Table {
 
 	burst := NewTable("E19b: the surgical last-minute burst (Lemma 5.5's literal adversary) is self-defeating",
 		"adversary", "dag validity")
-	// Adversary *factories*, not instances: runner.Trials fans trials out
+	// Adversary *factories*, not instances: the runner fans trials out
 	// across goroutines and a shared adversary value would be Init'd (and
 	// its incremental index mutated) concurrently.
 	for _, tc := range []struct {
@@ -77,12 +77,12 @@ func RunE19(o Options) []*Table {
 		{"silent until k-12, then burst", func() agreement.Adversary { return &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 12} }},
 	} {
 		tc := tc
-		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
 				dagba.Rule{Pivot: dagba.Ghost}, tc.adv())
 			return r.Verdict.Validity
 		})
-		burst.AddRow(tc.label, runner.Rate(runner.CountTrue(oks), trials))
+		burst.AddRow(tc.label, oks)
 		row := len(burst.Rows) - 1
 		if row > 0 {
 			burst.ExpectCell(row, 1, OpGe, 0, 1, 0,

@@ -69,7 +69,7 @@ func RunE2(o Options) []*Table {
 		"n", "t", "rounds", "agreement failures", "expected")
 	for _, tc := range cases {
 		for rounds := 1; rounds <= tc.t+1; rounds++ {
-			fails := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+			fails := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 				c := tc.n - tc.t
 				r := syncba.MustRun(syncba.Config{
 					N: tc.n, T: tc.t, Rounds: rounds, Seed: seed,
@@ -86,7 +86,7 @@ func RunE2(o Options) []*Table {
 				tbl.Expect(len(tbl.Rows), 3, OpGt, 0, 0,
 					"Lemma 3.1: every round budget r <= t leaves agreement breakable")
 			}
-			tbl.AddRow(tc.n, tc.t, rounds, runner.Rate(runner.CountTrue(fails), trials), expect)
+			tbl.AddRow(tc.n, tc.t, rounds, fails, expect)
 		}
 	}
 	tbl.Note = "the paper's lower bound: Byzantine agreement needs t+1 rounds in the append memory"
@@ -107,7 +107,7 @@ func RunE3(o Options) []*Table {
 	}
 	for t := 0; t <= maxT; t++ {
 		t := t
-		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := syncba.MustRun(syncba.Config{N: n, T: t, Seed: seed}, &syncba.LoudFlip{})
 			return r.Verdict.OK()
 		})
@@ -120,7 +120,7 @@ func RunE3(o Options) []*Table {
 			tbl.Expect(len(tbl.Rows), 2, OpEq, 1, 0,
 				"Theorem 3.2: Algorithm 1 with t+1 rounds solves BA for every t < n/2")
 		}
-		tbl.AddRow(t, Float(float64(t)/float64(n), "%.2f"), runner.Rate(runner.CountTrue(oks), trials), regime)
+		tbl.AddRow(t, Float(float64(t)/float64(n), "%.2f"), oks, regime)
 	}
 	tbl.Note = "decision time is (t+1)·Δ — the O(tΔ) bound of Theorem 3.2"
 	return []*Table{tbl}

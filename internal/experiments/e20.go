@@ -67,20 +67,19 @@ func RunE20(o Options) []*Table {
 				byz += r
 			}
 		}
-		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 10, T: sh.t, Rates: sh.rates, K: k, Seed: seed,
 			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: 10, T: sh.t, Rates: sh.rates, K: k, Seed: seed,
 			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		tbl.AddRow(sh.label, sh.t, Float(byz/total, "%.2f"),
-			runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials))
+		tbl.AddRow(sh.label, sh.t, Float(byz/total, "%.2f"), chainOK, dagOK)
 		row := len(tbl.Rows) - 1
 		if row > 0 {
 			tbl.ExpectCell(row, 3, OpEq, 0, 3, 0.35,

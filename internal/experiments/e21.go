@@ -30,17 +30,15 @@ func RunE21(o Options) []*Table {
 		"λ", "GHOST validity", "longest-chain validity")
 	for _, lambda := range lambdas {
 		lambda := lambda
-		run := func(p dagba.PivotRule) []bool {
-			return runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		run := func(p dagba.PivotRule) runner.Ratio {
+			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 				r := agreement.MustRun(agreement.RandomizedConfig{
 					N: n, T: t, Lambda: lambda, K: k, Seed: seed,
 				}, dagba.Rule{Pivot: p}, &adversary.DagPrivateFork{})
 				return r.Verdict.Validity
 			})
 		}
-		tbl.AddRow(lambda,
-			runner.Rate(runner.CountTrue(run(dagba.Ghost)), trials),
-			runner.Rate(runner.CountTrue(run(dagba.Longest)), trials))
+		tbl.AddRow(lambda, run(dagba.Ghost), run(dagba.Longest))
 		row := len(tbl.Rows) - 1
 		tbl.ExpectCell(row, 1, OpGe, row, 2, 0.05,
 			"refs [22],[14]: GHOST weighs subtrees that forks cannot dilute — it never loses to longest-chain here")

@@ -50,25 +50,25 @@ func RunE4(o Options) []*Table {
 		for _, k := range ks {
 			k := k
 			type res struct{ val, agr, term bool }
-			rs := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) res {
+			type fails struct{ val, agr, term int }
+			fs := runner.TrialsReduce(trials, o.Seed, o.Workers, fails{}, func(seed uint64) res {
 				r := agreement.MustRun(agreement.RandomizedConfig{
 					N: regime.n, T: regime.t, Lambda: 0.5, K: k, Seed: seed,
 				}, timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
 				return res{!r.Verdict.Validity, !r.Verdict.Agreement, !r.Verdict.Termination}
-			})
-			valFails, agrFails, termFails := 0, 0, 0
-			for _, r := range rs {
+			}, func(a fails, r res) fails {
 				if r.val {
-					valFails++
+					a.val++
 				}
 				if r.agr {
-					agrFails++
+					a.agr++
 				}
 				if r.term {
-					termFails++
+					a.term++
 				}
-			}
-			tbl.AddRow(k, runner.Rate(valFails, trials), tsTail(k, regime.n, regime.t), agrFails, termFails)
+				return a
+			})
+			tbl.AddRow(k, runner.Rate(fs.val, trials), tsTail(k, regime.n, regime.t), fs.agr, fs.term)
 			row := len(tbl.Rows) - 1
 			tbl.Expect(row, 3, OpEq, 0, 0,
 				"Theorem 5.2: agreement is deterministic — the authority's order is total")
@@ -100,8 +100,12 @@ func RunE5(o Options) []*Table {
 			ok   bool
 			frac float64
 		}
+		type acc struct {
+			oks     int
+			fracSum float64
+		}
 		tb := chain.AdversarialTieBreaker{IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= n-t }}
-		rs := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) res {
+		sums := runner.TrialsReduce(trials, o.Seed, o.Workers, acc{}, func(seed uint64) res {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed,
 			}, chainba.Rule{TB: tb}, &adversary.ChainForker{})
@@ -122,16 +126,15 @@ func RunE5(o Options) []*Table {
 				frac = float64(byz) / float64(len(ids))
 			}
 			return res{r.Verdict.Validity, frac}
-		})
-		oks, fracSum := 0, 0.0
-		for _, r := range rs {
+		}, func(a acc, r res) acc {
 			if r.ok {
-				oks++
+				a.oks++
 			}
-			fracSum += r.frac
-		}
+			a.fracSum += r.frac
+			return a
+		})
 		tbl.AddRow(t, Float(float64(t)/float64(n), "%.2f"),
-			runner.Rate(oks, trials), fracSum/float64(trials), float64(t)/float64(n-t))
+			runner.Rate(sums.oks, trials), sums.fracSum/float64(trials), float64(t)/float64(n-t))
 		row := len(tbl.Rows) - 1
 		if t < 3 {
 			tbl.Expect(row, 2, OpGe, 0.9, 0,
@@ -170,10 +173,10 @@ func RunE6(o Options) []*Table {
 	}
 	for _, lambda := range lambdas {
 		lambda := lambda
-		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, t, lambda, seed) })
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, t, lambda, seed) })
 		rateNT := lambda * float64(n-t)
 		tbl := 1 / (1 + rateNT)
-		sweep.AddRow(lambda, rateNT, tbl, Float(float64(t)/float64(n), "%.2f"), runner.Rate(runner.CountTrue(oks), trials))
+		sweep.AddRow(lambda, rateNT, tbl, Float(float64(t)/float64(n), "%.2f"), oks)
 	}
 	sweep.Expect(0, 4, OpGe, 0.7, 0,
 		"Theorem 5.4: at the lowest rate the bound 1/(1+λ(n-t)) exceeds t/n = 0.4 and validity holds")
@@ -185,9 +188,9 @@ func RunE6(o Options) []*Table {
 		"t", "t/n", "λ(n-t)", "paper bound t/n ≤", "validity ok")
 	for _, tt := range []int{1, 2, 3, 4, 5} {
 		tt := tt
-		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, tt, 0.25, seed) })
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, tt, 0.25, seed) })
 		rateNT := 0.25 * float64(n-tt)
-		thresh.AddRow(tt, Float(float64(tt)/float64(n), "%.2f"), rateNT, 1/(1+rateNT), runner.Rate(runner.CountTrue(oks), trials))
+		thresh.AddRow(tt, Float(float64(tt)/float64(n), "%.2f"), rateNT, 1/(1+rateNT), oks)
 	}
 	thresh.Expect(0, 4, OpGe, 0.9, 0,
 		"Theorem 5.4: t/n = 0.1 sits well below the λ=0.25 bound — validity must hold")

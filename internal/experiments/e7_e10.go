@@ -157,13 +157,12 @@ func RunE8(o Options) []*Table {
 	}
 	grid := NewTable("E8a: DAG (GHOST pivot) validity vs DagChainExtender, n=10, k=81", cols...)
 	cell := func(t int, lambda float64) runner.Ratio {
-		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: t, Lambda: lambda, K: k, Seed: seed,
 			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		return runner.Rate(runner.CountTrue(oks), trials)
 	}
 	for _, t := range ts {
 		row := []any{t, Float(float64(t)/float64(n), "%.2f")}
@@ -185,13 +184,13 @@ func RunE8(o Options) []*Table {
 		"pivot", "validity ok")
 	for _, p := range []dagba.PivotRule{dagba.Ghost, dagba.Longest} {
 		p := p
-		oks := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{
 				N: n, T: 4, Lambda: 1, K: k, Seed: seed,
 			}, dagba.Rule{Pivot: p}, &adversary.DagChainExtender{Pivot: p})
 			return r.Verdict.Validity
 		})
-		pivots.AddRow(p.String(), runner.Rate(runner.CountTrue(oks), trials))
+		pivots.AddRow(p.String(), oks)
 		pivots.Expect(len(pivots.Rows)-1, 1, OpGe, 0.75, 0,
 			"Theorem 5.6: both pivot rules hold validity under the pivot-extending attack at the hostile corner")
 	}
@@ -265,24 +264,23 @@ func RunE10(o Options) []*Table {
 		"λ", "λ(n-t)", "chain bound 1/(1+λ(n-t))", "chain (rand ties)", "DAG (GHOST)", "timestamps")
 	for _, lambda := range lambdas {
 		lambda := lambda
-		chainOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
 				chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
 			return r.Verdict.Validity
 		})
-		dagOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
 				dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
 			return r.Verdict.Validity
 		})
-		tsOK := runner.Trials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+		tsOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
 				timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
 			return r.Verdict.Validity
 		})
 		rateNT := lambda * float64(n-t)
-		tbl.AddRow(lambda, rateNT, 1/(1+rateNT),
-			runner.Rate(runner.CountTrue(chainOK), trials), runner.Rate(runner.CountTrue(dagOK), trials), runner.Rate(runner.CountTrue(tsOK), trials))
+		tbl.AddRow(lambda, rateNT, 1/(1+rateNT), chainOK, dagOK, tsOK)
 		row := len(tbl.Rows) - 1
 		tbl.ExpectCell(row, 4, OpGe, row, 3, 0,
 			"Section 5 headline: at every rate the DAG is at least as resilient as the chain")

@@ -69,12 +69,18 @@ func All() []Experiment {
 	}
 }
 
+// byID indexes the registry once; ByID lookups must not re-allocate and
+// re-scan All() (amexp and the bench harness look experiments up per run).
+var byID = func() map[string]Experiment {
+	m := make(map[string]Experiment, len(All()))
+	for _, e := range All() {
+		m[strings.ToUpper(e.ID)] = e
+	}
+	return m
+}()
+
 // ByID returns the experiment with the given id (case-insensitive).
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if strings.EqualFold(e.ID, id) {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	e, ok := byID[strings.ToUpper(id)]
+	return e, ok
 }

@@ -58,6 +58,37 @@ func TestGoldenByteIdentical(t *testing.T) {
 	}
 }
 
+// TestConcurrentWorkersByteIdentical locks the scheduler's determinism
+// contract end to end: the full experiment suite, streamed concurrently
+// over the shared worker pool, renders byte-for-byte the same tables at
+// -workers 1 (inline serial trials, scheduler never engaged) as at
+// -workers 8 (chunked dispatch with work stealing across all the
+// concurrent fan-outs). Any dependence of a result on worker count,
+// chunk boundaries, or cross-experiment interleaving shows up here.
+func TestConcurrentWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite at two worker counts is slow")
+	}
+	render := func(workers int) string {
+		var sb []byte
+		experiments.RunStream(experiments.All(),
+			experiments.Options{Quick: true, Seed: 1, Workers: workers},
+			func(r *experiments.Result) {
+				for _, tbl := range r.Tables {
+					sb = append(sb, report.TableText(tbl)...)
+					sb = append(sb, '\n')
+				}
+			})
+		return string(sb)
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("quick suite output differs between -workers 1 and -workers 8")
+		diffAt(t, serial, parallel)
+	}
+}
+
 // diffAt reports the first differing line, keeping failures readable
 // without dumping both full outputs.
 func diffAt(t *testing.T, want, got string) {

@@ -1,71 +1,176 @@
 // Package runner holds the shared trial fan-out used by every experiment:
-// deterministic seed-indexed repetitions spread across worker goroutines,
-// plus the small aggregation helpers (success counting, success ratios)
-// their tables are built from.
+// deterministic seed-indexed repetitions dispatched onto one process-wide
+// worker pool (see sched.go), plus streaming reductions (CountTrials,
+// RateTrials, MeanTrials) and the small aggregation helpers their tables
+// are built from.
 package runner
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Trials runs f for seeds base..base+n-1 across workers goroutines
-// (workers <= 0 means one per CPU) and returns the results in seed order.
-// f must be a pure function of its seed, so the output is independent of
-// the worker count.
+// Trials runs f for seeds base..base+n-1 on the process-wide pool and
+// returns the results in seed order. f must be a pure function of its
+// seed, so the output is independent of the worker count. workers > 0
+// caps the concurrent executors on this fan-out (1 runs inline on the
+// calling goroutine); <= 0 means as many as the pool provides.
+//
+// Prefer TrialsReduce (or CountTrials/RateTrials/MeanTrials) when the
+// caller only folds the results: Trials materializes all n of them.
 func Trials[T any](n int, base uint64, workers int, f func(seed uint64) T) []T {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]T, n)
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(base + uint64(i))
+		}
 	}
-	if workers > n {
-		workers = n
+	if workers == 1 || n == 1 {
+		run(0, n)
+		return out
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = f(base + uint64(i))
-			}
-		}()
-	}
-	wg.Wait()
+	dispatch(n, workers, chunkFor(n), run)
 	return out
 }
 
-// Pool recycles per-trial state (a simulator, scratch slices) across the
-// trials of a fan-out, so parallel trials reuse warmed-up capacity instead
-// of re-growing it and fighting the GC. It is a typed wrapper over
-// sync.Pool: safe for concurrent Get/Put from trial workers, and drained by
-// the GC like any sync.Pool. Callers must fully re-initialize whatever
-// state they read — a pooled value carries only capacity, never content.
+// TrialsReduce runs f for seeds base..base+n-1 on the process-wide pool
+// and folds the results into acc strictly in seed order — the fold is
+// bit-identical to folding the slice Trials would return, including for
+// non-associative accumulation like float sums. Workers buffer only their
+// current chunk of results and the submitting goroutine folds chunks as
+// their turn comes, so memory stays O(chunk·workers) instead of O(n):
+// huge -trials runs stop materializing []T.
+func TrialsReduce[T, A any](n int, base uint64, workers int, acc A, f func(seed uint64) T, fold func(A, T) A) A {
+	if n <= 0 {
+		return acc
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			acc = fold(acc, f(base+uint64(i)))
+		}
+		return acc
+	}
+	chunk := chunkFor(n)
+	nchunks := (n + chunk - 1) / chunk
+	bufs := make([][]T, nchunks)
+	ready := make([]atomic.Bool, nchunks)
+	run := func(lo, hi int) {
+		buf := make([]T, hi-lo)
+		for i := lo; i < hi; i++ {
+			buf[i-lo] = f(base + uint64(i))
+		}
+		c := lo / chunk
+		bufs[c] = buf
+		ready[c].Store(true)
+	}
+
+	j := &job{n: n, chunk: chunk, run: run, fin: make(chan struct{})}
+	if workers > 0 {
+		j.limit = int32(workers)
+	}
+	sched.submit(j)
+	folded := 0
+	foldReady := func() {
+		for folded < nchunks && ready[folded].Load() {
+			for _, v := range bufs[folded] {
+				acc = fold(acc, v)
+			}
+			bufs[folded] = nil
+			folded++
+		}
+	}
+	for j.runChunk() {
+		foldReady()
+	}
+	<-j.fin
+	sched.remove(j)
+	foldReady()
+	return acc
+}
+
+// CountTrials runs f for seeds base..base+n-1 and returns how many trials
+// reported true, without materializing the per-trial results.
+func CountTrials(n int, base uint64, workers int, f func(seed uint64) bool) int {
+	return TrialsReduce(n, base, workers, 0, f, func(c int, ok bool) int {
+		if ok {
+			c++
+		}
+		return c
+	})
+}
+
+// RateTrials runs f for seeds base..base+n-1 and returns successes/n as a
+// Ratio — the streaming form of Rate(CountTrue(Trials(...)), n).
+func RateTrials(n int, base uint64, workers int, f func(seed uint64) bool) Ratio {
+	return Rate(CountTrials(n, base, workers, f), n)
+}
+
+// MeanTrials runs f for seeds base..base+n-1 and returns the mean of its
+// results, summed in seed order (bit-identical to stats.Mean over the
+// slice Trials would return). n <= 0 yields 0.
+func MeanTrials(n int, base uint64, workers int, f func(seed uint64) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	sum := TrialsReduce(n, base, workers, 0.0, f, func(a, x float64) float64 { return a + x })
+	return sum / float64(n)
+}
+
+// Pool recycles per-trial state (a simulator, scratch slices) across
+// fan-outs, so trials reuse warmed-up capacity instead of re-growing it
+// and fighting the GC. Unlike sync.Pool it is never drained by a GC
+// cycle: it retains up to one state per pool worker (plus headroom for
+// submitting goroutines, which execute trials too) in a fixed LIFO slot
+// array, so at steady state every concurrent executor gets the warmest
+// retained state back. When all slots are empty Get falls back to newFn;
+// when all are full Put drops the state for the GC — the retained set
+// can never exceed what the pool can actually keep busy. Callers must
+// fully re-initialize whatever state they read — a pooled value carries
+// only capacity, never content.
 type Pool[S any] struct {
-	p sync.Pool
+	newFn func() S
+	mu    sync.Mutex
+	slots []S // lazily sized to the worker count on first Put
 }
 
 // NewPool returns a pool producing fresh states with newFn when empty. S
-// should be a pointer type; non-pointer states would be boxed on every Put.
+// should be a pointer type; non-pointer states would be copied on every
+// Get/Put.
 func NewPool[S any](newFn func() S) *Pool[S] {
-	p := &Pool[S]{}
-	p.p.New = func() any { return newFn() }
-	return p
+	return &Pool[S]{newFn: newFn}
 }
 
-// Get returns a pooled or fresh state.
-func (p *Pool[S]) Get() S { return p.p.Get().(S) }
+// Get returns the most recently retained state, or a fresh one.
+func (p *Pool[S]) Get() S {
+	p.mu.Lock()
+	if n := len(p.slots); n > 0 {
+		s := p.slots[n-1]
+		var zero S
+		p.slots[n-1] = zero // drop the reference so the slot does not pin it
+		p.slots = p.slots[:n-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return p.newFn()
+}
 
-// Put returns a state to the pool. The caller must not use it afterwards.
-func (p *Pool[S]) Put(s S) { p.p.Put(s) }
+// Put retains a state for the next Get. The caller must not use it
+// afterwards.
+func (p *Pool[S]) Put(s S) {
+	p.mu.Lock()
+	if p.slots == nil {
+		p.slots = make([]S, 0, runtime.GOMAXPROCS(0)+8)
+	}
+	if len(p.slots) < cap(p.slots) {
+		p.slots = append(p.slots, s)
+	}
+	p.mu.Unlock()
+}
 
 // Resize returns s with length n and zeroed contents, reusing the backing
 // array when capacity allows — the scratch-slice companion of Pool. Zeroing

@@ -1,0 +1,195 @@
+// The process-wide trial scheduler. Every Trials/TrialsReduce fan-out in
+// the process is a job on one persistent worker pool (started lazily, one
+// worker per GOMAXPROCS), instead of a private fork-join that spawns
+// goroutines, fills a channel with one send per trial and barriers on the
+// stragglers. Dispatch is chunked — workers claim contiguous seed ranges
+// with a single atomic add — and the pool steals across jobs: a worker
+// that drains one fan-out rotates to the next active one, so concurrently
+// submitted fan-outs (different experiments, parallel tests) interleave
+// onto the same CPUs and small jobs never leave the machine idle.
+//
+// The submitting goroutine always helps — it claims chunks of its own job
+// until none remain, then waits for the stragglers. That keeps latency low
+// when the pool is busy elsewhere and makes nested fan-outs (a trial
+// function that itself calls Trials) deadlock-free by construction: the
+// inner caller can always make progress on its own job.
+//
+// Determinism is unaffected by any of this: trial i always runs with seed
+// base+i and lands in slot i (or is folded in seed order — see
+// TrialsReduce), so the output is independent of worker count, chunk size,
+// steal order and GOMAXPROCS.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one fan-out: n trials dispatched in chunks via an atomic cursor.
+type job struct {
+	n     int
+	chunk int
+	limit int32 // max concurrent executors (0 = unbounded); Options.Workers
+	run   func(lo, hi int)
+
+	active atomic.Int32 // executors currently inside run
+	next   atomic.Int64 // next unclaimed trial index
+	done   atomic.Int64 // completed trials; == n closes fin
+	fin    chan struct{}
+}
+
+// runChunk claims and executes one chunk, reporting whether it did any
+// work. The executor that completes the last trial closes fin.
+func (j *job) runChunk() bool {
+	if j.limit > 0 {
+		if j.active.Add(1) > j.limit {
+			j.active.Add(-1)
+			return false
+		}
+		defer j.active.Add(-1)
+	}
+	lo := int(j.next.Add(int64(j.chunk))) - j.chunk
+	if lo >= j.n {
+		return false
+	}
+	hi := lo + j.chunk
+	if hi > j.n {
+		hi = j.n
+	}
+	j.run(lo, hi)
+	if j.done.Add(int64(hi-lo)) == int64(j.n) {
+		close(j.fin)
+	}
+	return true
+}
+
+// claimable reports whether the job still has unclaimed work a new
+// executor could pick up.
+func (j *job) claimable() bool {
+	return int(j.next.Load()) < j.n && (j.limit == 0 || j.active.Load() < j.limit)
+}
+
+// scheduler is the process-wide pool. There is exactly one (see sched);
+// the type exists so its methods read naturally.
+type scheduler struct {
+	once sync.Once
+	size int           // worker count, fixed at first use
+	wake chan struct{} // buffered wake tokens, capacity size
+
+	mu   sync.Mutex
+	jobs []*job // active jobs in submission order; the steal list
+}
+
+var sched scheduler
+
+// start spawns the workers on first use. They are daemons: parked on wake
+// when the process has no fan-out in flight, they cost nothing.
+func (s *scheduler) start() {
+	s.once.Do(func() {
+		s.size = runtime.GOMAXPROCS(0)
+		s.wake = make(chan struct{}, s.size)
+		for i := 0; i < s.size; i++ {
+			go s.worker()
+		}
+	})
+}
+
+// submit registers the job with the steal list and wakes the pool.
+func (s *scheduler) submit(j *job) {
+	s.start()
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	s.mu.Unlock()
+	s.poke(s.size)
+}
+
+// remove deletes a finished job from the steal list. Called by the
+// submitter after fin; workers only ever skip drained jobs.
+func (s *scheduler) remove(j *job) {
+	s.mu.Lock()
+	for i, jj := range s.jobs {
+		if jj == j {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// poke deposits up to n wake tokens without blocking; a full channel means
+// the pool is already fully signalled.
+func (s *scheduler) poke(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// pick returns an active job with claimable work, rotating a per-worker
+// cursor through the list so concurrent fan-outs interleave rather than
+// strictly queue — the work-stealing policy.
+func (s *scheduler) pick(cursor *int) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < len(s.jobs); i++ {
+		j := s.jobs[(*cursor+i)%len(s.jobs)]
+		if j.claimable() {
+			*cursor = (*cursor + i + 1) % len(s.jobs)
+			return j
+		}
+	}
+	return nil
+}
+
+// worker runs chunks of whatever job pick selects until no job has
+// claimable work, then parks on wake. After each chunk it re-picks, so one
+// long fan-out cannot starve a newly submitted one; the poke re-engages
+// workers that parked while a worker-limited job was saturated.
+func (s *scheduler) worker() {
+	var cursor int
+	for range s.wake {
+		for {
+			j := s.pick(&cursor)
+			if j == nil {
+				break
+			}
+			if j.runChunk() && j.claimable() {
+				s.poke(1)
+			}
+		}
+	}
+}
+
+// chunkFor sizes dispatch chunks: roughly four claims per worker keeps the
+// atomic-add traffic negligible while still load-balancing uneven trial
+// costs, and the cap bounds a TrialsReduce chunk buffer.
+func chunkFor(n int) int {
+	sched.start()
+	c := n / (4 * sched.size)
+	if c < 1 {
+		c = 1
+	}
+	if c > 1024 {
+		c = 1024
+	}
+	return c
+}
+
+// dispatch fans run(lo, hi) over the pool with the submitting goroutine
+// helping, and returns when all n trials have completed. workers > 0 caps
+// the number of concurrent executors on this job.
+func dispatch(n, workers, chunk int, run func(lo, hi int)) {
+	j := &job{n: n, chunk: chunk, run: run, fin: make(chan struct{})}
+	if workers > 0 {
+		j.limit = int32(workers)
+	}
+	sched.submit(j)
+	for j.runChunk() {
+	}
+	<-j.fin
+	sched.remove(j)
+}
