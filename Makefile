@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check cover bench bench-diff experiments quick examples clean
+.PHONY: all build test vet check cover bench bench-diff experiments quick examples scenarios clean
 
 all: build vet test check
 
@@ -34,8 +34,8 @@ cover:
 # record under a different name (e.g. make bench BENCH=BENCH_local.json).
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 3
-BENCH ?= BENCH_PR4.json
-BENCH_BASE ?= BENCH_PR3.json
+BENCH ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR4.json
 BENCH_THRESHOLD ?= 0.35
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | $(GO) run ./cmd/benchjson -o $(BENCH)
@@ -54,6 +54,13 @@ experiments:
 # Fast smoke pass over everything.
 quick:
 	$(GO) run ./cmd/amexp -e all -quick
+
+# Parse and run every shipped scenario file (one trial per point — a
+# structural smoke pass; raise -trials for real numbers).
+scenarios:
+	@set -e; for f in examples/scenarios/*.json; do \
+		echo "== $$f"; $(GO) run ./cmd/amrun -spec $$f -trials 1; \
+	done
 
 examples:
 	$(GO) run ./examples/quickstart

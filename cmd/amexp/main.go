@@ -116,7 +116,11 @@ func run() int {
 			}
 			e, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "amexp: unknown experiment %q (try -list)\n", id)
+				ids := make([]string, len(all))
+				for i, a := range all {
+					ids[i] = a.ID
+				}
+				fmt.Fprintf(os.Stderr, "amexp: unknown experiment %q (valid: %s, or 'all')\n", id, strings.Join(ids, ", "))
 				return 1
 			}
 			selected = append(selected, e)

@@ -1,92 +1,276 @@
-// Command amrun executes one Byzantine-agreement protocol run (or a batch
-// of trials) in the append memory and reports the consensus verdict.
+// Command amrun executes Byzantine-agreement protocol runs in the append
+// memory: a single run, a batch of trials, or a declarative scenario
+// sweep. Every protocol, tie-break, pivot, attack, access-model and
+// metric name comes from the internal/scenario registries — `amrun -list`
+// enumerates them.
 //
 // Examples:
 //
 //	amrun -protocol dag -n 10 -t 4 -lambda 1 -k 41 -attack private-chain
 //	amrun -protocol chain -tiebreak random -n 10 -t 4 -lambda 1 -k 41 -attack tiebreak -trials 50
 //	amrun -protocol sync -n 8 -t 3 -rounds 2 -inputs split:3 -attack delayed-chain
+//	amrun -protocol dag -n 12 -t 4 -lambda 0.5 -k 41 -trials 20 -sweep attack=silent,private-chain,private-fork -metrics ok,byz-prefix-share
+//	amrun -spec examples/scenarios/rates_private_chain.json
+//	amrun -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/appendmem"
-	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
+// sweepFlags collects repeatable -sweep axis=v1,v2,... flags.
+type sweepFlags []scenario.Axis
+
+func (s *sweepFlags) String() string { return fmt.Sprintf("%d axes", len(*s)) }
+
+func (s *sweepFlags) Set(v string) error {
+	ax, err := scenario.ParseAxis(v)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, ax)
+	return nil
+}
+
 func main() {
+	var sweeps sweepFlags
 	var (
-		protocol = flag.String("protocol", "dag", "sync | timestamp | chain | dag")
+		protocol = flag.String("protocol", "dag", scenario.Protocols.Help())
 		n        = flag.Int("n", 10, "total nodes")
 		t        = flag.Int("t", 0, "Byzantine nodes (the last t ids)")
 		lambda   = flag.Float64("lambda", 0.5, "token rate per node per Δ (randomized protocols)")
 		delta    = flag.Float64("delta", 1.0, "synchrony bound Δ")
 		k        = flag.Int("k", 21, "decision threshold (randomized protocols)")
 		rounds   = flag.Int("rounds", 0, "rounds for sync protocol (0 = t+1)")
-		tiebreak = flag.String("tiebreak", "random", "chain tie-breaking: first | random | adversarial")
-		pivot    = flag.String("pivot", "ghost", "dag pivot rule: ghost | longest")
-		attack   = flag.String("attack", "silent", "silent | flip | random | fork | tiebreak | private-chain | equivocate | delayed-chain | loud-flip")
+		tiebreak = flag.String("tiebreak", "random", "chain tie-breaking: "+scenario.TieBreaks.Help())
+		pivot    = flag.String("pivot", "ghost", "dag pivot rule: "+scenario.Pivots.Help())
+		attack   = flag.String("attack", "silent", scenario.Attacks.Help())
+		confirm  = flag.Int("confirm", 0, "chain/dag confirmation depth")
+		margin   = flag.Int("margin", 0, "last-minute attack burst margin (0 = default 6)")
 		crashes  = flag.Int("crashes", 0, "crash-faulty correct nodes")
 		inputs   = flag.String("inputs", "same", `inputs: same | same:-1 | split:<ones> | random`)
 		seed     = flag.Uint64("seed", 1, "base seed")
 		trials   = flag.Int("trials", 1, "number of runs (seeds seed..seed+trials-1)")
 		fresh    = flag.Bool("fresh-reads", false, "ablation: honest nodes read at grant time (no Δ staleness)")
-		rr       = flag.Bool("round-robin", false, "ablation: burst-free round-robin token authority")
+		access   = flag.String("access", "", "token authority: "+scenario.AccessModels.Help()+" (default poisson)")
+		rr       = flag.Bool("round-robin", false, "ablation: burst-free round-robin token authority (same as -access round-robin)")
 		stallAt  = flag.Int("stall-at", 0, "inject async blackout once memory reaches this size (0 = off)")
 		stallFor = flag.Float64("stall-for", 0, "blackout duration in Δ (0 = default 8)")
+		adm      = flag.Float64("async-delay-max", 0, "honest token-to-append delay bound in Δ (0 = off)")
 		verbose  = flag.Bool("v", false, "print per-node decisions")
 		traceN   = flag.Int("trace", 0, "print the last N trace events of the run")
+
+		list     = flag.Bool("list", false, "enumerate the registries (protocols, tie-breaks, pivots, attacks, access models, metrics, sweep axes) and exit")
+		specPath = flag.String("spec", "", "run a JSON scenario spec (explicitly-set flags override its fields)")
+		metricsF = flag.String("metrics", "", "comma-separated metric extractors for sweep output (see -list metrics)")
+		format   = flag.String("format", "text", "sweep output format: text | md | json | csv")
+		out      = flag.String("o", "", "write sweep output to file instead of stdout")
+		workers  = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
 	)
+	flag.Var(&sweeps, "sweep", "sweep axis as axis=v1,v2,... (repeatable; see -list for axes)")
 	flag.Parse()
 
-	var rec *trace.Recorder
-	if *traceN > 0 {
-		rec = trace.New()
-	}
-	cfg := core.Config{
-		Protocol: core.Protocol(*protocol),
-		N:        *n, T: *t,
-		Lambda: *lambda, Delta: *delta, K: *k, Rounds: *rounds,
-		TieBreak:    core.TieBreak(*tiebreak),
-		Pivot:       core.Pivot(*pivot),
-		Attack:      core.Attack(*attack),
-		Crashes:     *crashes,
-		Inputs:      *inputs,
-		Seed:        *seed,
-		FreshReads:  *fresh,
-		RoundRobin:  *rr,
-		StallAtSize: *stallAt,
-		StallFor:    *stallFor,
-		Trace:       rec,
-	}
-
-	if *trials > 1 {
-		s, err := core.RunTrials(cfg, *trials)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "amrun:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s n=%d t=%d λ=%g k=%d attack=%s: %s\n",
-			cfg.Protocol, cfg.N, cfg.T, cfg.Lambda, cfg.K, cfg.Attack, s)
+	// -list is a query, not a run.
+	if *list {
+		printList()
 		return
 	}
 
-	r, err := core.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "amrun:", err)
-		os.Exit(1)
+	spec := scenario.Spec{
+		Protocol: scenario.Protocol(*protocol),
+		N:        *n, T: *t, Crashes: *crashes,
+		Lambda: *lambda, Delta: *delta, K: *k, Rounds: *rounds,
+		TieBreak: scenario.TieBreak(*tiebreak),
+		Pivot:    scenario.Pivot(*pivot),
+		Attack:   scenario.Attack(*attack),
+		Confirm:  *confirm, Margin: *margin,
+		Inputs: *inputs, Seed: *seed, Trials: *trials,
+		FreshReads:  *fresh,
+		Access:      scenario.Access(*access),
+		StallAtSize: *stallAt, StallFor: *stallFor,
+		AsyncDelayMax: *adm,
 	}
-	fmt.Printf("protocol    %s (attack %s)\n", cfg.Protocol, cfg.Attack)
-	fmt.Printf("nodes       n=%d t=%d crashes=%d\n", cfg.N, cfg.T, cfg.Crashes)
+	if *rr {
+		spec.Access = scenario.AccessRoundRobin
+	}
+
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		fileSpec, err := scenario.ParseSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+		// The file is authoritative; flags the user explicitly set on the
+		// command line override its fields.
+		overrideSpec(&fileSpec, spec)
+		spec = fileSpec
+	}
+	spec.Sweep = append(spec.Sweep, sweeps...)
+	if *metricsF != "" {
+		spec.Metrics = splitList(*metricsF)
+	}
+
+	// A spec file, a sweep or an explicit metric set selects table mode;
+	// bare flag runs keep the classic single-run / trials output.
+	if *specPath != "" || len(spec.Sweep) > 0 || len(spec.Metrics) > 0 {
+		runSweep(spec, *workers, *format, *out)
+		return
+	}
+
+	if spec.Trials > 1 {
+		s, err := scenario.RunTrials(spec, spec.Trials)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s n=%d t=%d λ=%g k=%d attack=%s: %s\n",
+			spec.Protocol, spec.N, spec.T, spec.Lambda, spec.K, attackName(spec), s)
+		return
+	}
+
+	runOne(spec, *verbose, *traceN)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amrun:", err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func attackName(s scenario.Spec) scenario.Attack {
+	if s.Attack == "" {
+		return scenario.AttackSilent
+	}
+	return s.Attack
+}
+
+// overrideSpec copies into dst every field of the flag-built spec whose
+// flag was explicitly set on the command line.
+func overrideSpec(dst *scenario.Spec, flags scenario.Spec) {
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "protocol":
+			dst.Protocol = flags.Protocol
+		case "n":
+			dst.N = flags.N
+		case "t":
+			dst.T = flags.T
+		case "crashes":
+			dst.Crashes = flags.Crashes
+		case "lambda":
+			dst.Lambda = flags.Lambda
+		case "delta":
+			dst.Delta = flags.Delta
+		case "k":
+			dst.K = flags.K
+		case "rounds":
+			dst.Rounds = flags.Rounds
+		case "tiebreak":
+			dst.TieBreak = flags.TieBreak
+		case "pivot":
+			dst.Pivot = flags.Pivot
+		case "attack":
+			dst.Attack = flags.Attack
+		case "confirm":
+			dst.Confirm = flags.Confirm
+		case "margin":
+			dst.Margin = flags.Margin
+		case "inputs":
+			dst.Inputs = flags.Inputs
+		case "seed":
+			dst.Seed = flags.Seed
+		case "trials":
+			dst.Trials = flags.Trials
+		case "fresh-reads":
+			dst.FreshReads = flags.FreshReads
+		case "access", "round-robin":
+			dst.Access = flags.Access
+		case "stall-at":
+			dst.StallAtSize = flags.StallAtSize
+		case "stall-for":
+			dst.StallFor = flags.StallFor
+		case "async-delay-max":
+			dst.AsyncDelayMax = flags.AsyncDelayMax
+		}
+	})
+}
+
+// runSweep executes the spec through the scenario layer and renders the
+// point table in the requested format.
+func runSweep(spec scenario.Spec, workers int, format, out string) {
+	res, err := scenario.RunSpec(spec, scenario.Options{Workers: workers})
+	if err != nil {
+		fatal(err)
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "text":
+		fmt.Fprint(w, report.TableText(experiments.SweepTable(res)))
+	case "md":
+		fmt.Fprint(w, report.TableMarkdown(experiments.SweepTable(res)))
+	case "json":
+		if err := report.WriteJSON(w, []*experiments.Result{experiments.SweepResult(res)}); err != nil {
+			fatal(err)
+		}
+	case "csv":
+		if err := report.WriteCSV(w, []*experiments.Result{experiments.SweepResult(res)}); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text | md | json | csv)", format))
+	}
+}
+
+// runOne preserves amrun's classic single-run report.
+func runOne(spec scenario.Spec, verbose bool, traceN int) {
+	var rec *trace.Recorder
+	if traceN > 0 {
+		rec = trace.New()
+	}
+	b, err := scenario.Bind(spec)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := b.RunTraced(spec.Seed, rec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("protocol    %s (attack %s)\n", spec.Protocol, attackName(spec))
+	fmt.Printf("nodes       n=%d t=%d crashes=%d\n", spec.N, spec.T, spec.Crashes)
 	fmt.Printf("verdict     agreement=%v validity=%v termination=%v\n",
 		r.Verdict.Agreement, r.Verdict.Validity, r.Verdict.Termination)
 	fmt.Printf("appends     total=%d byzantine=%d\n", r.TotalAppends, r.ByzAppends)
 	fmt.Printf("duration    %.3f Δ\n", float64(r.Duration))
-	if *verbose {
+	if verbose {
 		for i, d := range r.Decision {
 			role := r.Roster.Role(appendmem.NodeID(i))
 			status := "undecided"
@@ -97,9 +281,50 @@ func main() {
 		}
 	}
 	if rec != nil {
-		fmt.Printf("trace (%d events total):\n%s", rec.Len(), rec.Render(*traceN))
+		fmt.Printf("trace (%d events total):\n%s", rec.Len(), rec.Render(traceN))
 	}
 	if !r.Verdict.OK() {
 		os.Exit(2)
 	}
+}
+
+// printList enumerates the registries, one line per name with its doc.
+func printList() {
+	section := func(title string, names []string, doc func(string) string) {
+		fmt.Printf("%s:\n", title)
+		for _, name := range names {
+			fmt.Printf("  %-17s %s\n", name, doc(name))
+		}
+		fmt.Println()
+	}
+	section("protocols", scenario.Protocols.Names(), scenario.Protocols.Doc)
+	section("tie-breaks (chain)", scenario.TieBreaks.Names(), scenario.TieBreaks.Doc)
+	section("pivots (dag)", scenario.Pivots.Names(), scenario.Pivots.Doc)
+	section("attacks", scenario.Attacks.Names(), func(name string) string {
+		return fmt.Sprintf("[%s] %s", attackScope(name), scenario.Attacks.Doc(name))
+	})
+	section("access models", scenario.AccessModels.Names(), scenario.AccessModels.Doc)
+	section("metrics", scenario.Metrics.Names(), scenario.Metrics.Doc)
+	fmt.Printf("sweep axes:\n  %s\n", strings.Join(scenario.SweepAxes(), ", "))
+}
+
+// attackScope renders which protocols an attack applies to.
+func attackScope(name string) string {
+	var ps []string
+	for _, p := range scenario.Protocols.Names() {
+		if p == string(scenario.Sync) {
+			for _, s := range scenario.SyncAttacks() {
+				if s == name {
+					ps = append(ps, p)
+				}
+			}
+			continue
+		}
+		for _, a := range scenario.AttacksFor(scenario.Protocol(p)) {
+			if a == name {
+				ps = append(ps, p)
+			}
+		}
+	}
+	return strings.Join(ps, " ")
 }

@@ -1,85 +1,68 @@
-// Package core is the library's front door: a declarative configuration
+// Package core is the library's compatibility front door: a flat Config
 // that names a protocol, an adversary and the model parameters, and a Run
-// function that wires the right substrate together and returns a uniform
-// result. Examples and the amrun CLI are thin layers over this package;
-// everything here delegates to the per-protocol packages, which remain
-// usable directly for finer control.
-//
-// The four protocols are the paper's four agreement algorithms:
-//
-//	sync       Algorithm 1 — deterministic BA, synchronous rounds (§3.2)
-//	timestamp  Algorithm 4 — absolute-timestamp baseline (§5.1)
-//	chain      Algorithm 5 — longest chain with a tie-breaking rule (§5.2)
-//	dag        Algorithm 6 — BlockDAG with a pivot rule (§5.3)
-//
-// Each protocol is paired with the adversaries that its section analyses;
-// Run rejects meaningless combinations (e.g. the fork adversary against
-// the timestamp baseline) rather than running a misleading experiment.
+// function returning a uniform result. Since the scenario layer landed,
+// core is a thin adapter over internal/scenario — the registries there
+// are the single source of truth for protocol, tie-break, pivot, attack
+// and access-model names, and Config/Run simply translate to a
+// scenario.Spec. Examples and quick scripts use core; anything that
+// wants sweeps, JSON specs or metric extraction uses scenario directly.
 package core
 
 import (
-	"fmt"
-	"strings"
-
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
-	"repro/internal/agreement/syncba"
-	"repro/internal/agreement/timestamp"
 	"repro/internal/appendmem"
-	"repro/internal/chain"
 	"repro/internal/node"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/xrand"
 )
 
 // Protocol selects the agreement algorithm.
-type Protocol string
+type Protocol = scenario.Protocol
 
 // Protocols.
 const (
-	Sync      Protocol = "sync"
-	Timestamp Protocol = "timestamp"
-	Chain     Protocol = "chain"
-	Dag       Protocol = "dag"
+	Sync      = scenario.Sync
+	Timestamp = scenario.Timestamp
+	Chain     = scenario.Chain
+	Dag       = scenario.Dag
 )
 
 // TieBreak selects the chain protocol's tie-breaking rule.
-type TieBreak string
+type TieBreak = scenario.TieBreak
 
 // Tie-breaking rules (chain protocol only).
 const (
-	TieFirst       TieBreak = "first"
-	TieRandom      TieBreak = "random"
-	TieAdversarial TieBreak = "adversarial"
+	TieFirst       = scenario.TieFirst
+	TieRandom      = scenario.TieRandom
+	TieAdversarial = scenario.TieAdversarial
 )
 
 // Pivot selects the DAG protocol's pivot rule.
-type Pivot string
+type Pivot = scenario.Pivot
 
 // Pivot rules (dag protocol only).
 const (
-	PivotGhost   Pivot = "ghost"
-	PivotLongest Pivot = "longest"
+	PivotGhost   = scenario.PivotGhost
+	PivotLongest = scenario.PivotLongest
 )
 
 // Attack names the Byzantine strategy.
-type Attack string
+type Attack = scenario.Attack
 
-// Attacks. Silent works everywhere; the rest are protocol-specific (see
-// the package docs of internal/adversary and internal/agreement/syncba).
+// Attacks. Silent works everywhere; the rest are protocol-specific (run
+// `amrun -list` for the full registry with one-line docs).
 const (
-	AttackSilent       Attack = "silent"
-	AttackFlip         Attack = "flip"          // timestamp/chain/dag: honest structure, flipped vote, fresh reads
-	AttackFork         Attack = "fork"          // chain: Theorem 5.3 sibling forks
-	AttackTieBreak     Attack = "tiebreak"      // chain: Theorem 5.4 fresh-tip extension
-	AttackPrivateChain Attack = "private-chain" // dag: Lemma 5.5 pivot-extending chains
-	AttackEquivocate   Attack = "equivocate"    // chain: alternating fork/extend
-	AttackDelayedChain Attack = "delayed-chain" // sync: Lemma 3.1 hidden chain
-	AttackLoudFlip     Attack = "loud-flip"     // sync: on-schedule flipped votes
-	AttackRandom       Attack = "random"        // any randomized protocol: well-formed fuzzing noise
+	AttackSilent       = scenario.AttackSilent
+	AttackFlip         = scenario.AttackFlip
+	AttackFork         = scenario.AttackFork
+	AttackTieBreak     = scenario.AttackTieBreak
+	AttackPrivateChain = scenario.AttackPrivateChain
+	AttackLastMinute   = scenario.AttackLastMinute
+	AttackPrivateFork  = scenario.AttackPrivateFork
+	AttackEquivocate   = scenario.AttackEquivocate
+	AttackDelayedChain = scenario.AttackDelayedChain
+	AttackLoudFlip     = scenario.AttackLoudFlip
+	AttackRandom       = scenario.AttackRandom
 )
 
 // Config declares one run.
@@ -114,6 +97,23 @@ type Config struct {
 	Trace *trace.Recorder
 }
 
+// Spec translates the flat config into the scenario layer's declarative
+// form.
+func (c Config) Spec() scenario.Spec {
+	s := scenario.Spec{
+		Protocol: c.Protocol, N: c.N, T: c.T, Crashes: c.Crashes,
+		Lambda: c.Lambda, Delta: c.Delta, K: c.K, Rounds: c.Rounds,
+		TieBreak: c.TieBreak, Pivot: c.Pivot, Attack: c.Attack,
+		Inputs: c.Inputs, FreshReads: c.FreshReads,
+		StallAtSize: c.StallAtSize, StallFor: c.StallFor,
+		Seed: c.Seed,
+	}
+	if c.RoundRobin {
+		s.Access = scenario.AccessRoundRobin
+	}
+	return s
+}
+
 // Result is the uniform outcome of one run.
 type Result struct {
 	Config   Config
@@ -131,219 +131,30 @@ type Result struct {
 	HasView      bool
 }
 
-func (c *Config) inputs(rng *xrand.PCG) (node.Inputs, error) {
-	spec := c.Inputs
-	if spec == "" {
-		spec = "same"
-	}
-	switch {
-	case spec == "same":
-		return node.AllSame(c.N, +1), nil
-	case spec == "same:-1":
-		return node.AllSame(c.N, -1), nil
-	case strings.HasPrefix(spec, "split:"):
-		var ones int
-		if _, err := fmt.Sscanf(spec, "split:%d", &ones); err != nil || ones < 0 || ones > c.N {
-			return nil, fmt.Errorf("core: bad input spec %q", spec)
-		}
-		return node.SplitInputs(c.N, ones), nil
-	case spec == "random":
-		return node.RandomInputs(rng, c.N), nil
-	default:
-		return nil, fmt.Errorf("core: unknown input spec %q", spec)
-	}
-}
-
-func (c *Config) tieBreaker() (chain.TieBreaker, error) {
-	switch c.TieBreak {
-	case "", TieRandom:
-		return chain.RandomTieBreaker{}, nil
-	case TieFirst:
-		return chain.FirstTieBreaker{}, nil
-	case TieAdversarial:
-		n, t := c.N, c.T
-		return chain.AdversarialTieBreaker{
-			IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= n-t },
-		}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown tie-break %q", c.TieBreak)
-	}
-}
-
-func (c *Config) pivot() (dagba.PivotRule, error) {
-	switch c.Pivot {
-	case "", PivotGhost:
-		return dagba.Ghost, nil
-	case PivotLongest:
-		return dagba.Longest, nil
-	default:
-		return 0, fmt.Errorf("core: unknown pivot %q", c.Pivot)
-	}
-}
-
-func (c *Config) randomizedAdversary(rule agreement.HonestRule) (agreement.Adversary, error) {
-	switch c.Attack {
-	case "", AttackSilent:
-		return agreement.Silent{}, nil
-	case AttackFlip:
-		return &agreement.ValueFlip{Rule: rule}, nil
-	case AttackRandom:
-		return &adversary.Random{}, nil
-	case AttackFork:
-		if c.Protocol != Chain {
-			return nil, fmt.Errorf("core: attack %q needs the chain protocol", c.Attack)
-		}
-		return &adversary.ChainForker{}, nil
-	case AttackTieBreak:
-		if c.Protocol != Chain {
-			return nil, fmt.Errorf("core: attack %q needs the chain protocol", c.Attack)
-		}
-		return &adversary.ChainTieBreaker{}, nil
-	case AttackEquivocate:
-		if c.Protocol != Chain {
-			return nil, fmt.Errorf("core: attack %q needs the chain protocol", c.Attack)
-		}
-		return &adversary.Equivocator{}, nil
-	case AttackPrivateChain:
-		if c.Protocol != Dag {
-			return nil, fmt.Errorf("core: attack %q needs the dag protocol", c.Attack)
-		}
-		p, err := c.pivot()
-		if err != nil {
-			return nil, err
-		}
-		return &adversary.DagChainExtender{Pivot: p}, nil
-	default:
-		return nil, fmt.Errorf("core: attack %q not valid for protocol %q", c.Attack, c.Protocol)
-	}
-}
-
 // Run executes one run of the configured protocol.
 func Run(cfg Config) (*Result, error) {
-	rng := xrand.New(cfg.Seed, 0xC0DE)
-	inputs, err := cfg.inputs(rng)
+	b, err := scenario.Bind(cfg.Spec())
 	if err != nil {
 		return nil, err
 	}
-
-	if cfg.Protocol == Sync {
-		var adv syncba.Adversary
-		switch cfg.Attack {
-		case "", AttackSilent:
-			adv = syncba.Silent{}
-		case AttackDelayedChain:
-			adv = &syncba.DelayedChain{}
-		case AttackLoudFlip:
-			adv = &syncba.LoudFlip{}
-		default:
-			return nil, fmt.Errorf("core: attack %q not valid for protocol sync", cfg.Attack)
-		}
-		r, err := syncba.Run(syncba.Config{
-			N: cfg.N, T: cfg.T, Rounds: cfg.Rounds, Delta: cfg.Delta,
-			Seed: cfg.Seed, Inputs: inputs, Crashes: cfg.Crashes,
-			Trace: cfg.Trace,
-		}, adv)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			Config: cfg, Verdict: r.Verdict,
-			Decision: r.Outcome.Decision, Decided: r.Outcome.Decided,
-			Roster: r.Roster, Inputs: r.Inputs,
-			TotalAppends: r.FinalView.Size(), Duration: r.Duration,
-			FinalView: r.FinalView, HasView: true,
-		}, nil
-	}
-
-	var rule agreement.HonestRule
-	switch cfg.Protocol {
-	case Timestamp:
-		rule = timestamp.Rule{}
-	case Chain:
-		tb, err := cfg.tieBreaker()
-		if err != nil {
-			return nil, err
-		}
-		rule = chainba.Rule{TB: tb}
-	case Dag:
-		p, err := cfg.pivot()
-		if err != nil {
-			return nil, err
-		}
-		rule = dagba.Rule{Pivot: p}
-	default:
-		return nil, fmt.Errorf("core: unknown protocol %q", cfg.Protocol)
-	}
-	adv, err := cfg.randomizedAdversary(rule)
-	if err != nil {
-		return nil, err
-	}
-	r, err := agreement.RunRandomized(agreement.RandomizedConfig{
-		N: cfg.N, T: cfg.T, Lambda: cfg.Lambda, Delta: cfg.Delta,
-		K: cfg.K, Seed: cfg.Seed, Inputs: inputs, Crashes: cfg.Crashes,
-		FreshHonestReads: cfg.FreshReads,
-		RoundRobinAccess: cfg.RoundRobin,
-		StallAtSize:      cfg.StallAtSize, StallFor: cfg.StallFor,
-		Trace: cfg.Trace,
-	}, rule, adv)
+	r, err := b.RunTraced(cfg.Seed, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Config: cfg, Verdict: r.Verdict,
-		Decision: r.Outcome.Decision, Decided: r.Outcome.Decided,
+		Decision: r.Decision, Decided: r.Decided,
 		Roster: r.Roster, Inputs: r.Inputs,
 		TotalAppends: r.TotalAppends, ByzAppends: r.ByzAppends,
-		Duration: r.Duration, FinalView: r.FinalView, HasView: true,
+		Duration: r.Duration, FinalView: r.FinalView, HasView: r.HasView,
 	}, nil
 }
 
 // TrialSummary aggregates repeated runs of one configuration.
-type TrialSummary struct {
-	Trials      int
-	OK          int
-	Agreement   int
-	Validity    int
-	Termination int
-}
-
-// Rate returns the all-properties success rate.
-func (s TrialSummary) Rate() float64 {
-	if s.Trials == 0 {
-		return 0
-	}
-	return float64(s.OK) / float64(s.Trials)
-}
-
-func (s TrialSummary) String() string {
-	return fmt.Sprintf("ok %d/%d (agreement %d, validity %d, termination %d)",
-		s.OK, s.Trials, s.Agreement, s.Validity, s.Termination)
-}
+type TrialSummary = scenario.TrialSummary
 
 // RunTrials executes trials runs with seeds cfg.Seed, cfg.Seed+1, ... and
 // aggregates the verdicts.
 func RunTrials(cfg Config, trials int) (TrialSummary, error) {
-	var s TrialSummary
-	for i := 0; i < trials; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i)
-		r, err := Run(c)
-		if err != nil {
-			return s, err
-		}
-		s.Trials++
-		if r.Verdict.OK() {
-			s.OK++
-		}
-		if r.Verdict.Agreement {
-			s.Agreement++
-		}
-		if r.Verdict.Validity {
-			s.Validity++
-		}
-		if r.Verdict.Termination {
-			s.Termination++
-		}
-	}
-	return s, nil
+	return scenario.RunTrials(cfg.Spec(), trials)
 }

@@ -1,12 +1,8 @@
 package experiments
 
 import (
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
-	"repro/internal/chain"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // RunE11 — the closing observation of Section 5.3: unlike Nakamoto
@@ -27,15 +23,17 @@ func RunE11(o Options) []*Table {
 	tbl := NewTable("E11: DAG BA under temporal asynchrony (n=10, t=4, λ=1, k=41; honest views blackout for w·Δ before decision)",
 		"blackout w (Δ)", "validity ok", "regime")
 	for _, w := range stalls {
-		w := w
+		spec := scenario.Spec{
+			Protocol: scenario.Dag, N: n, T: t, Lambda: 1, K: k,
+			Attack: scenario.AttackPrivateChain,
+		}
+		if w > 0 {
+			spec.StallAtSize = 30
+			spec.StallFor = w
+		}
+		b := scenario.MustBind(spec)
 		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			cfg := agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed}
-			if w > 0 {
-				cfg.StallAtSize = 30
-				cfg.StallFor = w
-			}
-			r := agreement.MustRun(cfg, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
-			return r.Verdict.Validity
+			return b.Randomized(seed).Verdict.Validity
 		})
 		regime := "synchronous"
 		if w > 0 {
@@ -69,13 +67,13 @@ func RunE12(o Options) []*Table {
 	tbl := NewTable("E12: ablating honest staleness (chain + randomized ties vs ChainTieBreaker, n=10, t=4, k=41)",
 		"λ", "λ(n-t)", "validity (stale views, Δ)", "validity (fresh views)")
 	for _, lambda := range lambdas {
-		lambda := lambda
 		run := func(fresh bool) runner.Ratio {
+			b := scenario.MustBind(scenario.Spec{
+				Protocol: scenario.Chain, N: n, T: t, Lambda: lambda, K: k,
+				Attack: scenario.AttackTieBreak, FreshReads: fresh,
+			})
 			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-				r := agreement.MustRun(agreement.RandomizedConfig{
-					N: n, T: t, Lambda: lambda, K: k, Seed: seed, FreshHonestReads: fresh,
-				}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
-				return r.Verdict.Validity
+				return b.Randomized(seed).Verdict.Validity
 			})
 		}
 		stale := run(false)

@@ -3,14 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
 	"repro/internal/backbone"
 	"repro/internal/bivalence"
-	"repro/internal/chain"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stickybit"
 )
 
@@ -80,31 +76,21 @@ func RunE14(o Options) []*Table {
 	n, t, k := 10, 4, 41
 
 	type point struct {
-		label  string
-		lambda float64
-		run    func(seed uint64) (*agreement.Result, bool) // result, isDag
+		label string
+		spec  scenario.Spec
+		isDag bool
 	}
 	points := []point{
-		{"chain, silent", 0.25, func(seed uint64) (*agreement.Result, bool) {
-			return agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 0.25, K: k, Seed: seed},
-				chainba.Rule{TB: chain.RandomTieBreaker{}}, agreement.Silent{}), false
-		}},
-		{"chain, tiebreak λ=0.25", 0.25, func(seed uint64) (*agreement.Result, bool) {
-			return agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 0.25, K: k, Seed: seed},
-				chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{}), false
-		}},
-		{"chain, tiebreak λ=1", 1, func(seed uint64) (*agreement.Result, bool) {
-			return agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
-				chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{}), false
-		}},
-		{"dag, private-chain λ=0.25", 0.25, func(seed uint64) (*agreement.Result, bool) {
-			return agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 0.25, K: k, Seed: seed},
-				dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost}), true
-		}},
-		{"dag, private-chain λ=1", 1, func(seed uint64) (*agreement.Result, bool) {
-			return agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
-				dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost}), true
-		}},
+		{"chain, silent",
+			scenario.Spec{Protocol: scenario.Chain, Lambda: 0.25, Attack: scenario.AttackSilent}, false},
+		{"chain, tiebreak λ=0.25",
+			scenario.Spec{Protocol: scenario.Chain, Lambda: 0.25, Attack: scenario.AttackTieBreak}, false},
+		{"chain, tiebreak λ=1",
+			scenario.Spec{Protocol: scenario.Chain, Lambda: 1, Attack: scenario.AttackTieBreak}, false},
+		{"dag, private-chain λ=0.25",
+			scenario.Spec{Protocol: scenario.Dag, Lambda: 0.25, Attack: scenario.AttackPrivateChain}, true},
+		{"dag, private-chain λ=1",
+			scenario.Spec{Protocol: scenario.Dag, Lambda: 1, Attack: scenario.AttackPrivateChain}, true},
 	}
 
 	tbl := NewTable("E14: backbone properties at t/n = 0.4 (n=10, k=41); honest token share = 0.6",
@@ -119,10 +105,13 @@ func RunE14(o Options) []*Table {
 			growth, quality, wasted, viol float64
 			valid                         int
 		}
+		spec := p.spec
+		spec.N, spec.T, spec.K = n, t, k
+		b := scenario.MustBind(spec)
 		sums := runner.TrialsReduce(trials, o.Seed, o.Workers, acc{}, func(seed uint64) res {
-			r, isDag := p.run(seed)
+			r := b.Randomized(seed)
 			var rep backbone.Report
-			if isDag {
+			if p.isDag {
 				rep = backbone.AnalyzeDag(r, k, true)
 			} else {
 				rep = backbone.AnalyzeChain(r, k)

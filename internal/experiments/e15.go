@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/abdsim"
-	"repro/internal/agreement/syncba"
 	"repro/internal/dolev"
 	"repro/internal/msgnet"
-	"repro/internal/node"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -40,7 +41,9 @@ func RunE15(o Options) []*Table {
 	}
 	for _, sz := range sizes {
 		// Append memory: one append + one read per node per round.
-		r1 := syncba.MustRun(syncba.Config{N: sz.n, T: sz.t, Seed: o.Seed}, &syncba.LoudFlip{})
+		r1 := scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Sync, N: sz.n, T: sz.t, Attack: scenario.AttackLoudFlip,
+		}).Sync(o.Seed)
 		amOps := r1.FinalView.Size() + sz.n*(sz.t+1) // appends + reads
 
 		// Message passing: Dolev–Strong with every Byzantine node loud
@@ -58,13 +61,14 @@ func RunE15(o Options) []*Table {
 	n, t := 8, 3
 	for rounds := 1; rounds <= t+1; rounds++ {
 		rounds := rounds
+		c := n - t
+		b := scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Sync, N: n, T: t, Rounds: rounds,
+			Attack: scenario.AttackDelayedChain,
+			Inputs: fmt.Sprintf("split:%d", (c+1)/2),
+		})
 		amFails := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			c := n - t
-			r := syncba.MustRun(syncba.Config{
-				N: n, T: t, Rounds: rounds, Seed: seed,
-				Inputs: node.SplitInputs(n, (c+1)/2),
-			}, &syncba.DelayedChain{})
-			return !r.Verdict.Agreement
+			return !b.Sync(seed).Verdict.Agreement
 		})
 		mpFails := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
 			r := dolev.MustRun(dolev.Config{

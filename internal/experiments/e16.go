@@ -1,13 +1,8 @@
 package experiments
 
 import (
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
-	"repro/internal/chain"
-	"repro/internal/node"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // RunE16 — Theorem 5.1's operational content: randomized memory access
@@ -38,21 +33,29 @@ func RunE16(o Options) []*Table {
 	n, t, k := 10, 4, 21
 	const lambda = 0.05 // λ(n−t) = 0.3: the synchronous chain is safe here
 
+	validity := func(spec scenario.Spec) runner.Ratio {
+		b := scenario.MustBind(spec)
+		return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+			return b.Randomized(seed).Verdict.Validity
+		})
+	}
+	agreement := func(spec scenario.Spec) runner.Ratio {
+		b := scenario.MustBind(spec)
+		return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+			return b.Randomized(seed).Verdict.Agreement
+		})
+	}
+
 	attacked := NewTable("E16a: honest token-to-append delay w·Δ under attack (n=10, t=4, λ=0.05, k=21)",
 		"delay w (Δ)", "chain validity", "dag validity")
 	for _, w := range delays {
-		w := w
-		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
-			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
-			return r.Verdict.Validity
+		chainOK := validity(scenario.Spec{
+			Protocol: scenario.Chain, N: n, T: t, Lambda: lambda, K: k,
+			Attack: scenario.AttackTieBreak, AsyncDelayMax: w,
 		})
-		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: n, T: t, Lambda: lambda, K: k, Seed: seed, AsyncDelayMax: w,
-			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
-			return r.Verdict.Validity
+		dagOK := validity(scenario.Spec{
+			Protocol: scenario.Dag, N: n, T: t, Lambda: lambda, K: k,
+			Attack: scenario.AttackPrivateChain, AsyncDelayMax: w,
 		})
 		attacked.AddRow(w, chainOK, dagOK)
 	}
@@ -68,20 +71,13 @@ func RunE16(o Options) []*Table {
 	benign := NewTable("E16b: the same delays with NO Byzantine nodes, split inputs (agreement at stake)",
 		"delay w (Δ)", "chain agreement", "dag agreement")
 	for _, w := range delays {
-		w := w
-		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
-				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
-			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, agreement.Silent{})
-			return r.Verdict.Agreement
+		chainOK := agreement(scenario.Spec{
+			Protocol: scenario.Chain, N: 8, T: 0, Lambda: 0.5, K: k,
+			Inputs: "split:4", AsyncDelayMax: w,
 		})
-		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: 8, T: 0, Lambda: 0.5, K: k, Seed: seed,
-				Inputs: node.SplitInputs(8, 4), AsyncDelayMax: w,
-			}, dagba.Rule{Pivot: dagba.Ghost}, agreement.Silent{})
-			return r.Verdict.Agreement
+		dagOK := agreement(scenario.Spec{
+			Protocol: scenario.Dag, N: 8, T: 0, Lambda: 0.5, K: k,
+			Inputs: "split:4", AsyncDelayMax: w,
 		})
 		row := len(benign.Rows)
 		benign.Expect(row, 1, OpGe, 0.85, 0,

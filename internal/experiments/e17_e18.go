@@ -1,13 +1,8 @@
 package experiments
 
 import (
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
-	"repro/internal/agreement/timestamp"
-	"repro/internal/chain"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // RunE17 — access-discipline ablation: the paper models proof-of-work as a
@@ -33,17 +28,20 @@ func RunE17(o Options) []*Table {
 	for _, lambda := range lambdas {
 		lambda := lambda
 		run := func(rr bool, isDag bool) runner.Ratio {
+			spec := scenario.Spec{
+				Protocol: scenario.Chain, N: n, T: t, Lambda: lambda, K: k,
+				Attack: scenario.AttackTieBreak,
+			}
+			if isDag {
+				spec.Protocol = scenario.Dag
+				spec.Attack = scenario.AttackPrivateChain
+			}
+			if rr {
+				spec.Access = scenario.AccessRoundRobin
+			}
+			b := scenario.MustBind(spec)
 			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-				cfg := agreement.RandomizedConfig{
-					N: n, T: t, Lambda: lambda, K: k, Seed: seed, RoundRobinAccess: rr,
-				}
-				var r *agreement.Result
-				if isDag {
-					r = agreement.MustRun(cfg, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
-				} else {
-					r = agreement.MustRun(cfg, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
-				}
-				return r.Verdict.Validity
+				return b.Randomized(seed).Verdict.Validity
 			})
 		}
 		tbl.AddRow(lambda,
@@ -78,11 +76,12 @@ func RunE18(o Options) []*Table {
 		"λ", "ideal k/(nλ)", "timestamp", "chain", "dag (GHOST)")
 	for _, lambda := range lambdas {
 		lambda := lambda
-		mean := func(rule agreement.HonestRule) float64 {
+		mean := func(p scenario.Protocol) float64 {
+			b := scenario.MustBind(scenario.Spec{
+				Protocol: p, N: n, T: 0, Lambda: lambda, K: k,
+			})
 			return runner.MeanTrials(trials, o.Seed, o.Workers, func(seed uint64) float64 {
-				r := agreement.MustRun(agreement.RandomizedConfig{
-					N: n, T: 0, Lambda: lambda, K: k, Seed: seed,
-				}, rule, agreement.Silent{})
+				r := b.Randomized(seed)
 				var sum float64
 				cnt := 0
 				for _, id := range r.Roster.Correct() {
@@ -99,9 +98,9 @@ func RunE18(o Options) []*Table {
 		}
 		ideal := float64(k) / (float64(n) * lambda)
 		tbl.AddRow(lambda, ideal,
-			mean(timestamp.Rule{}),
-			mean(chainba.Rule{TB: chain.RandomTieBreaker{}}),
-			mean(dagba.Rule{Pivot: dagba.Ghost}))
+			mean(scenario.Timestamp),
+			mean(scenario.Chain),
+			mean(scenario.Dag))
 		row := len(tbl.Rows) - 1
 		tbl.ExpectCell(row, 2, OpLe, row, 1, 0.3*ideal,
 			"Theorem 5.2 latency: the timestamp baseline needs exactly k appends — it tracks k/(nλ) closely")

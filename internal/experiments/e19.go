@@ -1,12 +1,8 @@
 package experiments
 
 import (
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
-	"repro/internal/chain"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // RunE19 — confirmation depth, a deliberate null result. Real blockchains
@@ -38,19 +34,22 @@ func RunE19(o Options) []*Table {
 	}
 	n, t, k := 10, 4, 41
 
+	validity := func(spec scenario.Spec) runner.Ratio {
+		spec.N, spec.T, spec.Lambda, spec.K = n, t, 1, k
+		b := scenario.MustBind(spec)
+		return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+			return b.Randomized(seed).Verdict.Validity
+		})
+	}
+
 	sweep := NewTable("E19a: validity vs confirmation depth under the continuous attacks (n=10, t=4, λ=1, k=41)",
 		"confirm depth", "chain (tiebreak attack)", "dag (private-chain attack)")
 	for _, c := range depths {
-		c := c
-		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
-				chainba.Rule{TB: chain.RandomTieBreaker{}, Confirm: c}, &adversary.ChainTieBreaker{})
-			return r.Verdict.Validity
+		chainOK := validity(scenario.Spec{
+			Protocol: scenario.Chain, Attack: scenario.AttackTieBreak, Confirm: c,
 		})
-		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
-				dagba.Rule{Pivot: dagba.Ghost, Confirm: c}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
-			return r.Verdict.Validity
+		dagOK := validity(scenario.Spec{
+			Protocol: scenario.Dag, Attack: scenario.AttackPrivateChain, Confirm: c,
 		})
 		sweep.AddRow(c, chainOK, dagOK)
 		row := len(sweep.Rows) - 1
@@ -65,23 +64,18 @@ func RunE19(o Options) []*Table {
 
 	burst := NewTable("E19b: the surgical last-minute burst (Lemma 5.5's literal adversary) is self-defeating",
 		"adversary", "dag validity")
-	// Adversary *factories*, not instances: the runner fans trials out
-	// across goroutines and a shared adversary value would be Init'd (and
-	// its incremental index mutated) concurrently.
 	for _, tc := range []struct {
 		label string
-		adv   func() agreement.Adversary
+		spec  scenario.Spec
 	}{
-		{"continuous private chains", func() agreement.Adversary { return &adversary.DagChainExtender{Pivot: dagba.Ghost} }},
-		{"silent until k-6, then burst", func() agreement.Adversary { return &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 6} }},
-		{"silent until k-12, then burst", func() agreement.Adversary { return &adversary.DagLastMinute{Pivot: dagba.Ghost, Margin: 12} }},
+		{"continuous private chains",
+			scenario.Spec{Protocol: scenario.Dag, Attack: scenario.AttackPrivateChain}},
+		{"silent until k-6, then burst",
+			scenario.Spec{Protocol: scenario.Dag, Attack: scenario.AttackLastMinute, Margin: 6}},
+		{"silent until k-12, then burst",
+			scenario.Spec{Protocol: scenario.Dag, Attack: scenario.AttackLastMinute, Margin: 12}},
 	} {
-		tc := tc
-		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: 1, K: k, Seed: seed},
-				dagba.Rule{Pivot: dagba.Ghost}, tc.adv())
-			return r.Verdict.Validity
-		})
+		oks := validity(tc.spec)
 		burst.AddRow(tc.label, oks)
 		row := len(burst.Rows) - 1
 		if row > 0 {

@@ -3,10 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/agreement/syncba"
 	"repro/internal/bivalence"
-	"repro/internal/node"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // RunE1 — Theorem 2.1 made executable. The model checker exhaustively
@@ -69,13 +68,14 @@ func RunE2(o Options) []*Table {
 		"n", "t", "rounds", "agreement failures", "expected")
 	for _, tc := range cases {
 		for rounds := 1; rounds <= tc.t+1; rounds++ {
+			c := tc.n - tc.t
+			b := scenario.MustBind(scenario.Spec{
+				Protocol: scenario.Sync, N: tc.n, T: tc.t, Rounds: rounds,
+				Attack: scenario.AttackDelayedChain,
+				Inputs: fmt.Sprintf("split:%d", (c+1)/2),
+			})
 			fails := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-				c := tc.n - tc.t
-				r := syncba.MustRun(syncba.Config{
-					N: tc.n, T: tc.t, Rounds: rounds, Seed: seed,
-					Inputs: node.SplitInputs(tc.n, (c+1)/2),
-				}, &syncba.DelayedChain{})
-				return !r.Verdict.Agreement
+				return !b.Sync(seed).Verdict.Agreement
 			})
 			expect := "failures (r <= t)"
 			if rounds == tc.t+1 {
@@ -106,10 +106,11 @@ func RunE3(o Options) []*Table {
 		maxT = 6
 	}
 	for t := 0; t <= maxT; t++ {
-		t := t
+		b := scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Sync, N: n, T: t, Attack: scenario.AttackLoudFlip,
+		})
 		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := syncba.MustRun(syncba.Config{N: n, T: t, Seed: seed}, &syncba.LoudFlip{})
-			return r.Verdict.OK()
+			return b.Sync(seed).Verdict.OK()
 		})
 		regime := "t < n/2: must hold"
 		if float64(t) >= float64(n)/2 {

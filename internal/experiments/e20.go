@@ -1,12 +1,8 @@
 package experiments
 
 import (
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
-	"repro/internal/chain"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // RunE20 — hashing power, not head count. The paper counts Byzantine
@@ -59,7 +55,6 @@ func RunE20(o Options) []*Table {
 	tbl := NewTable("E20: identical total rate (5/Δ) and Byzantine rate share (0.4), different node counts",
 		"configuration", "byz nodes", "byz rate share", "chain validity", "dag validity")
 	for _, sh := range shapes {
-		sh := sh
 		total, byz := 0.0, 0.0
 		for i, r := range sh.rates {
 			total += r
@@ -67,18 +62,16 @@ func RunE20(o Options) []*Table {
 				byz += r
 			}
 		}
-		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: 10, T: sh.t, Rates: sh.rates, K: k, Seed: seed,
-			}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
-			return r.Verdict.Validity
-		})
-		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: 10, T: sh.t, Rates: sh.rates, K: k, Seed: seed,
-			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
-			return r.Verdict.Validity
-		})
+		validity := func(p scenario.Protocol, attack scenario.Attack) runner.Ratio {
+			b := scenario.MustBind(scenario.Spec{
+				Protocol: p, N: 10, T: sh.t, Rates: sh.rates, K: k, Attack: attack,
+			})
+			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+				return b.Randomized(seed).Verdict.Validity
+			})
+		}
+		chainOK := validity(scenario.Chain, scenario.AttackTieBreak)
+		dagOK := validity(scenario.Dag, scenario.AttackPrivateChain)
 		tbl.AddRow(sh.label, sh.t, Float(byz/total, "%.2f"), chainOK, dagOK)
 		row := len(tbl.Rows) - 1
 		if row > 0 {

@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/dagba"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // RunE21 — why Algorithm 6 cites GHOST. The paper grounds the DAG's
@@ -30,15 +28,16 @@ func RunE21(o Options) []*Table {
 		"λ", "GHOST validity", "longest-chain validity")
 	for _, lambda := range lambdas {
 		lambda := lambda
-		run := func(p dagba.PivotRule) runner.Ratio {
+		run := func(p scenario.Pivot) runner.Ratio {
+			b := scenario.MustBind(scenario.Spec{
+				Protocol: scenario.Dag, N: n, T: t, Lambda: lambda, K: k,
+				Pivot: p, Attack: scenario.AttackPrivateFork,
+			})
 			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-				r := agreement.MustRun(agreement.RandomizedConfig{
-					N: n, T: t, Lambda: lambda, K: k, Seed: seed,
-				}, dagba.Rule{Pivot: p}, &adversary.DagPrivateFork{})
-				return r.Verdict.Validity
+				return b.Randomized(seed).Verdict.Validity
 			})
 		}
-		tbl.AddRow(lambda, run(dagba.Ghost), run(dagba.Longest))
+		tbl.AddRow(lambda, run(scenario.PivotGhost), run(scenario.PivotLongest))
 		row := len(tbl.Rows) - 1
 		tbl.ExpectCell(row, 1, OpGe, row, 2, 0.05,
 			"refs [22],[14]: GHOST weighs subtrees that forks cannot dilute — it never loses to longest-chain here")

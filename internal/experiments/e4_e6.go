@@ -3,13 +3,10 @@ package experiments
 import (
 	"math"
 
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/timestamp"
 	"repro/internal/appendmem"
 	"repro/internal/chain"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -48,13 +45,14 @@ func RunE4(o Options) []*Table {
 		tbl := NewTable("E4: timestamp baseline, "+regime.name,
 			"k", "validity failures", "analytic tail", "agreement failures", "termination failures")
 		for _, k := range ks {
-			k := k
 			type res struct{ val, agr, term bool }
 			type fails struct{ val, agr, term int }
+			b := scenario.MustBind(scenario.Spec{
+				Protocol: scenario.Timestamp, N: regime.n, T: regime.t,
+				Lambda: 0.5, K: k, Attack: scenario.AttackFlip,
+			})
 			fs := runner.TrialsReduce(trials, o.Seed, o.Workers, fails{}, func(seed uint64) res {
-				r := agreement.MustRun(agreement.RandomizedConfig{
-					N: regime.n, T: regime.t, Lambda: 0.5, K: k, Seed: seed,
-				}, timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
+				r := b.Randomized(seed)
 				return res{!r.Verdict.Validity, !r.Verdict.Agreement, !r.Verdict.Termination}
 			}, func(a fails, r res) fails {
 				if r.val {
@@ -105,10 +103,12 @@ func RunE5(o Options) []*Table {
 			fracSum float64
 		}
 		tb := chain.AdversarialTieBreaker{IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= n-t }}
+		b := scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Chain, N: n, T: t, Lambda: lambda, K: k,
+			TieBreak: scenario.TieAdversarial, Attack: scenario.AttackFork,
+		})
 		sums := runner.TrialsReduce(trials, o.Seed, o.Workers, acc{}, func(seed uint64) res {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: n, T: t, Lambda: lambda, K: k, Seed: seed,
-			}, chainba.Rule{TB: tb}, &adversary.ChainForker{})
+			r := b.Randomized(seed)
 			tree := chain.Build(r.FinalView)
 			tips := tree.LongestTips()
 			frac := 0.0
@@ -158,11 +158,11 @@ func RunE6(o Options) []*Table {
 		trials = o.trials(20)
 	}
 	n, t, k := 10, 4, 21
-	run := func(nn, tt int, lambda float64, seed uint64) bool {
-		r := agreement.MustRun(agreement.RandomizedConfig{
-			N: nn, T: tt, Lambda: lambda, K: k, Seed: seed,
-		}, chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
-		return r.Verdict.Validity
+	bind := func(nn, tt int, lambda float64) *scenario.Bound {
+		return scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Chain, N: nn, T: tt, Lambda: lambda, K: k,
+			Attack: scenario.AttackTieBreak,
+		})
 	}
 
 	sweep := NewTable("E6a: chain + randomized tie-breaking vs ChainTieBreaker, t/n = 0.4 fixed, rate swept",
@@ -172,8 +172,8 @@ func RunE6(o Options) []*Table {
 		lambdas = []float64{0.05, 0.25, 1.0}
 	}
 	for _, lambda := range lambdas {
-		lambda := lambda
-		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, t, lambda, seed) })
+		b := bind(n, t, lambda)
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool { return b.Randomized(seed).Verdict.Validity })
 		rateNT := lambda * float64(n-t)
 		tbl := 1 / (1 + rateNT)
 		sweep.AddRow(lambda, rateNT, tbl, Float(float64(t)/float64(n), "%.2f"), oks)
@@ -187,8 +187,8 @@ func RunE6(o Options) []*Table {
 	thresh := NewTable("E6b: same attack, rate fixed at λ=0.25, Byzantine share swept (n=10, k=21)",
 		"t", "t/n", "λ(n-t)", "paper bound t/n ≤", "validity ok")
 	for _, tt := range []int{1, 2, 3, 4, 5} {
-		tt := tt
-		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool { return run(n, tt, 0.25, seed) })
+		b := bind(n, tt, 0.25)
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool { return b.Randomized(seed).Verdict.Validity })
 		rateNT := 0.25 * float64(n-tt)
 		thresh.AddRow(tt, Float(float64(tt)/float64(n), "%.2f"), rateNT, 1/(1+rateNT), oks)
 	}

@@ -6,15 +6,10 @@ import (
 
 	"repro/internal/abdsim"
 	"repro/internal/access"
-	"repro/internal/adversary"
-	"repro/internal/agreement"
-	"repro/internal/agreement/chainba"
-	"repro/internal/agreement/dagba"
-	"repro/internal/agreement/timestamp"
-	"repro/internal/chain"
 	"repro/internal/dag"
 	"repro/internal/msgnet"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -90,15 +85,16 @@ func RunE7(o Options) []*Table {
 		runNs = []int{8, 16}
 	}
 	for _, n := range runNs {
-		n := n
 		type res struct {
 			maxRun int
 			frac   float64
 		}
+		b := scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Dag, N: n, T: n / 4, Lambda: lambda, K: 81,
+			Attack: scenario.AttackPrivateChain,
+		})
 		rs := runner.Trials(trials/2+1, o.Seed, o.Workers, func(seed uint64) res {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: n, T: n / 4, Lambda: lambda, K: 81, Seed: seed,
-			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
+			r := b.Randomized(seed)
 			d := dag.Build(r.FinalView)
 			order := d.Linearize(d.GhostPivot())
 			if len(order) > 81 {
@@ -157,11 +153,12 @@ func RunE8(o Options) []*Table {
 	}
 	grid := NewTable("E8a: DAG (GHOST pivot) validity vs DagChainExtender, n=10, k=81", cols...)
 	cell := func(t int, lambda float64) runner.Ratio {
+		b := scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Dag, N: n, T: t, Lambda: lambda, K: k,
+			Attack: scenario.AttackPrivateChain,
+		})
 		return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: n, T: t, Lambda: lambda, K: k, Seed: seed,
-			}, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
-			return r.Verdict.Validity
+			return b.Randomized(seed).Verdict.Validity
 		})
 	}
 	for _, t := range ts {
@@ -182,15 +179,15 @@ func RunE8(o Options) []*Table {
 
 	pivots := NewTable("E8b: pivot rule comparison at the hostile corner (n=10, t=4, λ=1, k=81)",
 		"pivot", "validity ok")
-	for _, p := range []dagba.PivotRule{dagba.Ghost, dagba.Longest} {
-		p := p
-		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{
-				N: n, T: 4, Lambda: 1, K: k, Seed: seed,
-			}, dagba.Rule{Pivot: p}, &adversary.DagChainExtender{Pivot: p})
-			return r.Verdict.Validity
+	for _, p := range []scenario.Pivot{scenario.PivotGhost, scenario.PivotLongest} {
+		b := scenario.MustBind(scenario.Spec{
+			Protocol: scenario.Dag, N: n, T: 4, Lambda: 1, K: k,
+			Pivot: p, Attack: scenario.AttackPrivateChain,
 		})
-		pivots.AddRow(p.String(), oks)
+		oks := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+			return b.Randomized(seed).Verdict.Validity
+		})
+		pivots.AddRow(string(p), oks)
 		pivots.Expect(len(pivots.Rows)-1, 1, OpGe, 0.75, 0,
 			"Theorem 5.6: both pivot rules hold validity under the pivot-extending attack at the hostile corner")
 	}
@@ -263,22 +260,16 @@ func RunE10(o Options) []*Table {
 	tbl := NewTable("E10: validity at t/n = 0.4 (n=10, k=41) under each structure's worst adversary",
 		"λ", "λ(n-t)", "chain bound 1/(1+λ(n-t))", "chain (rand ties)", "DAG (GHOST)", "timestamps")
 	for _, lambda := range lambdas {
-		lambda := lambda
-		chainOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
-				chainba.Rule{TB: chain.RandomTieBreaker{}}, &adversary.ChainTieBreaker{})
-			return r.Verdict.Validity
-		})
-		dagOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
-				dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagChainExtender{Pivot: dagba.Ghost})
-			return r.Verdict.Validity
-		})
-		tsOK := runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
-			r := agreement.MustRun(agreement.RandomizedConfig{N: n, T: t, Lambda: lambda, K: k, Seed: seed},
-				timestamp.Rule{}, &agreement.ValueFlip{Rule: timestamp.Rule{}})
-			return r.Verdict.Validity
-		})
+		validity := func(spec scenario.Spec) runner.Ratio {
+			spec.N, spec.T, spec.Lambda, spec.K = n, t, lambda, k
+			b := scenario.MustBind(spec)
+			return runner.RateTrials(trials, o.Seed, o.Workers, func(seed uint64) bool {
+				return b.Randomized(seed).Verdict.Validity
+			})
+		}
+		chainOK := validity(scenario.Spec{Protocol: scenario.Chain, Attack: scenario.AttackTieBreak})
+		dagOK := validity(scenario.Spec{Protocol: scenario.Dag, Attack: scenario.AttackPrivateChain})
+		tsOK := validity(scenario.Spec{Protocol: scenario.Timestamp, Attack: scenario.AttackFlip})
 		rateNT := lambda * float64(n-t)
 		tbl.AddRow(lambda, rateNT, 1/(1+rateNT), chainOK, dagOK, tsOK)
 		row := len(tbl.Rows) - 1

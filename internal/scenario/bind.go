@@ -1,0 +1,326 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/agreement"
+	"repro/internal/agreement/syncba"
+	"repro/internal/appendmem"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Result is the uniform outcome of one run, across the synchronous and
+// the randomized harnesses.
+type Result struct {
+	Verdict  node.Verdict
+	Decision []int64 // per node; meaningful where Decided
+	Decided  []bool
+	Roster   node.Roster
+	Inputs   node.Inputs
+
+	TotalAppends int
+	ByzAppends   int // randomized runs only
+	Grants       int // randomized runs only
+	Duration     sim.Time
+	FinalView    appendmem.View
+	HasView      bool
+
+	// DecideTime[i] is when correct node i decided (randomized runs only;
+	// zero when undecided or for sync runs).
+	DecideTime []sim.Time
+}
+
+// Bound is a spec resolved against the registries: the honest rule, the
+// adversary factory and the input schedule are closures, so per-trial
+// execution performs no registry or string lookups. A Bound is safe for
+// concurrent use — trial fan-outs call Randomized/Sync/Run from many
+// goroutines.
+type Bound struct {
+	spec Spec
+	sync bool
+
+	rule    agreement.HonestRule          // randomized protocols
+	newAdv  func() agreement.Adversary    // fresh instance per run
+	newSync func() syncba.Adversary       // sync protocol
+	access  AccessDef                     // randomized protocols
+	inputs  func(seed uint64) node.Inputs // fresh slice per run
+}
+
+// Spec returns the spec the binding was resolved from.
+func (b *Bound) Spec() Spec { return b.spec }
+
+// IsSync reports whether the scenario runs on the synchronous-round
+// harness.
+func (b *Bound) IsSync() bool { return b.sync }
+
+// parseInputs validates an input spec and returns its per-seed resolver.
+// The "random" form draws from a seed-derived stream (the same one the
+// amrun CLI always used), so random-input trials stay deterministic per
+// seed.
+func parseInputs(spec string, n int) (func(seed uint64) node.Inputs, error) {
+	switch {
+	case spec == "" || spec == "same":
+		return func(uint64) node.Inputs { return node.AllSame(n, +1) }, nil
+	case spec == "same:-1":
+		return func(uint64) node.Inputs { return node.AllSame(n, -1) }, nil
+	case strings.HasPrefix(spec, "split:"):
+		var ones int
+		if _, err := fmt.Sscanf(spec, "split:%d", &ones); err != nil || ones < 0 || ones > n {
+			return nil, fmt.Errorf("scenario: bad input spec %q for n=%d", spec, n)
+		}
+		return func(uint64) node.Inputs { return node.SplitInputs(n, ones) }, nil
+	case spec == "random":
+		return func(seed uint64) node.Inputs {
+			return node.RandomInputs(xrand.New(seed, 0xC0DE), n)
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown input spec %q (want same, same:-1, split:<ones> or random)", spec)
+	}
+}
+
+// Bind resolves a spec against the registries. All validation that does
+// not depend on the seed happens here, so the returned Bound's run
+// methods cannot fail on configuration.
+func Bind(spec Spec) (*Bound, error) {
+	p, ok := Protocols.Lookup(string(spec.Protocol))
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown protocol %q (have %s)", spec.Protocol, Protocols.Help())
+	}
+	if spec.N <= 0 || spec.T < 0 || spec.T >= spec.N {
+		return nil, fmt.Errorf("scenario: invalid roster n=%d t=%d", spec.N, spec.T)
+	}
+	if spec.Crashes < 0 || spec.T+spec.Crashes > spec.N {
+		return nil, fmt.Errorf("scenario: %d crashes do not fit n=%d t=%d", spec.Crashes, spec.N, spec.T)
+	}
+	inputs, err := parseInputs(spec.Inputs, spec.N)
+	if err != nil {
+		return nil, err
+	}
+
+	attackName := spec.Attack
+	if attackName == "" {
+		attackName = AttackSilent
+	}
+	att, ok := Attacks.Lookup(string(attackName))
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown attack %q (have %s)", attackName, Attacks.Help())
+	}
+
+	b := &Bound{spec: spec, sync: p.Sync, inputs: inputs}
+	if p.Sync {
+		if att.NewSync == nil {
+			return nil, fmt.Errorf("scenario: attack %q not valid for protocol sync (have %s)",
+				attackName, strings.Join(SyncAttacks(), " | "))
+		}
+		if spec.Access != "" && spec.Access != AccessPoisson {
+			return nil, fmt.Errorf("scenario: access model %q applies to randomized protocols only", spec.Access)
+		}
+		b.newSync, err = att.NewSync(&spec)
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+
+	if spec.Rates != nil {
+		if len(spec.Rates) != spec.N {
+			return nil, fmt.Errorf("scenario: %d rates for %d nodes", len(spec.Rates), spec.N)
+		}
+		for _, r := range spec.Rates {
+			if r <= 0 {
+				return nil, fmt.Errorf("scenario: non-positive per-node rate %v", r)
+			}
+		}
+	} else if spec.Lambda <= 0 {
+		return nil, fmt.Errorf("scenario: protocol %q needs lambda > 0 (or per-node rates)", spec.Protocol)
+	}
+	if spec.K <= 0 {
+		return nil, fmt.Errorf("scenario: protocol %q needs k > 0", spec.Protocol)
+	}
+	b.rule, err = p.Rule(&spec)
+	if err != nil {
+		return nil, err
+	}
+	if att.New == nil || !att.appliesTo(spec.Protocol) {
+		return nil, fmt.Errorf("scenario: attack %q not valid for protocol %q (have %s)",
+			attackName, spec.Protocol, strings.Join(AttacksFor(spec.Protocol), " | "))
+	}
+	b.newAdv, err = att.New(&spec, b.rule)
+	if err != nil {
+		return nil, err
+	}
+	accessName := spec.Access
+	if accessName == "" {
+		accessName = AccessPoisson
+	}
+	b.access, ok = AccessModels.Lookup(string(accessName))
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown access model %q (have %s)", accessName, AccessModels.Help())
+	}
+	return b, nil
+}
+
+// MustBind is Bind for vetted specs (experiment code); it panics on error.
+func MustBind(spec Spec) *Bound {
+	b, err := Bind(spec)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Rule returns the resolved honest rule (nil for sync scenarios).
+func (b *Bound) Rule() agreement.HonestRule { return b.rule }
+
+// NewAdversary returns a fresh adversary instance (randomized scenarios).
+func (b *Bound) NewAdversary() agreement.Adversary { return b.newAdv() }
+
+// randomizedConfig assembles the per-seed harness config. Field-for-field
+// it matches what the experiments passed to agreement.MustRun before the
+// scenario layer existed — the golden tests pin that equivalence.
+func (b *Bound) randomizedConfig(seed uint64, rec *trace.Recorder) agreement.RandomizedConfig {
+	cfg := agreement.RandomizedConfig{
+		N: b.spec.N, T: b.spec.T, Lambda: b.spec.Lambda, Rates: b.spec.Rates,
+		Delta: b.spec.Delta, K: b.spec.K, Seed: seed,
+		Inputs: b.inputs(seed), Crashes: b.spec.Crashes,
+		FreshHonestReads: b.spec.FreshReads,
+		StallAtSize:      b.spec.StallAtSize, StallFor: b.spec.StallFor,
+		AsyncDelayMax: b.spec.AsyncDelayMax,
+		Trace:         rec,
+	}
+	b.access(&cfg)
+	return cfg
+}
+
+// Randomized executes one run on the randomized-access harness and
+// returns the harness-level result (experiments analyse its FinalView,
+// DecideTime, Mem, ...). It panics on sync scenarios and on the
+// impossible config error (Bind validated everything seed-independent).
+func (b *Bound) Randomized(seed uint64) *agreement.Result {
+	if b.sync {
+		panic("scenario: Randomized called on a sync scenario")
+	}
+	return agreement.MustRun(b.randomizedConfig(seed, nil), b.rule, b.newAdv())
+}
+
+// Sync executes one run on the synchronous-round harness. It panics on
+// randomized scenarios.
+func (b *Bound) Sync(seed uint64) *syncba.Result {
+	if !b.sync {
+		panic("scenario: Sync called on a randomized scenario")
+	}
+	r, err := syncba.Run(b.syncConfig(seed, nil), b.newSync())
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (b *Bound) syncConfig(seed uint64, rec *trace.Recorder) syncba.Config {
+	return syncba.Config{
+		N: b.spec.N, T: b.spec.T, Rounds: b.spec.Rounds, Delta: b.spec.Delta,
+		Seed: seed, Inputs: b.inputs(seed), Crashes: b.spec.Crashes,
+		Trace: rec,
+	}
+}
+
+// Run executes one run at the given seed and returns the uniform Result.
+func (b *Bound) Run(seed uint64) (*Result, error) {
+	return b.RunTraced(seed, nil)
+}
+
+// RunTraced is Run with an optional event recorder (see internal/trace).
+func (b *Bound) RunTraced(seed uint64, rec *trace.Recorder) (*Result, error) {
+	if b.sync {
+		r, err := syncba.Run(b.syncConfig(seed, rec), b.newSync())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Verdict:  r.Verdict,
+			Decision: r.Outcome.Decision, Decided: r.Outcome.Decided,
+			Roster: r.Roster, Inputs: r.Inputs,
+			TotalAppends: r.FinalView.Size(), Duration: r.Duration,
+			FinalView: r.FinalView, HasView: true,
+		}, nil
+	}
+	r, err := agreement.RunRandomized(b.randomizedConfig(seed, rec), b.rule, b.newAdv())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Verdict:  r.Verdict,
+		Decision: r.Outcome.Decision, Decided: r.Outcome.Decided,
+		Roster: r.Roster, Inputs: r.Inputs,
+		TotalAppends: r.TotalAppends, ByzAppends: r.ByzAppends,
+		Grants: r.Grants, Duration: r.Duration,
+		FinalView: r.FinalView, HasView: true,
+		DecideTime: r.DecideTime,
+	}, nil
+}
+
+// mustRun is Run for the sweep executor: Bind has already validated the
+// spec, so a run error is a programming error.
+func (b *Bound) mustRun(seed uint64) *Result {
+	r, err := b.Run(seed)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TrialSummary aggregates repeated runs of one scenario.
+type TrialSummary struct {
+	Trials      int
+	OK          int
+	Agreement   int
+	Validity    int
+	Termination int
+}
+
+// Rate returns the all-properties success rate.
+func (s TrialSummary) Rate() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.OK) / float64(s.Trials)
+}
+
+func (s TrialSummary) String() string {
+	return fmt.Sprintf("ok %d/%d (agreement %d, validity %d, termination %d)",
+		s.OK, s.Trials, s.Agreement, s.Validity, s.Termination)
+}
+
+// RunTrials executes trials runs with seeds spec.Seed, spec.Seed+1, ...
+// and aggregates the verdicts.
+func RunTrials(spec Spec, trials int) (TrialSummary, error) {
+	var s TrialSummary
+	b, err := Bind(spec)
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < trials; i++ {
+		r, err := b.Run(spec.Seed + uint64(i))
+		if err != nil {
+			return s, err
+		}
+		s.Trials++
+		if r.Verdict.OK() {
+			s.OK++
+		}
+		if r.Verdict.Agreement {
+			s.Agreement++
+		}
+		if r.Verdict.Validity {
+			s.Validity++
+		}
+		if r.Verdict.Termination {
+			s.Termination++
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/agreement/chainba"
+	"repro/internal/agreement/dagba"
+	"repro/internal/agreement/syncba"
+	"repro/internal/chain"
+	"repro/internal/node"
+)
+
+func TestBindErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error
+	}{
+		{"unknown protocol", Spec{Protocol: "blockchain", N: 4}, "unknown protocol"},
+		{"n zero", Spec{Protocol: Chain, N: 0}, "invalid roster"},
+		{"t >= n", Spec{Protocol: Chain, N: 4, T: 4}, "invalid roster"},
+		{"crashes overflow", Spec{Protocol: Chain, N: 4, T: 2, Crashes: 3}, "crashes"},
+		{"bad inputs", Spec{Protocol: Chain, N: 4, Lambda: 1, K: 5, Inputs: "bogus"}, "input spec"},
+		{"split out of range", Spec{Protocol: Chain, N: 4, Lambda: 1, K: 5, Inputs: "split:9"}, "input spec"},
+		{"unknown attack", Spec{Protocol: Chain, N: 4, Lambda: 1, K: 5, Attack: "ddos"}, "unknown attack"},
+		{"randomized attack on sync", Spec{Protocol: Sync, N: 4, T: 1, Attack: AttackFlip}, "not valid for protocol sync"},
+		{"sync attack on chain", Spec{Protocol: Chain, N: 4, T: 1, Lambda: 1, K: 5, Attack: AttackDelayedChain}, "not valid for protocol"},
+		{"chain attack on dag", Spec{Protocol: Dag, N: 4, T: 1, Lambda: 1, K: 5, Attack: AttackTieBreak}, "not valid for protocol"},
+		{"lambda missing", Spec{Protocol: Chain, N: 4, K: 5}, "lambda"},
+		{"k missing", Spec{Protocol: Chain, N: 4, Lambda: 1}, "k > 0"},
+		{"rates length", Spec{Protocol: Chain, N: 4, Rates: []float64{1, 1}, K: 5}, "rates"},
+		{"rate non-positive", Spec{Protocol: Chain, N: 4, Rates: []float64{1, 1, 0, 1}, K: 5}, "non-positive"},
+		{"round-robin on sync", Spec{Protocol: Sync, N: 4, T: 1, Access: AccessRoundRobin}, "randomized protocols only"},
+		{"unknown access", Spec{Protocol: Chain, N: 4, Lambda: 1, K: 5, Access: "lottery"}, "unknown access"},
+		{"confirm on timestamp", Spec{Protocol: Timestamp, N: 4, Lambda: 1, K: 5, Confirm: 3}, "confirm"},
+		{"unknown tiebreak", Spec{Protocol: Chain, N: 4, Lambda: 1, K: 5, TieBreak: "coin"}, "unknown tie-break"},
+		{"unknown pivot", Spec{Protocol: Dag, N: 4, Lambda: 1, K: 5, Pivot: "heaviest"}, "unknown pivot"},
+	}
+	for _, tc := range cases {
+		_, err := Bind(tc.spec)
+		if err == nil {
+			t.Errorf("%s: Bind accepted %+v", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBindDefaults(t *testing.T) {
+	b := MustBind(Spec{Protocol: Chain, N: 4, T: 1, Lambda: 1, K: 5})
+	if b.IsSync() {
+		t.Fatal("chain bound as sync")
+	}
+	// Default attack is silent; default inputs all-+1.
+	if _, ok := b.NewAdversary().(agreement.Silent); !ok {
+		t.Errorf("default adversary = %T, want agreement.Silent", b.NewAdversary())
+	}
+	if got := b.inputs(1); !reflect.DeepEqual(got, node.AllSame(4, +1)) {
+		t.Errorf("default inputs = %v", got)
+	}
+
+	s := MustBind(Spec{Protocol: Sync, N: 4, T: 1})
+	if !s.IsSync() {
+		t.Fatal("sync bound as randomized")
+	}
+}
+
+// TestDifferentialChain: binding a chain spec must reproduce, bit for
+// bit, what the experiments' direct agreement.MustRun calls produce at
+// the same seed — this is the equivalence the migration relies on.
+func TestDifferentialChain(t *testing.T) {
+	b := MustBind(Spec{
+		Protocol: Chain, N: 6, T: 2, Lambda: 0.5, K: 11,
+		Attack: AttackTieBreak,
+	})
+	for seed := uint64(1); seed <= 5; seed++ {
+		got := b.Randomized(seed)
+		want := agreement.MustRun(
+			agreement.RandomizedConfig{N: 6, T: 2, Lambda: 0.5, K: 11, Seed: seed},
+			chainba.Rule{TB: chain.RandomTieBreaker{}},
+			&adversary.ChainTieBreaker{})
+		assertSameRandomized(t, seed, got, want)
+	}
+}
+
+// TestDifferentialDag: same equivalence for a DAG spec with non-default
+// pivot, heterogeneous rates, crashes and random inputs.
+func TestDifferentialDag(t *testing.T) {
+	rates := []float64{1, 1, 1, 2, 2, 2}
+	b := MustBind(Spec{
+		Protocol: Dag, N: 6, T: 2, Rates: rates, K: 11,
+		Pivot: PivotLongest, Attack: AttackPrivateChain,
+		Crashes: 1, Inputs: "split:2",
+	})
+	for seed := uint64(1); seed <= 5; seed++ {
+		got := b.Randomized(seed)
+		want := agreement.MustRun(
+			agreement.RandomizedConfig{
+				N: 6, T: 2, Rates: rates, K: 11, Seed: seed,
+				Crashes: 1, Inputs: node.SplitInputs(6, 2),
+			},
+			dagba.Rule{Pivot: dagba.Longest},
+			&adversary.DagChainExtender{Pivot: dagba.Longest})
+		assertSameRandomized(t, seed, got, want)
+	}
+}
+
+// TestDifferentialSync: the sync harness path must match direct
+// syncba.Run calls.
+func TestDifferentialSync(t *testing.T) {
+	b := MustBind(Spec{Protocol: Sync, N: 5, T: 2, Attack: AttackLoudFlip})
+	for seed := uint64(1); seed <= 5; seed++ {
+		got := b.Sync(seed)
+		want, err := syncba.Run(
+			syncba.Config{N: 5, T: 2, Seed: seed, Inputs: node.AllSame(5, +1)},
+			&syncba.LoudFlip{})
+		if err != nil {
+			t.Fatalf("seed %d: direct run: %v", seed, err)
+		}
+		if got.Verdict != want.Verdict {
+			t.Errorf("seed %d: verdict %+v != %+v", seed, got.Verdict, want.Verdict)
+		}
+		if !reflect.DeepEqual(got.Outcome, want.Outcome) {
+			t.Errorf("seed %d: outcome differs", seed)
+		}
+		if got.Duration != want.Duration {
+			t.Errorf("seed %d: duration %v != %v", seed, got.Duration, want.Duration)
+		}
+	}
+}
+
+func assertSameRandomized(t *testing.T, seed uint64, got, want *agreement.Result) {
+	t.Helper()
+	if got.Verdict != want.Verdict {
+		t.Errorf("seed %d: verdict %+v != %+v", seed, got.Verdict, want.Verdict)
+	}
+	if !reflect.DeepEqual(got.Outcome, want.Outcome) {
+		t.Errorf("seed %d: outcome differs", seed)
+	}
+	if got.TotalAppends != want.TotalAppends || got.ByzAppends != want.ByzAppends || got.Grants != want.Grants {
+		t.Errorf("seed %d: appends %d/%d/%d != %d/%d/%d", seed,
+			got.TotalAppends, got.ByzAppends, got.Grants,
+			want.TotalAppends, want.ByzAppends, want.Grants)
+	}
+	if got.Duration != want.Duration {
+		t.Errorf("seed %d: duration %v != %v", seed, got.Duration, want.Duration)
+	}
+	if !reflect.DeepEqual(got.DecideTime, want.DecideTime) {
+		t.Errorf("seed %d: decide times differ", seed)
+	}
+}
+
+// TestUnifiedRun: Run must agree with the harness-specific entry points
+// and populate the uniform Result.
+func TestUnifiedRun(t *testing.T) {
+	b := MustBind(Spec{Protocol: Dag, N: 5, T: 1, Lambda: 1, K: 7})
+	r, err := b.Run(3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	direct := b.Randomized(3)
+	if r.Verdict != direct.Verdict || r.TotalAppends != direct.TotalAppends || r.Duration != direct.Duration {
+		t.Fatal("Run disagrees with Randomized at the same seed")
+	}
+	if !r.HasView || r.FinalView.Size() == 0 {
+		t.Fatal("Run did not carry the final view")
+	}
+
+	s := MustBind(Spec{Protocol: Sync, N: 4, T: 1})
+	rs, err := s.Run(3)
+	if err != nil {
+		t.Fatalf("sync Run: %v", err)
+	}
+	if !rs.HasView || rs.TotalAppends != rs.FinalView.Size() {
+		t.Fatal("sync Run result inconsistent")
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	sum, err := RunTrials(Spec{Protocol: Chain, N: 5, T: 1, Lambda: 1, K: 7, Seed: 1}, 4)
+	if err != nil {
+		t.Fatalf("RunTrials: %v", err)
+	}
+	if sum.Trials != 4 {
+		t.Fatalf("trials = %d", sum.Trials)
+	}
+	if sum.OK > sum.Trials || sum.OK > sum.Agreement || sum.OK > sum.Validity || sum.OK > sum.Termination {
+		t.Fatalf("inconsistent summary %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "ok ") {
+		t.Fatalf("String() = %q", sum.String())
+	}
+	if sum.Rate() < 0 || sum.Rate() > 1 {
+		t.Fatalf("Rate() = %v", sum.Rate())
+	}
+
+	if _, err := RunTrials(Spec{Protocol: "nope", N: 1}, 1); err == nil {
+		t.Fatal("RunTrials accepted a bad spec")
+	}
+}
+
+func TestRandomInputsDeterministicPerSeed(t *testing.T) {
+	b := MustBind(Spec{Protocol: Chain, N: 8, T: 1, Lambda: 1, K: 7, Inputs: "random"})
+	a1, a2 := b.inputs(9), b.inputs(9)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatal("random inputs not deterministic per seed")
+	}
+	if reflect.DeepEqual(b.inputs(1), b.inputs(2)) {
+		t.Fatal("random inputs identical across seeds (suspicious)")
+	}
+}

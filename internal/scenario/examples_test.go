@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExampleScenarios: every shipped examples/scenarios/*.json must
+// parse, expand and bind at every sweep point, and name only registered
+// metrics — so the examples cannot rot as the registries evolve. (CI
+// additionally *runs* each one with -trials 1 through amrun.)
+func TestExampleScenarios(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("examples/scenarios: %v", err)
+	}
+	var n int
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		n++
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := ParseSpec(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if spec.Name == "" || spec.Doc == "" {
+				t.Error("example specs must carry name and doc")
+			}
+			if len(spec.Sweep) == 0 {
+				t.Error("example specs should demonstrate a sweep")
+			}
+			for _, m := range spec.Metrics {
+				if _, ok := Metrics.Lookup(m); !ok {
+					t.Errorf("unknown metric %q", m)
+				}
+			}
+			points, err := spec.Expand()
+			if err != nil {
+				t.Fatalf("expand: %v", err)
+			}
+			for i, pt := range points {
+				if _, err := Bind(pt.Spec); err != nil {
+					t.Errorf("point %d does not bind: %v", i, err)
+				}
+			}
+		})
+	}
+	if n == 0 {
+		t.Fatal("no example scenarios found")
+	}
+}

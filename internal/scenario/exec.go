@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/runner"
+)
+
+// Options tunes sweep execution (not the scenario itself — that lives in
+// the Spec).
+type Options struct {
+	// Workers caps trial parallelism; 0 means GOMAXPROCS (runner's default).
+	Workers int
+}
+
+// MetricValue is one aggregated metric at one sweep point.
+type MetricValue struct {
+	Name string     `json:"name"`
+	Kind MetricKind `json:"-"`
+	// Value is the success rate (KindRate) or the mean over the defined
+	// runs (KindMean; NaN when no run defined the metric).
+	Value float64 `json:"value"`
+	// Count is the number of successes (KindRate) or of runs where the
+	// metric was defined (KindMean).
+	Count int `json:"count"`
+}
+
+// Ratio renders a rate metric as successes/trials.
+func (m MetricValue) Ratio(trials int) runner.Ratio { return runner.Rate(m.Count, trials) }
+
+// PointResult is one sweep point: the concrete spec, its coordinates
+// along the sweep axes, and the aggregated metrics.
+type PointResult struct {
+	Spec    Spec          `json:"spec"`
+	Coords  []Value       `json:"coords,omitempty"`
+	Trials  int           `json:"trials"`
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// SweepResult is a fully executed spec: every cartesian point with its
+// metrics, in sweep order (first axis outermost).
+type SweepResult struct {
+	Spec   Spec          `json:"spec"`
+	Axes   []string      `json:"axes,omitempty"`
+	Points []PointResult `json:"points"`
+}
+
+// metricAcc accumulates one point's trials in seed order. TrialsReduce
+// folds sequentially, so in-place slice mutation is safe.
+type metricAcc struct {
+	sum []float64
+	cnt []int
+}
+
+// RunSpec expands the spec's sweep, binds each point once, runs its
+// trials on the shared worker pool and aggregates the named metrics.
+// Binding or metric errors surface per point, before any trial runs.
+func RunSpec(spec Spec, o Options) (*SweepResult, error) {
+	names := spec.Metrics
+	if len(names) == 0 {
+		names = DefaultMetrics()
+	}
+	defs := make([]MetricDef, len(names))
+	for i, name := range names {
+		def, ok := Metrics.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown metric %q (have %s)", name, Metrics.Help())
+		}
+		defs[i] = def
+	}
+	trials := spec.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+
+	points, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Spec: spec, Points: make([]PointResult, 0, len(points))}
+	for _, ax := range spec.Sweep {
+		out.Axes = append(out.Axes, ax.Name)
+	}
+	for _, pt := range points {
+		b, err := Bind(pt.Spec)
+		if err != nil {
+			return nil, err
+		}
+		extract := make([]func(*Result) float64, len(defs))
+		for i, def := range defs {
+			if extract[i], err = def.Bind(b); err != nil {
+				return nil, err
+			}
+		}
+		acc := runner.TrialsReduce(trials, pt.Spec.Seed, o.Workers, metricAcc{},
+			func(seed uint64) []float64 {
+				r := b.mustRun(seed)
+				vals := make([]float64, len(extract))
+				for i, f := range extract {
+					vals[i] = f(r)
+				}
+				return vals
+			},
+			func(a metricAcc, vals []float64) metricAcc {
+				if a.sum == nil {
+					a.sum = make([]float64, len(vals))
+					a.cnt = make([]int, len(vals))
+				}
+				for i, v := range vals {
+					if math.IsNaN(v) {
+						continue
+					}
+					a.sum[i] += v
+					a.cnt[i]++
+				}
+				return a
+			})
+		pr := PointResult{Spec: pt.Spec, Coords: pt.Coords, Trials: trials,
+			Metrics: make([]MetricValue, len(defs))}
+		for i, def := range defs {
+			mv := MetricValue{Name: names[i], Kind: def.Kind}
+			if acc.sum != nil {
+				switch def.Kind {
+				case KindRate:
+					mv.Count = int(acc.sum[i])
+					mv.Value = acc.sum[i] / float64(trials)
+				case KindMean:
+					mv.Count = acc.cnt[i]
+					if acc.cnt[i] > 0 {
+						mv.Value = acc.sum[i] / float64(acc.cnt[i])
+					} else {
+						mv.Value = math.NaN()
+					}
+				}
+			} else {
+				mv.Value = math.NaN()
+			}
+			pr.Metrics[i] = mv
+		}
+		out.Points = append(out.Points, pr)
+	}
+	return out, nil
+}

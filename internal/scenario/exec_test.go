@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunSpecSweep(t *testing.T) {
+	res, err := RunSpec(Spec{
+		Protocol: Chain, N: 5, T: 1, Lambda: 1, K: 7,
+		Trials:  3,
+		Metrics: []string{"ok", "duration", "appends"},
+		Sweep: []Axis{
+			{Name: "lambda", Values: []Value{{Num: 0.5}, {Num: 1}}},
+			{Name: "attack", Values: []Value{
+				{Str: "silent", IsStr: true}, {Str: "tiebreak", IsStr: true},
+			}},
+		},
+	}, Options{})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("want 4 points, got %d", len(res.Points))
+	}
+	if len(res.Axes) != 2 || res.Axes[0] != "lambda" || res.Axes[1] != "attack" {
+		t.Fatalf("axes = %v", res.Axes)
+	}
+	for i, pt := range res.Points {
+		if pt.Trials != 3 {
+			t.Errorf("point %d: trials = %d", i, pt.Trials)
+		}
+		if len(pt.Coords) != 2 || len(pt.Metrics) != 3 {
+			t.Fatalf("point %d: coords %v metrics %v", i, pt.Coords, pt.Metrics)
+		}
+		ok := pt.Metrics[0]
+		if ok.Name != "ok" || ok.Kind != KindRate || ok.Count < 0 || ok.Count > 3 {
+			t.Errorf("point %d: ok metric %+v", i, ok)
+		}
+		if ok.Value != float64(ok.Count)/3 {
+			t.Errorf("point %d: rate value %v inconsistent with count %d", i, ok.Value, ok.Count)
+		}
+		dur := pt.Metrics[1]
+		if dur.Kind != KindMean || dur.Count != 3 || dur.Value <= 0 {
+			t.Errorf("point %d: duration metric %+v", i, dur)
+		}
+		if pt.Metrics[2].Value <= 0 {
+			t.Errorf("point %d: appends metric %+v", i, pt.Metrics[2])
+		}
+	}
+}
+
+// TestRunSpecDeterministic: same spec, same result — the sweep executor
+// must not introduce scheduling nondeterminism into the numbers.
+func TestRunSpecDeterministic(t *testing.T) {
+	spec := Spec{
+		Protocol: Dag, N: 6, T: 2, Lambda: 1, K: 9,
+		Attack: AttackPrivateChain, Trials: 4, Seed: 7,
+		Metrics: []string{"ok", "byz-append-share"},
+		Sweep:   []Axis{{Name: "lambda", Values: []Value{{Num: 0.5}, {Num: 2}}}},
+	}
+	a, err := RunSpec(spec, Options{})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	b, err := RunSpec(spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	for i := range a.Points {
+		for j := range a.Points[i].Metrics {
+			ma, mb := a.Points[i].Metrics[j], b.Points[i].Metrics[j]
+			if ma.Value != mb.Value || ma.Count != mb.Count {
+				t.Errorf("point %d metric %s: %v/%d vs %v/%d across worker counts",
+					i, ma.Name, ma.Value, ma.Count, mb.Value, mb.Count)
+			}
+		}
+	}
+}
+
+func TestRunSpecErrors(t *testing.T) {
+	if _, err := RunSpec(Spec{Protocol: Chain, N: 4, Lambda: 1, K: 5,
+		Metrics: []string{"vibes"}}, Options{}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if _, err := RunSpec(Spec{Protocol: "nope", N: 4}, Options{}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	// Sync scenarios cannot evaluate randomized-only metrics; the error
+	// must surface at bind time, not mid-sweep.
+	if _, err := RunSpec(Spec{Protocol: Sync, N: 4, T: 1,
+		Metrics: []string{"byz-appends"}}, Options{}); err == nil {
+		t.Fatal("randomized-only metric accepted for sync")
+	}
+}
+
+func TestRunSpecDefaultMetricsAndTrials(t *testing.T) {
+	res, err := RunSpec(Spec{Protocol: Sync, N: 4, T: 1}, Options{})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	if len(res.Points) != 1 || res.Points[0].Trials != 1 {
+		t.Fatalf("defaults: %+v", res.Points)
+	}
+	want := DefaultMetrics()
+	if len(res.Points[0].Metrics) != len(want) {
+		t.Fatalf("default metrics: %+v", res.Points[0].Metrics)
+	}
+	for i, m := range res.Points[0].Metrics {
+		if m.Name != want[i] {
+			t.Errorf("metric %d = %s, want %s", i, m.Name, want[i])
+		}
+	}
+}
+
+// TestMeanMetricNaN: a mean metric undefined in every run must come back
+// NaN with Count 0 — not zero, which would be a fake data point. User
+// metrics register through the same registry the built-ins use, so the
+// test doubles as a check that the registry is extensible from outside
+// init().
+func TestMeanMetricNaN(t *testing.T) {
+	Metrics.Register("test-undefined", "always NaN (test only)", MetricDef{
+		Kind: KindMean,
+		Bind: func(*Bound) (func(*Result) float64, error) {
+			return func(*Result) float64 { return math.NaN() }, nil
+		},
+	})
+	res, err := RunSpec(Spec{Protocol: Chain, N: 4, T: 1, Lambda: 1, K: 5,
+		Trials: 3, Metrics: []string{"test-undefined"}}, Options{})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	m := res.Points[0].Metrics[0]
+	if !math.IsNaN(m.Value) || m.Count != 0 {
+		t.Fatalf("undefined mean metric = %+v, want NaN with count 0", m)
+	}
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryCompleteness: every typed constant declared in this package
+// must be resolvable from its registry, so the -list output, the Spec
+// schema and the constants cannot drift apart.
+func TestRegistryCompleteness(t *testing.T) {
+	for _, p := range []Protocol{Sync, Timestamp, Chain, Dag} {
+		if _, ok := Protocols.Lookup(string(p)); !ok {
+			t.Errorf("protocol constant %q not registered", p)
+		}
+	}
+	for _, tb := range []TieBreak{TieFirst, TieRandom, TieAdversarial} {
+		if _, ok := TieBreaks.Lookup(string(tb)); !ok {
+			t.Errorf("tiebreak constant %q not registered", tb)
+		}
+	}
+	for _, p := range []Pivot{PivotGhost, PivotLongest} {
+		if _, ok := Pivots.Lookup(string(p)); !ok {
+			t.Errorf("pivot constant %q not registered", p)
+		}
+	}
+	for _, a := range []Attack{
+		AttackSilent, AttackFlip, AttackFork, AttackTieBreak,
+		AttackPrivateChain, AttackLastMinute, AttackPrivateFork,
+		AttackEquivocate, AttackDelayedChain, AttackLoudFlip, AttackRandom,
+	} {
+		if _, ok := Attacks.Lookup(string(a)); !ok {
+			t.Errorf("attack constant %q not registered", a)
+		}
+	}
+	for _, a := range []Access{AccessPoisson, AccessRoundRobin} {
+		if _, ok := AccessModels.Lookup(string(a)); !ok {
+			t.Errorf("access constant %q not registered", a)
+		}
+	}
+	for _, m := range DefaultMetrics() {
+		if _, ok := Metrics.Lookup(m); !ok {
+			t.Errorf("default metric %q not registered", m)
+		}
+	}
+}
+
+// TestRegistryDocs: every registered name must carry a help line (the
+// -list output would otherwise print blanks).
+func TestRegistryDocs(t *testing.T) {
+	check := func(kind string, names []string, doc func(string) string) {
+		for _, n := range names {
+			if doc(n) == "" {
+				t.Errorf("%s %q has no doc line", kind, n)
+			}
+		}
+	}
+	check("protocol", Protocols.Names(), Protocols.Doc)
+	check("tiebreak", TieBreaks.Names(), TieBreaks.Doc)
+	check("pivot", Pivots.Names(), Pivots.Doc)
+	check("attack", Attacks.Names(), Attacks.Doc)
+	check("access", AccessModels.Names(), AccessModels.Doc)
+	check("metric", Metrics.Names(), Metrics.Doc)
+}
+
+// TestEveryAttackHasConstructor: an attack with neither New nor NewSync
+// could never bind.
+func TestEveryAttackHasConstructor(t *testing.T) {
+	for _, name := range Attacks.Names() {
+		d, _ := Attacks.Lookup(name)
+		if d.New == nil && d.NewSync == nil {
+			t.Errorf("attack %q has no constructor", name)
+		}
+	}
+}
+
+// TestAttackScoping pins the applicability matrix: protocol-specific
+// attacks must not leak to other protocols.
+func TestAttackScoping(t *testing.T) {
+	has := func(list []string, name Attack) bool {
+		for _, x := range list {
+			if x == string(name) {
+				return true
+			}
+		}
+		return false
+	}
+	chainAtt := AttacksFor(Chain)
+	dagAtt := AttacksFor(Dag)
+	tsAtt := AttacksFor(Timestamp)
+	syncAtt := SyncAttacks()
+
+	if !has(chainAtt, AttackTieBreak) || has(dagAtt, AttackTieBreak) {
+		t.Error("tiebreak must be chain-only")
+	}
+	if !has(dagAtt, AttackPrivateChain) || has(chainAtt, AttackPrivateChain) {
+		t.Error("private-chain must be dag-only")
+	}
+	if !has(syncAtt, AttackDelayedChain) || has(chainAtt, AttackDelayedChain) {
+		t.Error("delayed-chain must be sync-only")
+	}
+	for _, list := range [][]string{chainAtt, dagAtt, tsAtt, syncAtt} {
+		if !has(list, AttackSilent) {
+			t.Error("silent must apply everywhere")
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := newRegistry[int]()
+	r.Register("x", "doc", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Register("x", "doc", 2)
+}
+
+func TestRegistryEnumeration(t *testing.T) {
+	r := newRegistry[int]()
+	r.Register("b", "B", 1)
+	r.Register("a", "A", 2)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Fatalf("Names() = %v, want registration order [b a]", names)
+	}
+	if r.Help() != "b | a" {
+		t.Fatalf("Help() = %q", r.Help())
+	}
+	names[0] = "mutated"
+	if r.Names()[0] != "b" {
+		t.Fatal("Names() does not return a fresh slice")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("Lookup found a missing name")
+	}
+}
+
+// TestHelpMentionsEveryName: the Help string is what error messages and
+// flag usage print; it must contain each registered name.
+func TestHelpMentionsEveryName(t *testing.T) {
+	h := Attacks.Help()
+	for _, n := range Attacks.Names() {
+		if !strings.Contains(h, n) {
+			t.Errorf("Attacks.Help() misses %q", n)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fullSpec sets every field of Spec to a non-zero value, so the
+// round-trip test covers the whole schema.
+func fullSpec() Spec {
+	return Spec{
+		Name:     "full",
+		Doc:      "every field set",
+		Protocol: Dag,
+		N:        10, T: 3, Crashes: 1,
+		Lambda: 0.5, Rates: []float64{1, 1, 1, 1, 1, 1, 1, 2, 2, 2},
+		Delta: 1.5, K: 21, Rounds: 4,
+		TieBreak: TieFirst, Pivot: PivotLongest, Confirm: 5,
+		Attack: AttackPrivateChain, Margin: 6,
+		Inputs: "split:4",
+		Access: AccessRoundRobin, FreshReads: true,
+		StallAtSize: 30, StallFor: 2, AsyncDelayMax: 4,
+		Seed: 7, Trials: 12,
+		Metrics: []string{"ok", "validity"},
+		Sweep: []Axis{
+			{Name: "lambda", Values: []Value{{Num: 0.25}, {Num: 1}}},
+			{Name: "pivot", Values: []Value{{Str: "ghost", IsStr: true}, {Str: "longest", IsStr: true}}},
+		},
+	}
+}
+
+// TestSpecJSONRoundTrip marshals a fully populated spec and parses it
+// back: every field must survive, including the polymorphic sweep values.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := fullSpec()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	out, err := ParseSpec(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestSpecRoundTripCoversEveryField guards the fixture itself: if a field
+// is added to Spec and left zero in fullSpec, the round-trip test would
+// pass vacuously for it. Every field must be non-zero.
+func TestSpecRoundTripCoversEveryField(t *testing.T) {
+	v := reflect.ValueOf(fullSpec())
+	typ := v.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		if v.Field(i).IsZero() {
+			t.Errorf("fullSpec leaves field %s zero — the round-trip test does not cover it", typ.Field(i).Name)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"protocol": "dag", "n": 4, "lamdba": 0.5}`))
+	if err == nil || !strings.Contains(err.Error(), "lamdba") {
+		t.Fatalf("want unknown-field error naming the typo, got %v", err)
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	ax, err := ParseAxis("lambda=0.25,0.5,1")
+	if err != nil {
+		t.Fatalf("ParseAxis: %v", err)
+	}
+	if ax.Name != "lambda" || len(ax.Values) != 3 || ax.Values[0].Num != 0.25 || ax.Values[0].IsStr {
+		t.Fatalf("ParseAxis parsed %+v", ax)
+	}
+
+	ax, err = ParseAxis("pivot=ghost,longest")
+	if err != nil {
+		t.Fatalf("ParseAxis: %v", err)
+	}
+	if !ax.Values[0].IsStr || ax.Values[0].Str != "ghost" {
+		t.Fatalf("ParseAxis parsed %+v", ax)
+	}
+
+	for _, bad := range []string{"lambda", "=1,2", "lambda=", "lambda=1,,2", "bogus=1"} {
+		if _, err := ParseAxis(bad); err == nil {
+			t.Errorf("ParseAxis(%q): want error", bad)
+		}
+	}
+}
+
+// TestSweepAxesAllSettable: every advertised axis must be accepted by the
+// expansion machinery (with a value of the right kind).
+func TestSweepAxesAllSettable(t *testing.T) {
+	samples := map[string]Value{
+		"protocol":    {Str: "chain", IsStr: true},
+		"tiebreak":    {Str: "first", IsStr: true},
+		"pivot":       {Str: "ghost", IsStr: true},
+		"attack":      {Str: "silent", IsStr: true},
+		"inputs":      {Str: "same", IsStr: true},
+		"access":      {Str: "poisson", IsStr: true},
+		"fresh_reads": {Str: "true", IsStr: true},
+	}
+	for _, name := range SweepAxes() {
+		v, ok := samples[name]
+		if !ok {
+			v = Value{Num: 2} // numeric axes
+		}
+		s := Spec{Protocol: Dag, N: 4, Sweep: []Axis{{Name: name, Values: []Value{v}}}}
+		if _, err := s.Expand(); err != nil {
+			t.Errorf("axis %q advertised by SweepAxes but not settable: %v", name, err)
+		}
+	}
+}
+
+func TestExpandCartesianOrder(t *testing.T) {
+	s := Spec{
+		Protocol: Chain, N: 4,
+		Sweep: []Axis{
+			{Name: "lambda", Values: []Value{{Num: 0.25}, {Num: 1}}},
+			{Name: "k", Values: []Value{{Num: 11}, {Num: 21}, {Num: 41}}},
+		},
+	}
+	points, err := s.Expand()
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("want 6 points, got %d", len(points))
+	}
+	// First axis outermost: lambda=0.25 covers the first three points.
+	want := []struct {
+		lambda float64
+		k      int
+	}{{0.25, 11}, {0.25, 21}, {0.25, 41}, {1, 11}, {1, 21}, {1, 41}}
+	for i, p := range points {
+		if p.Spec.Lambda != want[i].lambda || p.Spec.K != want[i].k {
+			t.Errorf("point %d: got λ=%v k=%d, want λ=%v k=%d",
+				i, p.Spec.Lambda, p.Spec.K, want[i].lambda, want[i].k)
+		}
+		if len(p.Coords) != 2 || p.Coords[0].Num != want[i].lambda || p.Coords[1].Num != float64(want[i].k) {
+			t.Errorf("point %d coords = %v", i, p.Coords)
+		}
+		if p.Spec.Sweep != nil {
+			t.Errorf("point %d retains a sweep", i)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	cases := []Spec{
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "lambda"}}},                                             // no values
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "lambda", Values: []Value{{Str: "x", IsStr: true}}}}},   // string for float
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "k", Values: []Value{{Num: 1.5}}}}},                     // non-integer for int
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "pivot", Values: []Value{{Num: 3}}}}},                   // number for string
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "bogus", Values: []Value{{Num: 1}}}}},                   // unknown axis
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "fresh_reads", Values: []Value{{Str: "x", IsStr: true}}}}}, // bad bool
+	}
+	for i, s := range cases {
+		if _, err := s.Expand(); err == nil {
+			t.Errorf("case %d (%+v): want error", i, s.Sweep)
+		}
+	}
+}
+
+func TestValueJSON(t *testing.T) {
+	var v Value
+	if err := json.Unmarshal([]byte(`0.5`), &v); err != nil || v.IsStr || v.Num != 0.5 {
+		t.Fatalf("number: %+v err %v", v, err)
+	}
+	if err := json.Unmarshal([]byte(`"ghost"`), &v); err != nil || !v.IsStr || v.Str != "ghost" {
+		t.Fatalf("string: %+v err %v", v, err)
+	}
+	if v.Text() != "ghost" {
+		t.Fatalf("Text() = %q", v.Text())
+	}
+	if ParseValue("1.5").Num != 1.5 || !ParseValue("x").IsStr {
+		t.Fatal("ParseValue misclassifies")
+	}
+}
