@@ -1,5 +1,5 @@
 // Package repro_test holds the repository-level benchmark harness: one
-// benchmark per experiment (E1–E21, see DESIGN.md's index), each of which
+// benchmark per experiment (E1–E22, see DESIGN.md's index), each of which
 // regenerates its experiment's tables — the same rows `amexp -e <id>`
 // prints — plus the single-line JSON record the same Result serializes
 // to, and reports the experiment's key figure as a custom metric.
@@ -26,8 +26,11 @@ import (
 	"repro/internal/chain"
 	"repro/internal/dag"
 	"repro/internal/experiments"
+	"repro/internal/msgnet"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
@@ -246,6 +249,14 @@ func BenchmarkE21_GhostAdvantage(b *testing.B) {
 	b.ReportMetric(ghost-longest, "ghost-minus-longest-validity")
 }
 
+func BenchmarkE22_TopologySeparation(b *testing.B) {
+	tables := runExperiment(b, "E22", 8)
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	chain := cellValue(b, last[1])
+	dag := cellValue(b, last[2])
+	b.ReportMetric(dag-chain, "dag-minus-chain-validity-sparsest")
+}
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkAppendMemoryAppend(b *testing.B) {
@@ -367,6 +378,51 @@ func BenchmarkProtocolRunDag(b *testing.B) {
 func BenchmarkProtocolRunSync(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		syncba.MustRun(syncba.Config{N: 9, T: 4, Seed: uint64(i)}, &syncba.LoudFlip{})
+	}
+}
+
+func BenchmarkTopologyWattsStrogatz(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := topology.WattsStrogatz(xrand.New(uint64(i), 7), 64, 2, 0.2, 0.1)
+		if g.N() != 64 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkTopologyBarabasiAlbert(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := topology.BarabasiAlbert(xrand.New(uint64(i), 7), 64, 2, 0.1)
+		if g.N() != 64 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+// BenchmarkGossipFlood times one full broadcast flood over a 64-node k=2
+// ring — sim setup, hop-by-hop relay with duplicate suppression, and the
+// drain to quiescence — the per-append transport cost sparse topologies
+// add on top of the oracle.
+func BenchmarkGossipFlood(b *testing.B) {
+	g := topology.Ring(64, 2, 0.1)
+	dm := topology.DelayModel{Kind: topology.DelayUniform}
+	body := []byte("payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New()
+		nw := msgnet.NewGossip(s, xrand.New(uint64(i), 1), g, dm)
+		delivered := 0
+		for id := 0; id < g.N(); id++ {
+			nw.Register(appendmem.NodeID(id), func(msgnet.Envelope) { delivered++ })
+		}
+		nw.Broadcast(0, "append", body)
+		s.Run()
+		if delivered != g.N() {
+			b.Fatalf("delivered %d of %d", delivered, g.N())
+		}
 	}
 }
 

@@ -1,11 +1,14 @@
 // Command amdot runs one protocol execution and dumps the resulting
 // append-memory structure (chain tree or BlockDAG) as Graphviz DOT on
-// stdout — Byzantine blocks in red, the decision prefix bold.
+// stdout — Byzantine blocks in red, the decision prefix bold. With
+// -topology it instead emits the generated network graph itself, so
+// scenario topologies can be inspected before running anything.
 //
 // Examples:
 //
 //	amdot -protocol chain -n 8 -t 3 -lambda 0.5 -k 15 -attack fork | dot -Tsvg > run.svg
 //	amdot -protocol dag -n 8 -t 2 -lambda 1 -k 15 -attack private-chain
+//	amdot -topology smallworld -n 16 -topology-params k=2,beta=0.3 | dot -Tsvg > net.svg
 package main
 
 import (
@@ -15,22 +18,47 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dotviz"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "dag", "chain | dag")
-		n        = flag.Int("n", 8, "total nodes")
-		t        = flag.Int("t", 2, "Byzantine nodes")
-		lambda   = flag.Float64("lambda", 0.5, "token rate per node per Δ")
-		k        = flag.Int("k", 15, "decision threshold")
-		attack   = flag.String("attack", "silent", "Byzantine strategy (see amrun -h)")
-		seed     = flag.Uint64("seed", 1, "seed")
+		protocol   = flag.String("protocol", "dag", "chain | dag")
+		n          = flag.Int("n", 8, "total nodes")
+		t          = flag.Int("t", 2, "Byzantine nodes")
+		lambda     = flag.Float64("lambda", 0.5, "token rate per node per Δ")
+		k          = flag.Int("k", 15, "decision threshold")
+		attack     = flag.String("attack", "silent", "Byzantine strategy (see amrun -h)")
+		seed       = flag.Uint64("seed", 1, "seed")
+		topo       = flag.String("topology", "", "emit this network topology as DOT instead of a run: "+scenario.Topologies.Help())
+		topoParams = flag.String("topology-params", "", "topology generator parameters as k=v,k=v (e.g. k=2,beta=0.3)")
+		linkDelay  = flag.Float64("link-delay", 0, "base per-link latency in Δ (0 = default 0.5)")
 	)
 	flag.Parse()
+
+	if *topo != "" {
+		if _, ok := scenario.Topologies.Lookup(*topo); !ok {
+			fatal(fmt.Errorf("unknown topology %q (have %s)", *topo, scenario.Topologies.Help()))
+		}
+		params, err := scenario.ParseTopologyParams(*topoParams)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := scenario.BuildTopology(scenario.Spec{
+			N: *n, Seed: *seed,
+			Topology:       scenario.Topology(*topo),
+			TopologyParams: params,
+			LinkDelay:      *linkDelay,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dotviz.Topology(g, *topo))
+		return
+	}
+
 	if *protocol != "chain" && *protocol != "dag" {
-		fmt.Fprintln(os.Stderr, "amdot: -protocol must be chain or dag")
-		os.Exit(1)
+		fatal(fmt.Errorf("-protocol must be chain or dag"))
 	}
 
 	r, err := core.Run(core.Config{
@@ -39,8 +67,7 @@ func main() {
 		Attack: core.Attack(*attack), Seed: *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "amdot:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	opts := dotviz.Options{IsByzantine: r.Roster.IsByzantine, K: *k}
 	if *protocol == "chain" {
@@ -48,4 +75,9 @@ func main() {
 	} else {
 		fmt.Print(dotviz.Dag(r.FinalView, opts))
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "amdot:", err)
+	os.Exit(1)
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -63,6 +64,11 @@ func main() {
 		trials   = flag.Int("trials", 1, "number of runs (seeds seed..seed+trials-1)")
 		fresh    = flag.Bool("fresh-reads", false, "ablation: honest nodes read at grant time (no Δ staleness)")
 		access   = flag.String("access", "", "token authority: "+scenario.AccessModels.Help()+" (default poisson)")
+		topo     = flag.String("topology", "", "network topology: "+scenario.Topologies.Help()+" (default complete)")
+		topoPar  = flag.String("topology-params", "", "topology generator parameters as k=v,k=v (e.g. k=2,beta=0.3)")
+		linkDel  = flag.Float64("link-delay", 0, "base per-link latency in Δ (0 = default 0.5)")
+		linkJit  = flag.Float64("link-jitter", 0, "per-link delay spread fraction in [0,1) (0 = model default)")
+		delayD   = flag.String("delay-dist", "", "per-link delay distribution: "+strings.Join(topology.DelayKinds(), " | ")+" (default fixed)")
 		rr       = flag.Bool("round-robin", false, "ablation: burst-free round-robin token authority (same as -access round-robin)")
 		stallAt  = flag.Int("stall-at", 0, "inject async blackout once memory reaches this size (0 = off)")
 		stallFor = flag.Float64("stall-for", 0, "blackout duration in Δ (0 = default 8)")
@@ -86,6 +92,23 @@ func main() {
 		return
 	}
 
+	// Fail fast on misspelled registry names: the error enumerates what
+	// exists instead of surfacing later from a half-built spec.
+	if *access != "" {
+		if _, ok := scenario.AccessModels.Lookup(*access); !ok {
+			fatal(fmt.Errorf("unknown access model %q (have %s)", *access, scenario.AccessModels.Help()))
+		}
+	}
+	if *topo != "" {
+		if _, ok := scenario.Topologies.Lookup(*topo); !ok {
+			fatal(fmt.Errorf("unknown topology %q (have %s)", *topo, scenario.Topologies.Help()))
+		}
+	}
+	topoParams, err := scenario.ParseTopologyParams(*topoPar)
+	if err != nil {
+		fatal(err)
+	}
+
 	spec := scenario.Spec{
 		Protocol: scenario.Protocol(*protocol),
 		N:        *n, T: *t, Crashes: *crashes,
@@ -95,8 +118,11 @@ func main() {
 		Attack:   scenario.Attack(*attack),
 		Confirm:  *confirm, Margin: *margin,
 		Inputs: *inputs, Seed: *seed, Trials: *trials,
-		FreshReads:  *fresh,
-		Access:      scenario.Access(*access),
+		FreshReads:     *fresh,
+		Access:         scenario.Access(*access),
+		Topology:       scenario.Topology(*topo),
+		TopologyParams: topoParams,
+		LinkDelay:      *linkDel, LinkJitter: *linkJit, DelayDist: *delayD,
 		StallAtSize: *stallAt, StallFor: *stallFor,
 		AsyncDelayMax: *adm,
 	}
@@ -206,6 +232,16 @@ func overrideSpec(dst *scenario.Spec, flags scenario.Spec) {
 			dst.FreshReads = flags.FreshReads
 		case "access", "round-robin":
 			dst.Access = flags.Access
+		case "topology":
+			dst.Topology = flags.Topology
+		case "topology-params":
+			dst.TopologyParams = flags.TopologyParams
+		case "link-delay":
+			dst.LinkDelay = flags.LinkDelay
+		case "link-jitter":
+			dst.LinkJitter = flags.LinkJitter
+		case "delay-dist":
+			dst.DelayDist = flags.DelayDist
 		case "stall-at":
 			dst.StallAtSize = flags.StallAtSize
 		case "stall-for":
@@ -304,6 +340,8 @@ func printList() {
 		return fmt.Sprintf("[%s] %s", attackScope(name), scenario.Attacks.Doc(name))
 	})
 	section("access models", scenario.AccessModels.Names(), scenario.AccessModels.Doc)
+	section("topologies", scenario.Topologies.Names(), scenario.Topologies.Doc)
+	fmt.Printf("delay distributions:\n  %s\n\n", strings.Join(topology.DelayKinds(), ", "))
 	section("metrics", scenario.Metrics.Names(), scenario.Metrics.Doc)
 	fmt.Printf("sweep axes:\n  %s\n", strings.Join(scenario.SweepAxes(), ", "))
 }

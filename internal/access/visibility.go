@@ -1,0 +1,231 @@
+package access
+
+import (
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Visibility derives per-node views of the shared append memory from
+// message arrival times over a network topology, replacing the uniform
+// Δ-bound with propagation that depends on where the author sits in the
+// graph.
+//
+// Each announced append is flooded from its author: the author sees it
+// immediately, every other node at the instant the flood first reaches it
+// (per-link delays sampled from the delay model, duplicates suppressed).
+// A node's view is the *maximal fully-arrived prefix* of the global
+// memory: the longest leading run of messages that have all reached it.
+// Prefixes are what keeps the model honest — appendmem views are totally
+// ordered by construction (M(τ) ⊆ M(τ′), Definition 2.1), so a node that
+// has message 7 but not message 5 cannot expose 7 yet; it reads up to 4
+// until the gap fills. The prefix rule makes per-node views valid Views
+// while preserving "later reads see no less".
+//
+// Determinism: floods run on the simulator's event heap with a dedicated
+// rng; every draw happens inside an event callback, so per-node views are
+// a pure function of (graph, delay model, rng state, append order) and
+// byte-identical at any worker count.
+type Visibility struct {
+	s   *sim.Sim
+	rng *xrand.PCG
+	g   *topology.Graph
+	dm  topology.DelayModel
+	mem *appendmem.Memory
+	eps sim.Time
+
+	announced int        // messages of mem already flooded
+	announce  []float64  // announce instant per message
+	arrived   [][]uint64 // per-node arrival bitset over message indexes
+	prefix    []int      // per-node maximal fully-arrived prefix length
+
+	hops []visHop // in-flight relay hops, min-heap on (at, seq)
+	hseq uint64
+	tick func() // bound drain, allocated once
+
+	totalLag   float64 // summed (arrival − announce) over non-author arrivals
+	deliveries int     // number of non-author arrivals
+}
+
+// visHop is one in-flight link transmission of a flooded announcement.
+type visHop struct {
+	at       sim.Time
+	seq      uint64
+	msg      int32 // message index being flooded
+	to, from int32 // receiving node; inbound neighbor
+}
+
+func (h *visHop) before(o *visHop) bool {
+	if h.at != o.at {
+		return h.at < o.at
+	}
+	return h.seq < o.seq
+}
+
+// NewVisibility creates the visibility tracker for mem over graph g. The
+// graph's node count must match the memory's; link latencies are in
+// simulator time units.
+func NewVisibility(s *sim.Sim, rng *xrand.PCG, g *topology.Graph, dm topology.DelayModel, mem *appendmem.Memory) *Visibility {
+	if g.N() != mem.NumNodes() {
+		panic("access: topology size does not match memory")
+	}
+	eps := sim.Time(g.MinLatency() / 1e9)
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	v := &Visibility{
+		s:       s,
+		rng:     rng,
+		g:       g,
+		dm:      dm,
+		mem:     mem,
+		eps:     eps,
+		arrived: make([][]uint64, g.N()),
+		prefix:  make([]int, g.N()),
+	}
+	v.tick = v.drain
+	return v
+}
+
+// Sync floods every message appended to the memory since the last call.
+// Call it after each append site; announcing is idempotent and cheap when
+// nothing is new. The author's own arrival is immediate (a node sees its
+// own append the moment it lands).
+func (v *Visibility) Sync() {
+	n := v.mem.Len()
+	if n == v.announced {
+		return
+	}
+	now := float64(v.s.Now())
+	words := (n + 63) / 64
+	for id := range v.arrived {
+		for len(v.arrived[id]) < words {
+			v.arrived[id] = append(v.arrived[id], 0)
+		}
+	}
+	for i := v.announced; i < n; i++ {
+		v.announce = append(v.announce, now)
+		author := int(v.mem.Message(appendmem.MsgID(i)).Author)
+		// The author's own arrival: immediate, lag-free, no inbound link.
+		bitSet(v.arrived[author], i)
+		v.advancePrefix(author)
+		v.relayFrom(int32(i), author, -1)
+	}
+	v.announced = n
+}
+
+// advancePrefix extends node's maximal fully-arrived prefix past any
+// newly filled gaps.
+func (v *Visibility) advancePrefix(node int) {
+	for v.prefix[node] < len(v.announce) && bitGet(v.arrived[node], v.prefix[node]) {
+		v.prefix[node]++
+	}
+}
+
+// relayFrom schedules one hop of the flood to every neighbor of node
+// except the inbound one.
+func (v *Visibility) relayFrom(msg int32, node int, inbound int32) {
+	v.g.Neighbors(node, func(j int, lat float64) bool {
+		if int32(j) == inbound {
+			return true
+		}
+		if bitGet(v.arrived[j], int(msg)) {
+			return true // already there; skip the redundant transmission
+		}
+		delay := sim.Time(v.dm.Sample(lat, v.rng))
+		if delay <= 0 {
+			delay = v.eps
+		}
+		v.hseq++
+		v.push(visHop{at: v.s.Now() + delay, seq: v.hseq, msg: msg, to: int32(j), from: int32(node)})
+		v.s.After(delay, v.tick)
+		return true
+	})
+}
+
+// drain fires the earliest in-flight hop; duplicates are suppressed by the
+// arrival bitset.
+func (v *Visibility) drain() {
+	h := v.pop()
+	node := int(h.to)
+	if bitGet(v.arrived[node], int(h.msg)) {
+		return
+	}
+	bitSet(v.arrived[node], int(h.msg))
+	v.advancePrefix(node)
+	v.totalLag += float64(v.s.Now()) - v.announce[h.msg]
+	v.deliveries++
+	v.relayFrom(h.msg, node, h.from)
+}
+
+// Prefix returns the length of node id's maximal fully-arrived prefix.
+func (v *Visibility) Prefix(id appendmem.NodeID) int { return v.prefix[id] }
+
+// ViewFor returns node id's current view: the maximal prefix of the
+// global memory all of whose messages have reached the node.
+func (v *Visibility) ViewFor(id appendmem.NodeID) appendmem.View {
+	return v.mem.ViewAt(v.prefix[id])
+}
+
+// MeanLag returns the mean propagation lag over all non-author arrivals
+// so far (0 when nothing has propagated yet). Messages still in flight at
+// the end of a run are not counted.
+func (v *Visibility) MeanLag() float64 {
+	if v.deliveries == 0 {
+		return 0
+	}
+	return v.totalLag / float64(v.deliveries)
+}
+
+// Deliveries returns the number of non-author arrivals accounted so far.
+func (v *Visibility) Deliveries() int { return v.deliveries }
+
+func bitGet(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(b []uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// push adds h to the hop min-heap.
+func (v *Visibility) push(h visHop) {
+	hs := append(v.hops, h)
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(&hs[parent]) {
+			break
+		}
+		hs[i] = hs[parent]
+		i = parent
+	}
+	hs[i] = h
+	v.hops = hs
+}
+
+// pop removes and returns the minimum hop.
+func (v *Visibility) pop() visHop {
+	hs := v.hops
+	min := hs[0]
+	n := len(hs) - 1
+	last := hs[n]
+	hs = hs[:n]
+	v.hops = hs
+	if n > 0 {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && hs[r].before(&hs[l]) {
+				m = r
+			}
+			if !hs[m].before(&last) {
+				break
+			}
+			hs[i] = hs[m]
+			i = m
+		}
+		hs[i] = last
+	}
+	return min
+}

@@ -1,0 +1,133 @@
+package access
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func TestVisibilityAuthorSeesOwnAppendImmediately(t *testing.T) {
+	s := sim.New()
+	mem := appendmem.New(4)
+	g := topology.Ring(4, 1, 0.5)
+	v := NewVisibility(s, xrand.New(1, 1), g, topology.DelayModel{}, mem)
+	mem.Writer(2).MustAppend(7, 0, nil)
+	v.Sync()
+	if v.Prefix(2) != 1 {
+		t.Fatalf("author prefix = %d", v.Prefix(2))
+	}
+	if v.Prefix(0) != 0 {
+		t.Fatalf("remote prefix before propagation = %d", v.Prefix(0))
+	}
+}
+
+func TestVisibilityPropagatesAtLinkLatency(t *testing.T) {
+	// k=1 ring of 6 with fixed 0.5 latency: node 3 is three hops from
+	// node 0, so it sees the append at exactly 1.5.
+	s := sim.New()
+	mem := appendmem.New(6)
+	g := topology.Ring(6, 1, 0.5)
+	v := NewVisibility(s, xrand.New(1, 1), g, topology.DelayModel{}, mem)
+	mem.Writer(0).MustAppend(1, 0, nil)
+	v.Sync()
+	var sawAt sim.Time
+	var probe func()
+	probe = func() {
+		if v.Prefix(3) == 1 && sawAt == 0 {
+			sawAt = s.Now()
+		}
+		if v.Prefix(3) == 0 {
+			s.After(0.01, probe)
+		}
+	}
+	s.After(0.01, probe)
+	s.Run()
+	if sawAt < 1.5 || sawAt > 1.52 {
+		t.Fatalf("node 3 saw the append at %v, want ~1.5", sawAt)
+	}
+	// Full propagation accounts 5 non-author arrivals at the ring's
+	// graph distances: 0.5, 0.5, 1.0, 1.0, 1.5 → mean 0.9.
+	if v.Deliveries() != 5 || v.MeanLag() < 0.89 || v.MeanLag() > 0.91 {
+		t.Fatalf("deliveries=%d meanLag=%v", v.Deliveries(), v.MeanLag())
+	}
+}
+
+func TestVisibilityViewsArePrefixes(t *testing.T) {
+	// Appends from opposite ends of a long path arrive out of order in
+	// the middle; views must still be memory prefixes, holding back a
+	// later-arrived message until the gap before it fills.
+	s := sim.New()
+	mem := appendmem.New(8)
+	g := topology.Ring(8, 1, 1)
+	v := NewVisibility(s, xrand.New(3, 3), g, topology.DelayModel{}, mem)
+	mem.Writer(0).MustAppend(10, 0, nil) // message 0: three hops from node 5
+	mem.Writer(4).MustAppend(11, 0, nil) // message 1: one hop from node 5
+	v.Sync()
+	checked := false
+	s.After(1.5, func() {
+		// Message 1 has arrived at node 5, message 0 has not: the view
+		// must stay empty rather than expose an out-of-order suffix.
+		view := v.ViewFor(5)
+		if view.Size() != 0 {
+			t.Errorf("view size = %d before prefix complete", view.Size())
+		}
+		checked = true
+	})
+	s.Run()
+	if !checked {
+		t.Fatal("probe never ran")
+	}
+	if got := v.ViewFor(5).Size(); got != 2 {
+		t.Fatalf("final view size = %d", got)
+	}
+	// Sanity: everyone converges to the full memory.
+	for id := 0; id < 8; id++ {
+		if v.Prefix(appendmem.NodeID(id)) != 2 {
+			t.Fatalf("node %d prefix = %d", id, v.Prefix(appendmem.NodeID(id)))
+		}
+	}
+}
+
+func TestVisibilitySyncIsIncremental(t *testing.T) {
+	s := sim.New()
+	mem := appendmem.New(3)
+	g := topology.Ring(3, 1, 0.1)
+	v := NewVisibility(s, xrand.New(2, 2), g, topology.DelayModel{Kind: topology.DelayUniform}, mem)
+	for i := 0; i < 5; i++ {
+		mem.Writer(appendmem.NodeID(i%3)).MustAppend(int64(i), 0, nil)
+		v.Sync()
+		v.Sync() // idempotent
+	}
+	s.Run()
+	for id := 0; id < 3; id++ {
+		if v.Prefix(appendmem.NodeID(id)) != 5 {
+			t.Fatalf("node %d prefix = %d", id, v.Prefix(appendmem.NodeID(id)))
+		}
+	}
+}
+
+func TestVisibilityDeterministic(t *testing.T) {
+	run := func() string {
+		s := sim.New()
+		mem := appendmem.New(12)
+		g := topology.WattsStrogatz(xrand.New(9, 9), 12, 2, 0.4, 0.2)
+		v := NewVisibility(s, xrand.New(4, 4), g, topology.DelayModel{Kind: topology.DelayLongTail}, mem)
+		for i := 0; i < 6; i++ {
+			mem.Writer(appendmem.NodeID(i*2%12)).MustAppend(int64(i), 0, nil)
+			v.Sync()
+		}
+		s.Run()
+		out := ""
+		for id := 0; id < 12; id++ {
+			out += fmt.Sprintf("%d:%d;", id, v.Prefix(appendmem.NodeID(id)))
+		}
+		return out + fmt.Sprintf("lag=%.12f;n=%d", v.MeanLag(), v.Deliveries())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic visibility:\n%s\n%s", a, b)
+	}
+}

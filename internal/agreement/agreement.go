@@ -33,6 +33,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -141,6 +142,22 @@ type RandomizedConfig struct {
 	// experiment E16.
 	AsyncDelayMax float64
 
+	// Topology, when non-nil, replaces the uniform Δ visibility of honest
+	// nodes with propagation over an explicit network graph: every append
+	// is flooded from its author (per-link delays shaped by
+	// TopologyDelay, latencies in simulator time units), and a correct
+	// node's refreshed view is the maximal fully-arrived prefix tracked
+	// by access.Visibility instead of the whole memory. Appends still
+	// land in the shared memory instantly — the topology delays who can
+	// *see* them, which is where the paper's Δ assumption actually bites.
+	// The adversary remains omniscient (fresh reads), the strongest
+	// setting. The graph must have exactly N nodes and be connected. Nil
+	// keeps the original code path untouched, byte for byte.
+	Topology *topology.Graph
+	// TopologyDelay shapes per-link transmission delays when Topology is
+	// set; the zero value is the fixed distribution.
+	TopologyDelay topology.DelayModel
+
 	// Trace, when non-nil, records every grant, append, read, decision,
 	// crash and blackout of the run (see internal/trace). Nil disables
 	// tracing with no overhead.
@@ -184,6 +201,14 @@ func (c *RandomizedConfig) fill() error {
 	}
 	if len(c.Inputs) != c.N {
 		return fmt.Errorf("agreement: %d inputs for %d nodes", len(c.Inputs), c.N)
+	}
+	if c.Topology != nil {
+		if c.Topology.N() != c.N {
+			return fmt.Errorf("agreement: topology has %d nodes for %d", c.Topology.N(), c.N)
+		}
+		if !c.Topology.Connected() {
+			return fmt.Errorf("agreement: topology is disconnected")
+		}
 	}
 	return nil
 }
@@ -314,6 +339,9 @@ type Result struct {
 	Mem *appendmem.Memory
 	// Duration is the virtual time when the run ended.
 	Duration sim.Time
+	// VisMeanLag is the mean propagation lag of appends over the
+	// topology (0 under the default uniform-Δ visibility).
+	VisMeanLag float64
 }
 
 // RunRandomized executes one protocol run and returns its Result.
@@ -330,6 +358,12 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	scratch.rngs = nodeRngs
 	for i := range nodeRngs {
 		nodeRngs[i] = root.Split()
+	}
+	// The visibility rng split is gated on Topology so the default path
+	// consumes root in exactly the historical order — goldens depend on it.
+	var rngVis *xrand.PCG
+	if cfg.Topology != nil {
+		rngVis = root.Split()
 	}
 
 	s := scratch.sim
@@ -362,6 +396,25 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	scratch.lastView = lastView
 	for i := range lastView {
 		lastView[i] = mem.ViewAt(0)
+	}
+
+	// Topology-aware visibility: honest reads become per-node arrival
+	// prefixes; syncVis floods newly landed appends after every append
+	// site. Both stay nil/no-op on the default path.
+	var vis *access.Visibility
+	if cfg.Topology != nil {
+		vis = access.NewVisibility(s, rngVis, cfg.Topology, cfg.TopologyDelay, mem)
+	}
+	syncVis := func() {
+		if vis != nil {
+			vis.Sync()
+		}
+	}
+	readView := func(id appendmem.NodeID) appendmem.View {
+		if vis != nil {
+			return vis.ViewFor(id)
+		}
+		return mem.Read()
 	}
 
 	// Per-node rule instances: a correct node's views grow monotonically
@@ -447,7 +500,7 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 			if !outcome.Decided[id] { // Algorithm 5/6: stop appending after deciding
 				view := lastView[id]
 				if cfg.FreshHonestReads {
-					view = mem.Read()
+					view = readView(id)
 				}
 				if cfg.AsyncDelayMax > 0 {
 					// Asynchronous node: the append lands after an
@@ -461,6 +514,7 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 						b := mem.Len()
 						nodeRules[id].Append(view, mem.Writer(id), cfg.Inputs[id], nodeRngs[id])
 						recordAppends(b, "delayed")
+						syncVis()
 						maybeStall()
 						if mem.Len() >= cfg.MaxAppends {
 							finish()
@@ -472,6 +526,7 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 				}
 			}
 		}
+		syncVis()
 		maybeStall()
 		if mem.Len() >= cfg.MaxAppends {
 			finish()
@@ -514,7 +569,7 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 				s.At(readAt[id], readFns[id])
 				return
 			}
-			lastView[id] = mem.Read()
+			lastView[id] = readView(id)
 			cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Read, Node: id})
 			if !outcome.Decided[id] {
 				if v, ok := nodeRules[id].Decide(lastView[id], cfg.K, nodeRngs[id]); ok {
@@ -558,6 +613,9 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 		} else {
 			result.CorrectAppends++
 		}
+	}
+	if vis != nil {
+		result.VisMeanLag = vis.MeanLag()
 	}
 	result.Verdict = node.Evaluate(roster, cfg.Inputs, outcome)
 	return result, nil

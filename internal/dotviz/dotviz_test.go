@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/appendmem"
+	"repro/internal/topology"
 )
 
 func buildView(t *testing.T) appendmem.View {
@@ -76,5 +77,22 @@ func TestDeterministic(t *testing.T) {
 	view := buildView(t)
 	if Dag(view, Options{K: 2}) != Dag(view, Options{K: 2}) {
 		t.Error("rendering not deterministic")
+	}
+}
+
+func TestTopologyDot(t *testing.T) {
+	g := topology.Ring(4, 1, 0.5)
+	out := Topology(g, "ring")
+	if !strings.HasPrefix(out, "graph topology {") || !strings.Contains(out, `label="ring"`) {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	for _, want := range []string{"n0;", "n3;", `n0 -- n1 [label="0.5"]`, `n0 -- n3 [label="0.5"]`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Each undirected link renders exactly once.
+	if got := strings.Count(out, " -- "); got != g.NumEdges() {
+		t.Fatalf("rendered %d edges, want %d", got, g.NumEdges())
 	}
 }

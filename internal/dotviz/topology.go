@@ -1,0 +1,29 @@
+package dotviz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Topology renders a network graph as undirected DOT: one circle per
+// node, one edge per link labeled with its latency. The name becomes the
+// graph label so generated families are identifiable in the output.
+func Topology(g *topology.Graph, name string) string {
+	var b strings.Builder
+	b.WriteString("graph topology {\n  layout=circo;\n")
+	if name != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", name)
+	}
+	b.WriteString("  node [shape=circle, fontsize=9];\n")
+	for i := 0; i < g.N(); i++ {
+		fmt.Fprintf(&b, "  n%d;\n", i)
+	}
+	g.Edges(func(u, v int, lat float64) bool {
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%.3g\"];\n", u, v, lat)
+		return true
+	})
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,6 +1,6 @@
 // Package experiments regenerates every quantitative claim of the paper as
 // structured, typed results: one experiment per theorem/lemma (see
-// DESIGN.md's experiment index E1–E21). Each run yields tables of typed
+// DESIGN.md's experiment index E1–E22). Each run yields tables of typed
 // cells plus declarative checks — the paper's predictions as executable
 // predicates — and the same functions back the amexp CLI and the
 // root-level benchmarks, so a reader can diff "paper says" against
@@ -36,7 +36,7 @@ func (o Options) trials(def int) int {
 
 // Experiment is one reproducible unit: a theorem or lemma of the paper.
 type Experiment struct {
-	ID       string // "E1" .. "E21"
+	ID       string // "E1" .. "E22"
 	Title    string
 	PaperRef string // theorem/lemma/section
 	Run      func(Options) []*Table
@@ -66,6 +66,7 @@ func All() []Experiment {
 		{"E19", "Confirmation depth: a null result, and why", "extension / Lemma 5.5", RunE19},
 		{"E20", "Hashing power, not head count: heterogeneous rates", "Section 1.1 (PoW reading)", RunE20},
 		{"E21", "The GHOST advantage: private forks vs pivot rules", "Section 5.3 (refs [22],[14])", RunE21},
+		{"E22", "Chain vs DAG across network topologies", "Theorems 5.4/5.6 under gossip transport", RunE22},
 	}
 }
 

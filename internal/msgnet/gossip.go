@@ -1,0 +1,276 @@
+package msgnet
+
+import (
+	"fmt"
+
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// NewGossip creates a network of g.N() nodes whose delivery is relayed
+// over the topology graph g. Broadcasts flood hop by hop: each node takes
+// delivery of a message exactly once (duplicate copies arriving over other
+// links are suppressed) and forwards it to every neighbor except the one
+// it arrived from. Unicasts are source-routed along the minimum-latency
+// path. Every hop's delay is the link's base latency shaped by the delay
+// model dm.
+//
+// Determinism: relays are scheduled on the simulator's value-typed event
+// heap and all rng draws happen inside event callbacks or synchronous
+// sends, so the full delivery trace is a pure function of (g, dm, rng
+// state, send sequence) — byte-identical at any worker count.
+func NewGossip(s *sim.Sim, rng *xrand.PCG, g *topology.Graph, dm topology.DelayModel) *Network {
+	nw := newNetwork(s, rng, g.N())
+	eps := sim.Time(g.MinLatency() / 1e9)
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	t := &gossipTransport{
+		nw:     nw,
+		g:      g,
+		dm:     dm,
+		eps:    eps,
+		msgs:   make(map[uint64]*gossipMsg),
+		routes: make(map[int]*route),
+	}
+	t.tick = t.drain
+	nw.transport = t
+	return nw
+}
+
+// gossipTransport relays messages over an explicit graph. It owns its own
+// value-typed hop heap (same (at, seq) discipline as the network's pending
+// heap) because a hop's arrival triggers relaying, not just handler
+// delivery.
+type gossipTransport struct {
+	nw  *Network
+	g   *topology.Graph
+	dm  topology.DelayModel
+	eps sim.Time // delay floor: zero-length hops and degenerate samples
+
+	hops []hop // in-flight relay hops, min-heap on (at, seq)
+	hseq uint64
+	tick func() // bound drain, allocated once
+
+	msgs   map[uint64]*gossipMsg // in-flight broadcasts by id
+	nextID uint64
+	free   []*gossipMsg // pooled records with seen bitmaps
+
+	routes map[int]*route // per-source shortest-path trees, lazy
+}
+
+// hop is one in-flight link transmission of a flooded message.
+type hop struct {
+	at       sim.Time
+	seq      uint64
+	id       uint64 // broadcast id
+	to, from int32  // receiving node; inbound neighbor (-1 at the origin)
+}
+
+func (h *hop) before(o *hop) bool {
+	if h.at != o.at {
+		return h.at < o.at
+	}
+	return h.seq < o.seq
+}
+
+// gossipMsg is one flooded broadcast: the payload, which nodes have taken
+// delivery, and how many hops are still in flight (the record is recycled
+// when the last one drains).
+type gossipMsg struct {
+	env      Envelope // From/Kind/Body; To is set per delivery
+	seen     []uint64 // delivery bitset
+	inflight int
+}
+
+// route is one source's shortest-path tree over the graph.
+type route struct {
+	dist []float64
+	prev []int32
+}
+
+func (t *gossipTransport) Name() string { return "gossip" }
+
+// Broadcast floods one payload from `from`. The origin's own delivery is
+// scheduled after eps (asynchronous like every other delivery, but not a
+// link transmission, so it is not counted in stats); relays fan out from
+// there as the flood drains.
+func (t *gossipTransport) Broadcast(nw *Network, from appendmem.NodeID, kind string, body []byte) {
+	if from < 0 || int(from) >= nw.n {
+		panic(fmt.Sprintf("msgnet: gossip broadcast from %d out of range", from))
+	}
+	id := t.nextID
+	t.nextID++
+	m := t.acquire()
+	m.env = Envelope{From: from, Kind: kind, Body: append([]byte(nil), body...)}
+	t.msgs[id] = m
+	t.schedule(id, m, -1, int32(from), t.eps)
+}
+
+// Unicast source-routes env along the minimum-latency path, sampling each
+// hop's delay (so the draw count equals the hop count) and delivering once
+// at the summed delay. Each hop counts as one transmission; a self-send
+// counts as one message.
+func (t *gossipTransport) Unicast(nw *Network, env Envelope) {
+	src, dst := int(env.From), int(env.To)
+	if src < 0 || src >= nw.n {
+		panic(fmt.Sprintf("msgnet: gossip send from %d out of range", env.From))
+	}
+	r := t.route(src)
+	if dst != src && r.prev[dst] < 0 {
+		panic(fmt.Sprintf("msgnet: gossip send %d -> %d unreachable", src, dst))
+	}
+	total, links := 0.0, 0
+	for v := dst; v != src; {
+		p := int(r.prev[v])
+		lat, _ := t.g.Link(p, v)
+		total += t.dm.Sample(lat, nw.rng)
+		links++
+		v = p
+	}
+	if links == 0 {
+		links = 1
+	}
+	nw.Account(env, links)
+	if nw.Dropped(env) {
+		return
+	}
+	delay := sim.Time(total)
+	if delay <= 0 {
+		delay = t.eps
+	}
+	nw.DeliverAfter(delay, env)
+}
+
+// route returns src's shortest-path tree, computing it on first use. The
+// tree depends only on the immutable graph, so caching does not affect
+// determinism.
+func (t *gossipTransport) route(src int) *route {
+	r := t.routes[src]
+	if r == nil {
+		dist, prev := t.g.PathLatencies(src)
+		r = &route{dist: dist, prev: prev}
+		t.routes[src] = r
+	}
+	return r
+}
+
+// schedule pushes one hop and books its simulator event.
+func (t *gossipTransport) schedule(id uint64, m *gossipMsg, from, to int32, delay sim.Time) {
+	m.inflight++
+	t.hseq++
+	t.push(hop{at: t.nw.s.Now() + delay, seq: t.hseq, id: id, to: to, from: from})
+	t.nw.s.After(delay, t.tick)
+}
+
+// drain fires the earliest in-flight hop. First arrival at a node delivers
+// to its handler and relays to every neighbor except the inbound one;
+// later copies are suppressed. A dropped receiver is marked seen without
+// delivering or relaying — a crashed node neither learns nor forwards.
+func (t *gossipTransport) drain() {
+	h := t.pop()
+	m := t.msgs[h.id]
+	m.inflight--
+	v := int(h.to)
+	if !bitGet(m.seen, v) {
+		bitSet(m.seen, v)
+		env := m.env
+		env.To = appendmem.NodeID(v)
+		if !t.nw.Dropped(env) {
+			if hnd := t.nw.handlers[v]; hnd != nil {
+				hnd(env)
+			}
+			t.g.Neighbors(v, func(j int, lat float64) bool {
+				if int32(j) != h.from {
+					t.relay(h.id, m, int32(v), int32(j), lat)
+				}
+				return true
+			})
+		}
+	}
+	if m.inflight == 0 {
+		delete(t.msgs, h.id)
+		t.release(m)
+	}
+}
+
+// relay forwards m over one link, sampling the hop delay and counting the
+// transmission.
+func (t *gossipTransport) relay(id uint64, m *gossipMsg, from, to int32, lat float64) {
+	t.nw.Account(m.env, 1)
+	delay := sim.Time(t.dm.Sample(lat, t.nw.rng))
+	if delay <= 0 {
+		delay = t.eps
+	}
+	t.schedule(id, m, from, to, delay)
+}
+
+// acquire returns a cleared gossipMsg, reusing pooled seen bitmaps.
+func (t *gossipTransport) acquire() *gossipMsg {
+	if n := len(t.free); n > 0 {
+		m := t.free[n-1]
+		t.free = t.free[:n-1]
+		for i := range m.seen {
+			m.seen[i] = 0
+		}
+		return m
+	}
+	return &gossipMsg{seen: make([]uint64, (t.g.N()+63)/64)}
+}
+
+// release recycles a drained gossipMsg, releasing the payload.
+func (t *gossipTransport) release(m *gossipMsg) {
+	m.env = Envelope{}
+	t.free = append(t.free, m)
+}
+
+func bitGet(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(b []uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// push adds h to the hop min-heap.
+func (t *gossipTransport) push(h hop) {
+	hs := append(t.hops, h)
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(&hs[parent]) {
+			break
+		}
+		hs[i] = hs[parent]
+		i = parent
+	}
+	hs[i] = h
+	t.hops = hs
+}
+
+// pop removes and returns the minimum hop.
+func (t *gossipTransport) pop() hop {
+	hs := t.hops
+	min := hs[0]
+	n := len(hs) - 1
+	last := hs[n]
+	hs = hs[:n]
+	t.hops = hs
+	if n > 0 {
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			m := l
+			if r := l + 1; r < n && hs[r].before(&hs[l]) {
+				m = r
+			}
+			if !hs[m].before(&last) {
+				break
+			}
+			hs[i] = hs[m]
+			i = m
+		}
+		hs[i] = last
+	}
+	return min
+}

@@ -1,0 +1,222 @@
+package msgnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+func newGossipNet(g *topology.Graph, dm topology.DelayModel, seed uint64) (*sim.Sim, *Network) {
+	s := sim.New()
+	return s, NewGossip(s, xrand.New(seed, 1), g, dm)
+}
+
+func TestGossipBroadcastReachesAllOnce(t *testing.T) {
+	// k=2 ring: every node has four links, so duplicate copies of each
+	// flood definitely arrive and must be suppressed.
+	g := topology.Ring(10, 2, 0.1)
+	s, nw := newGossipNet(g, topology.DelayModel{}, 3)
+	counts := make([]int, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		nw.Register(appendmem.NodeID(i), func(e Envelope) {
+			if e.From != 4 || e.Kind != "b" || string(e.Body) != "payload" {
+				t.Fatalf("envelope = %+v", e)
+			}
+			counts[i]++
+		})
+	}
+	nw.Broadcast(4, "b", []byte("payload"))
+	s.Run()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("node %d delivered %d times", i, c)
+		}
+	}
+	// Every link transmits at least once in a flood, and relaying
+	// amplifies past the n-1 sends a logical broadcast would cost.
+	if st := nw.Stats(); st.Messages < g.NumEdges() || st.Messages <= g.N()-1 {
+		t.Fatalf("flood transmissions = %d (edges %d)", st.Messages, g.NumEdges())
+	}
+}
+
+func TestGossipDuplicateSuppressionUnderEquivocation(t *testing.T) {
+	// An equivocator broadcasts two conflicting payloads. Each flood is
+	// deduplicated independently: every node sees exactly one copy of
+	// each, never a third delivery from a relayed duplicate.
+	g := topology.Ring(8, 2, 0.1)
+	s, nw := newGossipNet(g, topology.DelayModel{Kind: topology.DelayUniform}, 9)
+	got := make([]map[string]int, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		got[i] = map[string]int{}
+		nw.Register(appendmem.NodeID(i), func(e Envelope) { got[i][string(e.Body)]++ })
+	}
+	nw.Broadcast(0, "append", []byte("v1"))
+	nw.Broadcast(0, "append", []byte("v2"))
+	s.Run()
+	for i, m := range got {
+		if m["v1"] != 1 || m["v2"] != 1 || len(m) != 2 {
+			t.Fatalf("node %d deliveries = %v", i, m)
+		}
+	}
+}
+
+func TestGossipDropStopsRelay(t *testing.T) {
+	// On a k=1 ring, dropping both neighbors of the origin's antipode
+	// partitions the flood: the antipode must never hear the message.
+	g := topology.Ring(8, 1, 0.1)
+	s, nw := newGossipNet(g, topology.DelayModel{}, 5)
+	nw.SetDrop(func(e Envelope) bool { return e.To == 3 || e.To == 5 })
+	heard := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		nw.Register(appendmem.NodeID(i), func(Envelope) { heard[i] = true })
+	}
+	nw.Broadcast(0, "b", nil)
+	s.Run()
+	for i, h := range heard {
+		want := i != 3 && i != 4 && i != 5
+		if h != want {
+			t.Fatalf("node %d heard=%v want %v (heard=%v)", i, h, want, heard)
+		}
+	}
+}
+
+func TestGossipUnicastRoutesShortestPath(t *testing.T) {
+	// Line 0-1-2 plus a slow direct link 0-2: the unicast must take the
+	// cheap two-hop route, pay both hops in stats, and (with fixed
+	// delays) arrive at exactly the summed path latency.
+	g, err := topology.FromTable(3, []topology.Link{{From: 0, To: 1, Lat: 0.2}, {From: 1, To: 2, Lat: 0.3}, {From: 0, To: 2, Lat: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, nw := newGossipNet(g, topology.DelayModel{}, 7)
+	var at sim.Time
+	nw.Register(2, func(Envelope) { at = s.Now() })
+	nw.Send(0, 2, "x", []byte("pp"))
+	s.Run()
+	if at != sim.Time(0.5) {
+		t.Fatalf("delivered at %v, want 0.5", at)
+	}
+	if st := nw.Stats(); st.Messages != 2 || st.Bytes != 4 {
+		t.Fatalf("stats = %+v, want 2 messages / 4 bytes", st)
+	}
+}
+
+func TestGossipSelfSendDelivers(t *testing.T) {
+	g := topology.Ring(4, 1, 0.1)
+	s, nw := newGossipNet(g, topology.DelayModel{}, 2)
+	n := 0
+	nw.Register(1, func(Envelope) { n++ })
+	nw.Send(1, 1, "x", nil)
+	s.Run()
+	if n != 1 {
+		t.Fatalf("self-send delivered %d times", n)
+	}
+}
+
+// gossipTrace runs one flood over a small-world graph and records every
+// delivery as "(time, node)" in arrival order.
+func gossipTrace(seed uint64, dm topology.DelayModel) []string {
+	g := topology.WattsStrogatz(xrand.New(42, 7), 24, 2, 0.3, 0.1)
+	s, nw := newGossipNet(g, dm, seed)
+	var trace []string
+	for i := 0; i < 24; i++ {
+		i := i
+		nw.Register(appendmem.NodeID(i), func(e Envelope) {
+			trace = append(trace, fmt.Sprintf("%.9f:%d", float64(s.Now()), i))
+		})
+	}
+	nw.Broadcast(0, "b", []byte("x"))
+	s.Run()
+	return trace
+}
+
+func TestGossipDeliveryTraceDeterministic(t *testing.T) {
+	for _, dm := range []topology.DelayModel{
+		{},
+		{Kind: topology.DelayUniform},
+		{Kind: topology.DelayLongTail},
+	} {
+		a, b := gossipTrace(11, dm), gossipTrace(11, dm)
+		if len(a) != len(b) || len(a) != 24 {
+			t.Fatalf("%v: trace lengths %d vs %d", dm, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: traces diverge at %d: %s vs %s", dm, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGossipEqualTimestampDrainOrder(t *testing.T) {
+	// Fixed delays on a symmetric ring produce waves of hops with equal
+	// timestamps; the (at, seq) heap must drain them in scheduling order,
+	// which for the first wave means ascending neighbor id of the origin.
+	g := topology.Ring(9, 2, 0.5)
+	s, nw := newGossipNet(g, topology.DelayModel{}, 1)
+	var order []int
+	for i := 0; i < 9; i++ {
+		i := i
+		nw.Register(appendmem.NodeID(i), func(Envelope) { order = append(order, i) })
+	}
+	nw.Broadcast(0, "b", nil)
+	s.Run()
+	// Origin first (eps), then its direct neighbors in ascending id order
+	// (Neighbors iterates ascending and all delays are equal), then the
+	// second wave.
+	want := []int{0, 1, 2, 7, 8, 3, 4, 5, 6}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestOracleEqualTimestampDrainOrder(t *testing.T) {
+	// Force every oracle delivery to the same timestamp by exhausting the
+	// rng? Not needed: schedule two sends whose drawn delays tie is not
+	// controllable, so instead verify the documented contract directly —
+	// deliveries pushed with identical `at` drain in seq order.
+	s := sim.New()
+	nw := New(s, xrand.New(1, 1), 3, 1)
+	var order []string
+	for i := 0; i < 3; i++ {
+		i := i
+		nw.Register(appendmem.NodeID(i), func(e Envelope) {
+			order = append(order, fmt.Sprintf("%d<-%s", i, e.Body))
+		})
+	}
+	// Bypass the delay draw: schedule equal-timestamp deliveries through
+	// the same path transports use.
+	nw.DeliverAfter(0.25, Envelope{From: 0, To: 2, Kind: "k", Body: []byte("a")})
+	nw.DeliverAfter(0.25, Envelope{From: 0, To: 1, Kind: "k", Body: []byte("b")})
+	nw.DeliverAfter(0.25, Envelope{From: 0, To: 0, Kind: "k", Body: []byte("c")})
+	s.Run()
+	want := []string{"2<-a", "1<-b", "0<-c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTransportName(t *testing.T) {
+	s := sim.New()
+	if got := New(s, xrand.New(1, 1), 2, 1).TransportName(); got != "oracle" {
+		t.Fatalf("oracle name = %q", got)
+	}
+	_, nw := newGossipNet(topology.Ring(4, 1, 1), topology.DelayModel{}, 1)
+	if got := nw.TransportName(); got != "gossip" {
+		t.Fatalf("gossip name = %q", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/appendmem"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -32,6 +33,10 @@ type Result struct {
 	// DecideTime[i] is when correct node i decided (randomized runs only;
 	// zero when undecided or for sync runs).
 	DecideTime []sim.Time
+
+	// VisMeanLag is the mean append-propagation lag over the topology
+	// (randomized runs with a non-complete topology; zero otherwise).
+	VisMeanLag float64
 }
 
 // Bound is a spec resolved against the registries: the honest rule, the
@@ -48,6 +53,9 @@ type Bound struct {
 	newSync func() syncba.Adversary       // sync protocol
 	access  AccessDef                     // randomized protocols
 	inputs  func(seed uint64) node.Inputs // fresh slice per run
+
+	topo      *topology.Graph     // nil on the complete (oracle) path
+	topoDelay topology.DelayModel // per-link delay model (topo != nil)
 }
 
 // Spec returns the spec the binding was resolved from.
@@ -119,6 +127,9 @@ func Bind(spec Spec) (*Bound, error) {
 		if spec.Access != "" && spec.Access != AccessPoisson {
 			return nil, fmt.Errorf("scenario: access model %q applies to randomized protocols only", spec.Access)
 		}
+		if spec.Topology != "" && spec.Topology != TopoComplete {
+			return nil, fmt.Errorf("scenario: topology %q applies to randomized protocols only", spec.Topology)
+		}
 		b.newSync, err = att.NewSync(&spec)
 		if err != nil {
 			return nil, err
@@ -161,7 +172,81 @@ func Bind(spec Spec) (*Bound, error) {
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown access model %q (have %s)", accessName, AccessModels.Help())
 	}
+	if err := b.bindTopology(); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// bindTopology resolves the spec's topology and delay-model fields. The
+// complete topology (the default) binds to a nil graph: the harness then
+// takes the original Δ-bounded oracle path, byte-for-byte.
+func (b *Bound) bindTopology() error {
+	dk, err := topology.ParseDelayKind(b.spec.DelayDist)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if j := b.spec.LinkJitter; j < 0 || j >= 1 {
+		return fmt.Errorf("scenario: link_jitter must be in [0,1), got %v", j)
+	}
+	if b.spec.LinkDelay < 0 {
+		return fmt.Errorf("scenario: link_delay must be >= 0, got %v", b.spec.LinkDelay)
+	}
+	b.topoDelay = topology.DelayModel{Kind: dk, Jitter: b.spec.LinkJitter}
+	name := b.spec.Topology
+	if name == "" {
+		name = TopoComplete
+	}
+	if _, ok := Topologies.Lookup(string(name)); !ok {
+		return fmt.Errorf("scenario: unknown topology %q (have %s)", name, Topologies.Help())
+	}
+	if name == TopoComplete {
+		return nil
+	}
+	g, err := buildGraph(&b.spec, name)
+	if err != nil {
+		return err
+	}
+	if !g.Connected() {
+		return fmt.Errorf("scenario: topology %q with n=%d is disconnected", name, b.spec.N)
+	}
+	b.topo = g
+	return nil
+}
+
+// buildGraph runs the registered generator for one topology name. Link
+// latencies come out in simulator time units: LinkDelay (default 0.5) is
+// in Δ, so a sparse graph's extra hops are measured against the oracle's
+// Δ-bound.
+func buildGraph(s *Spec, name Topology) (*topology.Graph, error) {
+	def, ok := Topologies.Lookup(string(name))
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown topology %q (have %s)", name, Topologies.Help())
+	}
+	delta := s.Delta
+	if delta == 0 {
+		delta = 1
+	}
+	linkDelay := s.LinkDelay
+	if linkDelay == 0 {
+		linkDelay = 0.5
+	}
+	return def(s, xrand.New(s.Seed, topologyStream), linkDelay*delta, delta)
+}
+
+// BuildTopology materializes the graph a spec names, exactly as Bind
+// would — except that the complete topology yields an explicit mesh
+// instead of the nil oracle marker, so inspection tools (amdot) can draw
+// it. Connectivity is reported, not enforced.
+func BuildTopology(spec Spec) (*topology.Graph, error) {
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("scenario: topology needs n > 0, got %d", spec.N)
+	}
+	name := spec.Topology
+	if name == "" {
+		name = TopoComplete
+	}
+	return buildGraph(&spec, name)
 }
 
 // MustBind is Bind for vetted specs (experiment code); it panics on error.
@@ -191,6 +276,10 @@ func (b *Bound) randomizedConfig(seed uint64, rec *trace.Recorder) agreement.Ran
 		StallAtSize:      b.spec.StallAtSize, StallFor: b.spec.StallFor,
 		AsyncDelayMax: b.spec.AsyncDelayMax,
 		Trace:         rec,
+	}
+	if b.topo != nil {
+		cfg.Topology = b.topo
+		cfg.TopologyDelay = b.topoDelay
 	}
 	b.access(&cfg)
 	return cfg
@@ -260,6 +349,7 @@ func (b *Bound) RunTraced(seed uint64, rec *trace.Recorder) (*Result, error) {
 		Grants: r.Grants, Duration: r.Duration,
 		FinalView: r.FinalView, HasView: true,
 		DecideTime: r.DecideTime,
+		VisMeanLag: r.VisMeanLag,
 	}, nil
 }
 

@@ -201,6 +201,12 @@ func init() {
 					return sum / float64(cnt)
 				}, nil
 			})})
+	Metrics.Register("vis-lag",
+		"mean append-propagation lag over the topology (in Δ; 0 on the complete/oracle path)",
+		MetricDef{Kind: KindMean, Bind: randomizedOnly("vis-lag",
+			func(*Bound) (func(*Result) float64, error) {
+				return func(r *Result) float64 { return r.VisMeanLag }, nil
+			})})
 	Metrics.Register("max-byz-run",
 		"mean longest Byzantine run in the first k ordered blocks (Lemma 5.5; chain/dag)",
 		MetricDef{Kind: KindMean, Bind: orderedPrefix(maxByzRun)})

@@ -160,8 +160,8 @@ type AttackDef struct {
 type AccessDef func(cfg *agreement.RandomizedConfig)
 
 // The process-wide registries. They are populated here and extended by
-// metrics.go; all writes happen at package init, so concurrent reads are
-// safe.
+// metrics.go and topologies.go; all writes happen at package init, so
+// concurrent reads are safe.
 var (
 	Protocols    = newRegistry[ProtocolDef]()
 	TieBreaks    = newRegistry[TieBreakDef]()
@@ -169,6 +169,7 @@ var (
 	Attacks      = newRegistry[AttackDef]()
 	AccessModels = newRegistry[AccessDef]()
 	Metrics      = newRegistry[MetricDef]()
+	Topologies   = newRegistry[TopologyDef]()
 )
 
 // appliesTo reports whether the attack covers the given randomized

@@ -43,6 +43,17 @@ type Spec struct {
 	Access     Access `json:"access,omitempty"`      // "" means poisson
 	FreshReads bool   `json:"fresh_reads,omitempty"` // ablation: honest nodes read at grant time
 
+	// Topology selects the network graph the appends propagate over; ""
+	// (or "complete") keeps the Δ-bounded oracle path. The remaining
+	// fields shape the graph and its per-link delays; they are inert on
+	// the complete topology, so sweeps may mix it with sparse graphs.
+	Topology       Topology           `json:"topology,omitempty"`
+	TopologyParams map[string]float64 `json:"topology_params,omitempty"` // generator shape (k, cols, beta, m)
+	TopologyTable  [][]float64        `json:"topology_table,omitempty"`  // explicit [from, to, latency-in-Δ] rows (topology "table")
+	LinkDelay      float64            `json:"link_delay,omitempty"`      // base per-link latency in Δ; 0 means 0.5
+	LinkJitter     float64            `json:"link_jitter,omitempty"`     // delay spread fraction in [0,1); 0 means the model default
+	DelayDist      string             `json:"delay_dist,omitempty"`      // per-link delay distribution; "" means fixed
+
 	StallAtSize   int     `json:"stall_at,omitempty"`        // temporal-asynchrony blackout trigger size
 	StallFor      float64 `json:"stall_for,omitempty"`       // blackout duration in Δ; 0 means 8
 	AsyncDelayMax float64 `json:"async_delay_max,omitempty"` // honest token-to-append delay bound in Δ (Theorem 5.1)
@@ -125,6 +136,9 @@ func ParseAxis(s string) (Axis, error) {
 		}
 		ax.Values = append(ax.Values, ParseValue(tok))
 	}
+	if topoParamAxis(ax.Name) != "" {
+		return ax, nil
+	}
 	for _, known := range SweepAxes() {
 		if ax.Name == known {
 			return ax, nil
@@ -133,14 +147,26 @@ func ParseAxis(s string) (Axis, error) {
 	return Axis{}, fmt.Errorf("scenario: unknown sweep axis %q (have %s)", ax.Name, strings.Join(SweepAxes(), ", "))
 }
 
-// SweepAxes lists the parameter names a sweep may vary.
+// SweepAxes lists the parameter names a sweep may vary. In addition to
+// these, "topo:<param>" sweeps one topology generator parameter (e.g.
+// "topo:beta" for the small-world rewiring probability).
 func SweepAxes() []string {
 	return []string{
 		"n", "t", "crashes", "lambda", "delta", "k", "rounds", "confirm",
 		"margin", "stall_at", "stall_for", "async_delay_max", "seed",
 		"protocol", "tiebreak", "pivot", "attack", "inputs", "access",
-		"fresh_reads",
+		"fresh_reads", "topology", "link_delay", "link_jitter", "delay_dist",
+		"topo:<param>",
 	}
+}
+
+// topoParamAxis returns the topology parameter name a "topo:<param>" axis
+// addresses, or "" when the axis is not of that form.
+func topoParamAxis(axis string) string {
+	if p, ok := strings.CutPrefix(axis, "topo:"); ok && p != "" {
+		return p
+	}
+	return ""
 }
 
 // with returns the spec with one axis set to one value.
@@ -171,6 +197,19 @@ func (s Spec) with(axis string, v Value) (Spec, error) {
 		return nil
 	}
 	var err error
+	if param := topoParamAxis(axis); param != "" {
+		if v.IsStr {
+			return s, fmt.Errorf("scenario: axis %q needs numeric values, got %q", axis, v.Str)
+		}
+		// Copy-on-write: sweep points must not alias one params map.
+		params := make(map[string]float64, len(s.TopologyParams)+1)
+		for k, pv := range s.TopologyParams {
+			params[k] = pv
+		}
+		params[param] = v.Num
+		s.TopologyParams = params
+		return s, nil
+	}
 	switch axis {
 	case "n":
 		err = setInt(&s.N)
@@ -194,6 +233,10 @@ func (s Spec) with(axis string, v Value) (Spec, error) {
 		err = setFloat(&s.Delta)
 	case "stall_for":
 		err = setFloat(&s.StallFor)
+	case "link_delay":
+		err = setFloat(&s.LinkDelay)
+	case "link_jitter":
+		err = setFloat(&s.LinkJitter)
 	case "async_delay_max":
 		err = setFloat(&s.AsyncDelayMax)
 	case "seed":
@@ -213,6 +256,10 @@ func (s Spec) with(axis string, v Value) (Spec, error) {
 		err = setStr(func(x string) { s.Inputs = x })
 	case "access":
 		err = setStr(func(x string) { s.Access = Access(x) })
+	case "topology":
+		err = setStr(func(x string) { s.Topology = Topology(x) })
+	case "delay_dist":
+		err = setStr(func(x string) { s.DelayDist = x })
 	case "fresh_reads":
 		switch {
 		case v.IsStr && v.Str == "true":

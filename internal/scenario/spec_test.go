@@ -21,6 +21,9 @@ func fullSpec() Spec {
 		Attack: AttackPrivateChain, Margin: 6,
 		Inputs: "split:4",
 		Access: AccessRoundRobin, FreshReads: true,
+		Topology: TopoSmallWorld, TopologyParams: map[string]float64{"k": 2, "beta": 0.3},
+		TopologyTable: [][]float64{{0, 1, 0.5}, {1, 2}},
+		LinkDelay:     0.25, LinkJitter: 0.4, DelayDist: "uniform",
 		StallAtSize: 30, StallFor: 2, AsyncDelayMax: 4,
 		Seed: 7, Trials: 12,
 		Metrics: []string{"ok", "validity"},
@@ -103,6 +106,8 @@ func TestSweepAxesAllSettable(t *testing.T) {
 		"inputs":      {Str: "same", IsStr: true},
 		"access":      {Str: "poisson", IsStr: true},
 		"fresh_reads": {Str: "true", IsStr: true},
+		"topology":    {Str: "ring", IsStr: true},
+		"delay_dist":  {Str: "uniform", IsStr: true},
 	}
 	for _, name := range SweepAxes() {
 		v, ok := samples[name]
@@ -152,11 +157,11 @@ func TestExpandCartesianOrder(t *testing.T) {
 
 func TestExpandErrors(t *testing.T) {
 	cases := []Spec{
-		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "lambda"}}},                                             // no values
-		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "lambda", Values: []Value{{Str: "x", IsStr: true}}}}},   // string for float
-		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "k", Values: []Value{{Num: 1.5}}}}},                     // non-integer for int
-		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "pivot", Values: []Value{{Num: 3}}}}},                   // number for string
-		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "bogus", Values: []Value{{Num: 1}}}}},                   // unknown axis
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "lambda"}}},                                                // no values
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "lambda", Values: []Value{{Str: "x", IsStr: true}}}}},      // string for float
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "k", Values: []Value{{Num: 1.5}}}}},                        // non-integer for int
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "pivot", Values: []Value{{Num: 3}}}}},                      // number for string
+		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "bogus", Values: []Value{{Num: 1}}}}},                      // unknown axis
 		{Protocol: Chain, N: 4, Sweep: []Axis{{Name: "fresh_reads", Values: []Value{{Str: "x", IsStr: true}}}}}, // bad bool
 	}
 	for i, s := range cases {

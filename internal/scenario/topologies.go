@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// Topology names the network graph family appends propagate over.
+type Topology string
+
+// Topologies. Complete is the Δ-bounded oracle path the paper assumes;
+// the sparse families test how far its predictions survive when
+// propagation depends on where the author sits in the graph.
+const (
+	TopoComplete   Topology = "complete"   // fully connected: the oracle fast path (the default)
+	TopoRing       Topology = "ring"       // circulant lattice, each node linked to its k nearest per side
+	TopoGrid       Topology = "grid"       // 2D mesh with 4-neighborhoods
+	TopoSmallWorld Topology = "smallworld" // Watts–Strogatz rewired ring lattice
+	TopoScaleFree  Topology = "scalefree"  // Barabási–Albert preferential attachment
+	TopoTable      Topology = "table"      // explicit link table from the spec
+)
+
+// topologyStream is the xrand stream the seeded generators draw from, so
+// the graph never shares randomness with the run it hosts. The graph is
+// built once per sweep point from the spec's base seed: trials vary the
+// authority and node randomness, not the network.
+const topologyStream = 0x7090
+
+// TopologyDef builds a spec's graph. linkDelay is the base per-link
+// latency in simulator time units (the spec's LinkDelay, already scaled
+// by Δ); delta is the scaled Δ itself, which the table topology applies
+// to its explicit per-row latencies. Generators read their shape
+// parameters from spec.TopologyParams and ignore parameters they do not
+// use, so one sweep may mix families.
+type TopologyDef func(s *Spec, rng *xrand.PCG, linkDelay, delta float64) (*topology.Graph, error)
+
+// ParseTopologyParams parses a CLI "k=2,beta=0.3" list into the spec's
+// TopologyParams map; an empty string yields nil (generator defaults).
+func ParseTopologyParams(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	params := map[string]float64{}
+	for _, tok := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("scenario: topology parameter %q is not of the form name=value", tok)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: topology parameter %q needs a numeric value, got %q", name, val)
+		}
+		params[name] = f
+	}
+	return params, nil
+}
+
+// topoParam reads one generator parameter with a default.
+func topoParam(s *Spec, name string, def float64) float64 {
+	if v, ok := s.TopologyParams[name]; ok {
+		return v
+	}
+	return def
+}
+
+// topoIntParam reads one generator parameter that must be a positive
+// integer.
+func topoIntParam(s *Spec, name string, def int) (int, error) {
+	v := topoParam(s, name, float64(def))
+	n := int(v)
+	if float64(n) != v || n <= 0 {
+		return 0, fmt.Errorf("scenario: topology parameter %q must be a positive integer, got %v", name, v)
+	}
+	return n, nil
+}
+
+func init() {
+	Topologies.Register(string(TopoComplete),
+		"fully connected mesh: the Δ-bounded oracle path (the default)",
+		func(s *Spec, _ *xrand.PCG, linkDelay, _ float64) (*topology.Graph, error) {
+			return topology.Complete(s.N, linkDelay), nil
+		})
+	Topologies.Register(string(TopoRing),
+		"circulant ring lattice; params: k nearest neighbors per side (default 2)",
+		func(s *Spec, _ *xrand.PCG, linkDelay, _ float64) (*topology.Graph, error) {
+			k, err := topoIntParam(s, "k", 2)
+			if err != nil {
+				return nil, err
+			}
+			if 2*k >= s.N {
+				return nil, fmt.Errorf("scenario: ring needs 2k < n, got k=%d n=%d", k, s.N)
+			}
+			return topology.Ring(s.N, k, linkDelay), nil
+		})
+	Topologies.Register(string(TopoGrid),
+		"2D mesh with 4-neighborhoods; params: cols (default ⌈√n⌉)",
+		func(s *Spec, _ *xrand.PCG, linkDelay, _ float64) (*topology.Graph, error) {
+			cols, err := topoIntParam(s, "cols", int(math.Ceil(math.Sqrt(float64(s.N)))))
+			if err != nil {
+				return nil, err
+			}
+			if cols > s.N {
+				return nil, fmt.Errorf("scenario: grid needs cols <= n, got cols=%d n=%d", cols, s.N)
+			}
+			return topology.Grid(s.N, cols, linkDelay), nil
+		})
+	Topologies.Register(string(TopoSmallWorld),
+		"Watts–Strogatz rewired lattice; params: k per side (default 2), beta rewiring probability (default 0.2)",
+		func(s *Spec, rng *xrand.PCG, linkDelay, _ float64) (*topology.Graph, error) {
+			k, err := topoIntParam(s, "k", 2)
+			if err != nil {
+				return nil, err
+			}
+			if 2*k >= s.N {
+				return nil, fmt.Errorf("scenario: smallworld needs 2k < n, got k=%d n=%d", k, s.N)
+			}
+			beta := topoParam(s, "beta", 0.2)
+			if beta < 0 || beta > 1 {
+				return nil, fmt.Errorf("scenario: smallworld beta must be in [0,1], got %v", beta)
+			}
+			return topology.WattsStrogatz(rng, s.N, k, beta, linkDelay), nil
+		})
+	Topologies.Register(string(TopoScaleFree),
+		"Barabási–Albert preferential attachment; params: m links per arrival (default 2)",
+		func(s *Spec, rng *xrand.PCG, linkDelay, _ float64) (*topology.Graph, error) {
+			m, err := topoIntParam(s, "m", 2)
+			if err != nil {
+				return nil, err
+			}
+			if s.N < m+1 {
+				return nil, fmt.Errorf("scenario: scalefree needs n >= m+1, got m=%d n=%d", m, s.N)
+			}
+			return topology.BarabasiAlbert(rng, s.N, m, linkDelay), nil
+		})
+	Topologies.Register(string(TopoTable),
+		"explicit link table from the spec's topology_table rows ([from, to] or [from, to, latency-in-Δ])",
+		func(s *Spec, _ *xrand.PCG, _, delta float64) (*topology.Graph, error) {
+			if len(s.TopologyTable) == 0 {
+				return nil, fmt.Errorf("scenario: topology %q needs topology_table rows", TopoTable)
+			}
+			links, err := topology.TableLinks(s.TopologyTable)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			for i := range links {
+				links[i].Lat *= delta
+			}
+			g, err := topology.FromTable(s.N, links)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			return g, nil
+		})
+}

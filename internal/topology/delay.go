@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// DelayKind selects the per-transmission delay distribution applied to a
+// link's base latency.
+type DelayKind uint8
+
+// Delay distributions. All are mean-preserving around the base latency,
+// so sweeping the distribution isolates the effect of *variance shape*
+// from the effect of rate: fixed has none, uniform a bounded spread, and
+// long-tail a Pareto tail whose rare stragglers model congestion spikes.
+const (
+	// DelayFixed delivers in exactly the base latency (no draw).
+	DelayFixed DelayKind = iota
+	// DelayUniform draws uniformly in [base·(1−j), base·(1+j)].
+	DelayUniform
+	// DelayLongTail mixes the base with a Pareto(α=2) factor: mean base,
+	// infinite variance, tail P(delay > x) ~ x⁻². Samples are truncated
+	// at 100× base so a single straggler cannot stall a finite run.
+	DelayLongTail
+)
+
+// String returns the registry name of the kind.
+func (k DelayKind) String() string {
+	switch k {
+	case DelayFixed:
+		return "fixed"
+	case DelayUniform:
+		return "uniform"
+	case DelayLongTail:
+		return "longtail"
+	}
+	return fmt.Sprintf("DelayKind(%d)", uint8(k))
+}
+
+// DelayKinds enumerates the registered distribution names in order.
+func DelayKinds() []string { return []string{"fixed", "uniform", "longtail"} }
+
+// ParseDelayKind resolves a distribution name; "" means fixed.
+func ParseDelayKind(name string) (DelayKind, error) {
+	switch name {
+	case "", "fixed":
+		return DelayFixed, nil
+	case "uniform":
+		return DelayUniform, nil
+	case "longtail":
+		return DelayLongTail, nil
+	}
+	return 0, fmt.Errorf("topology: unknown delay distribution %q (have %s)",
+		name, "fixed | uniform | longtail")
+}
+
+// DelayModel is one per-link delay distribution: a kind and its jitter
+// fraction. The zero value is the fixed distribution.
+type DelayModel struct {
+	Kind DelayKind
+	// Jitter is the spread as a fraction of the base latency in [0, 1];
+	// 0 means the kind's default (0.5). Ignored by DelayFixed.
+	Jitter float64
+}
+
+// longTailCap truncates Pareto samples (in units of the minimum) so one
+// straggler cannot stall a finite-horizon run.
+const longTailCap = 100.0
+
+// jitter returns the effective spread fraction.
+func (d DelayModel) jitter() float64 {
+	if d.Jitter == 0 {
+		return 0.5
+	}
+	return d.Jitter
+}
+
+// Sample draws one transmission delay for a link with the given base
+// latency. Fixed consumes no randomness; uniform and long-tail consume
+// exactly one draw, so the rng stream advance is a pure function of the
+// transmission count.
+func (d DelayModel) Sample(base float64, rng *xrand.PCG) float64 {
+	switch d.Kind {
+	case DelayUniform:
+		j := d.jitter()
+		return base * (1 - j + 2*j*rng.Float64())
+	case DelayLongTail:
+		// X = (1−U)^{−1/2} is Pareto(α=2) with minimum 1 and mean 2;
+		// base·((1−j) + j·X/2) has mean exactly base.
+		j := d.jitter()
+		x := 1 / math.Sqrt(1-rng.Float64())
+		if x > longTailCap {
+			x = longTailCap
+		}
+		return base * (1 - j + j*x/2)
+	default:
+		return base
+	}
+}
