@@ -1,5 +1,5 @@
 // Package repro_test holds the repository-level benchmark harness: one
-// benchmark per experiment (E1–E22, see DESIGN.md's index), each of which
+// benchmark per experiment (E1–E23, see DESIGN.md's index), each of which
 // regenerates its experiment's tables — the same rows `amexp -e <id>`
 // prints — plus the single-line JSON record the same Result serializes
 // to, and reports the experiment's key figure as a custom metric.
@@ -29,6 +29,7 @@ import (
 	"repro/internal/msgnet"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -257,6 +258,11 @@ func BenchmarkE22_TopologySeparation(b *testing.B) {
 	b.ReportMetric(dag-chain, "dag-minus-chain-validity-sparsest")
 }
 
+func BenchmarkE23_BoundedMemory(b *testing.B) {
+	tables := runExperiment(b, "E23", 8)
+	b.ReportMetric(cellValue(b, tables[0].Rows[0][3]), "horizon-over-live-hw")
+}
+
 // --- substrate micro-benchmarks ---
 
 func BenchmarkAppendMemoryAppend(b *testing.B) {
@@ -425,6 +431,65 @@ func BenchmarkGossipFlood(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWindowedMemory1M drives a million-step horizon through a
+// bounded memory with a trailing 4096-id retirement window — the
+// acceptance bar for the bounded-memory layer. The reported metric is the
+// horizon length over the peak live-message count (≥10× required; in
+// practice >100×); B/op shows the slab pool recycling retired chunks
+// instead of growing the heap with the horizon.
+func BenchmarkWindowedMemory1M(b *testing.B) {
+	const steps, window, stride = 1 << 20, 4096, 1024
+	b.ReportAllocs()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		m := appendmem.NewBounded(8, window/8)
+		parent := appendmem.None
+		parents := []appendmem.MsgID{parent}
+		for j := 0; j < steps; j++ {
+			parents[0] = parent
+			parent = m.Writer(appendmem.NodeID(j&7)).MustAppend(1, 0, parents).ID
+			if (j+1)%stride == 0 {
+				if floor := m.Len() - window; floor > 0 {
+					m.Retire(floor)
+				}
+			}
+		}
+		ratio = float64(steps) / float64(m.LiveHighWater())
+	}
+	b.ReportMetric(ratio, "horizon-over-live-hw")
+}
+
+// confirmSweepSpec is the shared spec of the checkpoint wall-clock pair:
+// a confirmation-depth sweep whose per-point cost is dominated by the
+// shared pre-decision prefix (k=81), the axis checkpointing converts from
+// re-simulated to restored.
+func confirmSweepSpec(checkpoint bool) scenario.Spec {
+	return scenario.Spec{
+		Protocol: scenario.Dag, N: 10, T: 3, Crashes: 1,
+		Lambda: 1, K: 81, Attack: scenario.AttackFlip,
+		Seed: 1, Trials: 6, Checkpoint: checkpoint,
+		Metrics: []string{"ok", "decide-time"},
+		Sweep: []scenario.Axis{{Name: "confirm", Values: []scenario.Value{
+			{Num: 0}, {Num: 2}, {Num: 4}, {Num: 6}, {Num: 8}}}},
+	}
+}
+
+func benchConfirmSweep(b *testing.B, checkpoint bool) {
+	spec := confirmSweepSpec(checkpoint)
+	for i := 0; i < b.N; i++ {
+		res := scenario.MustRunSpec(spec, scenario.Options{})
+		if len(res.Points) != 5 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// The pair's ns/op difference is the wall clock checkpoint prefix reuse
+// saves on a confirm-axis sweep (the metrics themselves are identical —
+// experiment E23b pins that).
+func BenchmarkConfirmSweepScratch(b *testing.B)      { benchConfirmSweep(b, false) }
+func BenchmarkConfirmSweepCheckpointed(b *testing.B) { benchConfirmSweep(b, true) }
 
 // stepHistory builds a protocol-shaped history of the given size: honest
 // blocks extend the current structure while a minority keeps forking, the

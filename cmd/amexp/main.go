@@ -146,7 +146,11 @@ func run() int {
 	// text/md streams below are byte-identical to a serial run.
 	experiments.RunStream(selected, opts, func(r *experiments.Result) {
 		if *timing {
-			fmt.Fprintf(os.Stderr, "amexp: %-4s %v\n", r.ID, r.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "amexp: %-4s %v", r.ID, r.Elapsed.Round(time.Millisecond))
+			if r.Reuse != nil {
+				fmt.Fprintf(os.Stderr, "  checkpoints captured=%d resumed=%d", r.Reuse.Captured, r.Reuse.Resumed)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 		switch *format {
 		case "text", "md":

@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/appendmem"
 	"repro/internal/experiments"
@@ -73,8 +74,11 @@ func main() {
 		stallAt  = flag.Int("stall-at", 0, "inject async blackout once memory reaches this size (0 = off)")
 		stallFor = flag.Float64("stall-for", 0, "blackout duration in Δ (0 = default 8)")
 		adm      = flag.Float64("async-delay-max", 0, "honest token-to-append delay bound in Δ (0 = off)")
+		window   = flag.Int("window", 0, "bounded-memory horizon: retire message prefixes older than this many ids below every reachability floor (0 = unbounded)")
+		checkpt  = flag.Bool("checkpoint", false, "snapshot each trial at first decision and reuse the prefix across confirm-sweep points")
 		verbose  = flag.Bool("v", false, "print per-node decisions")
 		traceN   = flag.Int("trace", 0, "print the last N trace events of the run")
+		timing   = flag.Bool("timing", false, "report sweep wall clock and checkpoint prefix reuse on stderr")
 
 		list     = flag.Bool("list", false, "enumerate the registries (protocols, tie-breaks, pivots, attacks, access models, metrics, sweep axes) and exit")
 		specPath = flag.String("spec", "", "run a JSON scenario spec (explicitly-set flags override its fields)")
@@ -125,6 +129,7 @@ func main() {
 		LinkDelay:      *linkDel, LinkJitter: *linkJit, DelayDist: *delayD,
 		StallAtSize: *stallAt, StallFor: *stallFor,
 		AsyncDelayMax: *adm,
+		Window:        *window, Checkpoint: *checkpt,
 	}
 	if *rr {
 		spec.Access = scenario.AccessRoundRobin
@@ -152,7 +157,7 @@ func main() {
 	// A spec file, a sweep or an explicit metric set selects table mode;
 	// bare flag runs keep the classic single-run / trials output.
 	if *specPath != "" || len(spec.Sweep) > 0 || len(spec.Metrics) > 0 {
-		runSweep(spec, *workers, *format, *out)
+		runSweep(spec, *workers, *format, *out, *timing)
 		return
 	}
 
@@ -248,16 +253,28 @@ func overrideSpec(dst *scenario.Spec, flags scenario.Spec) {
 			dst.StallFor = flags.StallFor
 		case "async-delay-max":
 			dst.AsyncDelayMax = flags.AsyncDelayMax
+		case "window":
+			dst.Window = flags.Window
+		case "checkpoint":
+			dst.Checkpoint = flags.Checkpoint
 		}
 	})
 }
 
 // runSweep executes the spec through the scenario layer and renders the
 // point table in the requested format.
-func runSweep(spec scenario.Spec, workers int, format, out string) {
+func runSweep(spec scenario.Spec, workers int, format, out string, timing bool) {
+	start := time.Now()
 	res, err := scenario.RunSpec(spec, scenario.Options{Workers: workers})
 	if err != nil {
 		fatal(err)
+	}
+	if timing {
+		fmt.Fprintf(os.Stderr, "amrun: sweep %v", time.Since(start).Round(time.Millisecond))
+		if res.Reuse != nil {
+			fmt.Fprintf(os.Stderr, "  checkpoints captured=%d resumed=%d", res.Reuse.Captured, res.Reuse.Resumed)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	var w io.Writer = os.Stdout
 	if out != "" {

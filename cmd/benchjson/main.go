@@ -21,8 +21,11 @@
 //
 // It prints per-benchmark ns/op, B/op and allocs/op deltas and exits 1 when
 // any metric regressed by more than the threshold (a fraction: 0.3 means
-// +30%). Passing -baseline together with -o applies the same gate to a
-// freshly recorded run:
+// +30%). Candidate benchmarks with no baseline entry are reported
+// explicitly but pass by default — intentional additions should not break
+// the gate; -require-baseline turns them into failures for workflows that
+// refresh the baseline in lockstep. Passing -baseline together with -o
+// applies the same gate to a freshly recorded run:
 //
 //	go test -run='^$' -bench=. -benchmem | benchjson -o BENCH.json -baseline OLD.json
 package main
@@ -100,11 +103,12 @@ func readRecord(path string) (record, error) {
 var compareUnits = []string{"ns/op", "B/op", "allocs/op"}
 
 // compare prints the per-benchmark deltas of cur vs base and returns the
-// number of regressions: metrics whose relative increase exceeds their
-// threshold. Benchmarks present on only one side are reported but never
-// count as regressions (adding or removing a benchmark is a deliberate
-// act).
-func compare(base, cur record, threshold, timeThreshold float64) int {
+// number of regressions — metrics whose relative increase exceeds their
+// threshold — plus the number of candidate benchmarks with no baseline
+// entry. New and removed benchmarks are reported but never count as
+// regressions (adding or removing a benchmark is a deliberate act); the
+// caller decides whether missing baselines are acceptable.
+func compare(base, cur record, threshold, timeThreshold float64) (regressions, missingBaseline int) {
 	baseBy := make(map[string]benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
@@ -116,13 +120,13 @@ func compare(base, cur record, threshold, timeThreshold float64) int {
 		names = append(names, b.Name)
 	}
 
-	regressions := 0
 	fmt.Printf("%-36s %14s %14s %14s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 	for _, name := range names {
 		nb := curBy[name]
 		ob, ok := baseBy[name]
 		if !ok {
 			fmt.Printf("%-36s %s\n", name, "(new benchmark, no baseline)")
+			missingBaseline++
 			continue
 		}
 		cells := make([]string, len(compareUnits))
@@ -164,6 +168,9 @@ func compare(base, cur record, threshold, timeThreshold float64) int {
 	for _, name := range removed {
 		fmt.Printf("%-36s %s\n", name, "(removed: in baseline only)")
 	}
+	if missingBaseline > 0 {
+		fmt.Printf("benchjson: %d candidate benchmark(s) have no baseline entry\n", missingBaseline)
+	}
 	if regressions > 0 {
 		fmt.Printf("benchjson: %d metric(s) regressed past the threshold (B/op, allocs/op: %.0f%%; ns/op: %.0f%%)\n",
 			regressions, 100*threshold, 100*timeThreshold)
@@ -171,7 +178,7 @@ func compare(base, cur record, threshold, timeThreshold float64) int {
 		fmt.Printf("benchjson: no regression past the threshold (B/op, allocs/op: %.0f%%; ns/op: %.0f%%)\n",
 			100*threshold, 100*timeThreshold)
 	}
-	return regressions
+	return regressions, missingBaseline
 }
 
 func main() {
@@ -180,6 +187,7 @@ func main() {
 	compareWith := flag.String("compare", "", "compare this JSON record to -baseline without reading stdin")
 	threshold := flag.Float64("threshold", 0.25, "relative regression threshold for B/op and allocs/op (0.25 = +25%)")
 	timeThreshold := flag.Float64("time-threshold", -1, "relative regression threshold for ns/op; default 2x -threshold (wall clock is the noisy metric)")
+	requireBaseline := flag.Bool("require-baseline", false, "fail the comparison when a candidate benchmark has no baseline entry (default: report it and pass)")
 	flag.Parse()
 	if *timeThreshold < 0 {
 		*timeThreshold = 2 * *threshold
@@ -203,7 +211,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if compare(base, cur, *threshold, *timeThreshold) > 0 {
+		regressions, missing := compare(base, cur, *threshold, *timeThreshold)
+		if regressions > 0 || (*requireBaseline && missing > 0) {
 			os.Exit(1)
 		}
 		return
@@ -266,7 +275,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if compare(base, rec, *threshold, *timeThreshold) > 0 {
+		regressions, missing := compare(base, rec, *threshold, *timeThreshold)
+		if regressions > 0 || (*requireBaseline && missing > 0) {
 			os.Exit(1)
 		}
 	}

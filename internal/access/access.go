@@ -116,6 +116,7 @@ type PoissonAuthority struct {
 	seq     int
 	handle  func(Grant)
 	active  bool
+	nextAt  sim.Time
 	tick    func() // fire bound once, so scheduling a grant allocates nothing
 }
 
@@ -145,11 +146,34 @@ func (a *PoissonAuthority) Stop() { a.active = false }
 // Issued returns the number of grants handed out so far.
 func (a *PoissonAuthority) Issued() int { return a.seq }
 
+// NextAt returns the instant of the pending grant — the piece of authority
+// state a run checkpoint must capture, since the inter-arrival draw behind
+// it was already consumed from the rng.
+func (a *PoissonAuthority) NextAt() sim.Time { return a.nextAt }
+
+// ResumeAt restarts a fresh authority mid-stream: grant numbering
+// continues from seq and the pending grant fires at absolute time at. The
+// rng must be positioned exactly as at the checkpoint (the at draw is not
+// re-consumed).
+func (a *PoissonAuthority) ResumeAt(seq int, at sim.Time) {
+	if a.active {
+		return
+	}
+	a.active = true
+	a.seq = seq
+	a.nextAt = at
+	if a.tick == nil {
+		a.tick = a.fire
+	}
+	a.s.At(at, a.tick)
+}
+
 func (a *PoissonAuthority) scheduleNext() {
 	if a.tick == nil {
 		a.tick = a.fire
 	}
 	wait := sim.Time(a.rng.Exp(a.rate))
+	a.nextAt = a.s.Now() + wait
 	a.s.After(wait, a.tick)
 }
 
@@ -185,6 +209,7 @@ type RoundRobinAuthority struct {
 	seq    int
 	handle func(Grant)
 	active bool
+	nextAt sim.Time
 	tick   func() // fire bound once, so scheduling a grant allocates nothing
 }
 
@@ -212,10 +237,28 @@ func (a *RoundRobinAuthority) Stop() { a.active = false }
 // Issued returns the number of grants handed out so far.
 func (a *RoundRobinAuthority) Issued() int { return a.seq }
 
+// NextAt returns the instant of the pending grant (see PoissonAuthority).
+func (a *RoundRobinAuthority) NextAt() sim.Time { return a.nextAt }
+
+// ResumeAt restarts a fresh authority mid-stream (see PoissonAuthority).
+func (a *RoundRobinAuthority) ResumeAt(seq int, at sim.Time) {
+	if a.active {
+		return
+	}
+	a.active = true
+	a.seq = seq
+	a.nextAt = at
+	if a.tick == nil {
+		a.tick = a.fire
+	}
+	a.s.At(at, a.tick)
+}
+
 func (a *RoundRobinAuthority) scheduleNext() {
 	if a.tick == nil {
 		a.tick = a.fire
 	}
+	a.nextAt = a.s.Now() + a.gap
 	a.s.After(a.gap, a.tick)
 }
 

@@ -162,6 +162,28 @@ type RandomizedConfig struct {
 	// crash and blackout of the run (see internal/trace). Nil disables
 	// tracing with no overhead.
 	Trace *trace.Recorder
+
+	// Window > 0 runs the memory in windowed (bounded-live) mode: every Δ
+	// the harness computes the reachability watermark — the minimum
+	// ViewFloor over all still-appending parties, keeping at least Window
+	// messages live — compacts every party's index to it, and retires the
+	// memory chunks below it back to the slab pool. Decisions are
+	// unchanged; reads below the watermark panic. Requires the rule and
+	// the adversary to implement WindowedRule/WindowedAdversary, and is
+	// incompatible with Topology, AsyncDelayMax, StallAtSize and
+	// checkpointing. 0 keeps the unbounded memory, byte for byte.
+	Window int
+
+	// CheckpointSink, when non-nil, receives the run's Checkpoint captured
+	// immediately before the first decision commits (never called when no
+	// node decides). ResumeFrom, when non-nil, fast-forwards the run from
+	// such a checkpoint instead of simulating the shared prefix — valid
+	// only when this run is guaranteed identical to the capturing run up
+	// to the capture instant (e.g. the same spec with a deeper
+	// confirmation). Both are incompatible with Topology, AsyncDelayMax,
+	// StallAtSize, Trace and Window.
+	CheckpointSink func(*Checkpoint)
+	ResumeFrom     *Checkpoint
 }
 
 func (c *RandomizedConfig) fill() error {
@@ -208,6 +230,26 @@ func (c *RandomizedConfig) fill() error {
 		}
 		if !c.Topology.Connected() {
 			return fmt.Errorf("agreement: topology is disconnected")
+		}
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("agreement: negative window %d", c.Window)
+	}
+	checkpointing := c.CheckpointSink != nil || c.ResumeFrom != nil
+	if c.Window > 0 || checkpointing {
+		if c.Topology != nil || c.AsyncDelayMax > 0 || c.StallAtSize > 0 {
+			return fmt.Errorf("agreement: window/checkpoint modes require the default timing model (no topology, async delays or stalls)")
+		}
+	}
+	if c.Window > 0 && checkpointing {
+		return fmt.Errorf("agreement: window and checkpointing are mutually exclusive (a windowed memory cannot be cloned)")
+	}
+	if checkpointing && c.Trace.Enabled() {
+		return fmt.Errorf("agreement: checkpointing is incompatible with tracing")
+	}
+	if cp := c.ResumeFrom; cp != nil {
+		if len(cp.NodeRngs) != c.N || len(cp.CrashAt) != c.N || len(cp.ReadAt) != c.N || len(cp.ViewSizes) != c.N {
+			return fmt.Errorf("agreement: checkpoint captured for a different node count")
 		}
 	}
 	return nil
@@ -342,6 +384,10 @@ type Result struct {
 	// VisMeanLag is the mean propagation lag of appends over the
 	// topology (0 under the default uniform-Δ visibility).
 	VisMeanLag float64
+	// MemHighWater is the peak number of live (unretired) messages over
+	// the run — equal to TotalAppends for an unbounded memory, bounded
+	// near Cfg.Window in windowed mode.
+	MemHighWater int
 }
 
 // RunRandomized executes one protocol run and returns its Result.
@@ -365,9 +411,29 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	if cfg.Topology != nil {
 		rngVis = root.Split()
 	}
+	// Resuming: every rng stream restarts at the exact draw it had reached
+	// at capture; root's own draws (crash times, read phases) are replaced
+	// by the captured values below.
+	resume := cfg.ResumeFrom
+	if resume != nil {
+		rngAuthority = xrand.Restore(resume.AuthorityRng)
+		rngAdv = xrand.Restore(resume.AdversaryRng)
+		for i := range nodeRngs {
+			nodeRngs[i] = xrand.Restore(resume.NodeRngs[i])
+		}
+	}
 
 	s := scratch.sim
-	mem := appendmem.New(cfg.N)
+	var mem *appendmem.Memory
+	switch {
+	case resume != nil:
+		mem = resume.Mem.Clone()
+		s.StartAt(resume.Now)
+	case cfg.Window > 0:
+		mem = appendmem.NewBounded(cfg.N, windowChunk(cfg.Window))
+	default:
+		mem = appendmem.New(cfg.N)
+	}
 	roster := node.NewRoster(cfg.N, cfg.T).WithCrashes(cfg.Crashes)
 	outcome := node.NewOutcome(cfg.N)
 	result := &Result{
@@ -390,12 +456,18 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 			crashAt[i] = sim.Time(root.Float64()) * expDuration
 		}
 	}
+	if resume != nil {
+		copy(crashAt, resume.CrashAt)
+	}
 	alive := func(id appendmem.NodeID) bool { return s.Now() < crashAt[id] }
 
 	lastView := runner.Resize(scratch.lastView, cfg.N)
 	scratch.lastView = lastView
 	for i := range lastView {
 		lastView[i] = mem.ViewAt(0)
+		if resume != nil {
+			lastView[i] = mem.ViewAt(resume.ViewSizes[i])
+		}
 	}
 
 	// Topology-aware visibility: honest reads become per-node arrival
@@ -428,6 +500,34 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 		}
 	}
 
+	// Windowed mode: every party that can still append must expose a
+	// reachability floor, or no retirement bound exists.
+	var winRules []WindowedRule
+	var winAdv WindowedAdversary
+	if cfg.Window > 0 {
+		winRules = make([]WindowedRule, cfg.N)
+		for i, r := range nodeRules {
+			if r == nil {
+				continue
+			}
+			wr, ok := r.(WindowedRule)
+			if !ok {
+				return nil, fmt.Errorf("agreement: window requires a rule with reachability floors; %T has none", rule)
+			}
+			winRules[i] = wr
+		}
+		if cfg.T > 0 {
+			wa, ok := adv.(WindowedAdversary)
+			if !ok {
+				return nil, fmt.Errorf("agreement: window requires an adversary with reachability floors; %T has none", adv)
+			}
+			winAdv = wa
+		}
+	}
+	if resume != nil {
+		result.Grants = resume.Grants
+	}
+
 	// Only non-crash correct nodes are expected to decide; crash nodes may
 	// stop at any time and are excluded from the consensus properties.
 	undecided := len(roster.Correct())
@@ -444,6 +544,49 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 
 	env := &Env{Sim: s, Mem: mem, Roster: roster, Cfg: cfg, Rng: rngAdv, Inputs: cfg.Inputs}
 	adv.Init(env)
+
+	// Windowed retirement: every Δ, take the minimum reachability floor
+	// over the parties that can still append (decided and dead nodes never
+	// append again), keep at least Window messages live, compact every
+	// index to the watermark and retire the memory below it. Consumes no
+	// randomness and registers no events unless Window > 0, so the default
+	// path is untouched.
+	if cfg.Window > 0 {
+		var retire func()
+		retire = func() {
+			if done {
+				return
+			}
+			w := mem.Len() - cfg.Window
+			for i := 0; i < cfg.N && w > mem.Watermark(); i++ {
+				id := appendmem.NodeID(i)
+				if winRules[i] == nil || !alive(id) || outcome.Decided[id] {
+					continue
+				}
+				if f := winRules[i].ViewFloor(); f < w {
+					w = f
+				}
+			}
+			if winAdv != nil && w > mem.Watermark() {
+				if f := winAdv.ViewFloor(); f < w {
+					w = f
+				}
+			}
+			if w > mem.Watermark() {
+				for _, wr := range winRules {
+					if wr != nil {
+						wr.CompactTo(w)
+					}
+				}
+				if winAdv != nil {
+					winAdv.CompactTo(w)
+				}
+				mem.Retire(w)
+			}
+			s.After(sim.Time(cfg.Delta), retire)
+		}
+		s.After(sim.Time(cfg.Delta), retire)
+	}
 
 	// Temporal-asynchrony injection (§5.3 discussion): honest view
 	// refreshes blackout for StallFor·Δ once the memory reaches
@@ -535,6 +678,9 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	type authorityIface interface {
 		Start()
 		Stop()
+		Issued() int
+		NextAt() sim.Time
+		ResumeAt(seq int, at sim.Time)
 	}
 	var authority authorityIface
 	switch {
@@ -544,6 +690,37 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 		authority = access.NewRoundRobinAuthority(s, cfg.N, cfg.Lambda, cfg.Delta, onGrant)
 	default:
 		authority = access.NewPoissonAuthority(s, rngAuthority, cfg.N, cfg.Lambda, cfg.Delta, onGrant)
+	}
+
+	// Checkpoint capture, armed until the first decision. The snapshot is
+	// taken inside the deciding node's read event but represents the state
+	// just before it fired: the node's rng is captured pre-Decide (the
+	// resumed run replays the event, re-consuming those draws), its
+	// pending read is still at the event's own instant, and no decision
+	// has been recorded anywhere.
+	armCheckpoint := cfg.CheckpointSink != nil
+	capture := func(id appendmem.NodeID, pre xrand.State) *Checkpoint {
+		cp := &Checkpoint{
+			Mem:          mem.Clone(),
+			Now:          s.Now(),
+			Grants:       result.Grants,
+			AuthoritySeq: authority.Issued(),
+			AuthorityAt:  authority.NextAt(),
+			AuthorityRng: rngAuthority.State(),
+			AdversaryRng: rngAdv.State(),
+			NodeRngs:     make([]xrand.State, cfg.N),
+			CrashAt:      append([]sim.Time(nil), crashAt...),
+			ReadAt:       append([]sim.Time(nil), scratch.readAt...),
+			ViewSizes:    make([]int, cfg.N),
+		}
+		for i := range nodeRngs {
+			cp.NodeRngs[i] = nodeRngs[i].State()
+		}
+		cp.NodeRngs[id] = pre
+		for i := range lastView {
+			cp.ViewSizes[i] = lastView[i].Size()
+		}
+		return cp
 	}
 
 	// Per-node read schedule: refresh view and attempt decision every Δ at
@@ -572,7 +749,15 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 			lastView[id] = readView(id)
 			cfg.Trace.Record(trace.Event{At: s.Now(), Kind: trace.Read, Node: id})
 			if !outcome.Decided[id] {
+				var preDecide xrand.State
+				if armCheckpoint {
+					preDecide = nodeRngs[id].State()
+				}
 				if v, ok := nodeRules[id].Decide(lastView[id], cfg.K, nodeRngs[id]); ok {
+					if armCheckpoint {
+						armCheckpoint = false
+						cfg.CheckpointSink(capture(id, preDecide))
+					}
 					outcome.Decide(id, v)
 					result.DecideTime[id] = s.Now()
 					result.DecideViewSize[id] = lastView[id].Size()
@@ -595,11 +780,25 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 		if roster.IsByzantine(id) {
 			continue
 		}
-		readAt[id] = sim.Time(root.Float64() * cfg.Delta)
+		if resume != nil {
+			// Re-register each node's pending read at its captured instant.
+			// A node that crashed before the capture had already dropped
+			// out of the read loop; leave it out.
+			if !alive(id) {
+				continue
+			}
+			readAt[id] = resume.ReadAt[id]
+		} else {
+			readAt[id] = sim.Time(root.Float64() * cfg.Delta)
+		}
 		s.At(readAt[id], readFns[id])
 	}
 
-	authority.Start()
+	if resume != nil {
+		authority.ResumeAt(resume.AuthoritySeq, resume.AuthorityAt)
+	} else {
+		authority.Start()
+	}
 	s.Run()
 	authority.Stop()
 
@@ -607,11 +806,15 @@ func RunRandomized(cfg RandomizedConfig, rule HonestRule, adv Adversary) (*Resul
 	result.Mem = mem
 	result.Duration = s.Now()
 	result.TotalAppends = mem.Len()
-	for _, msg := range result.FinalView.Messages() {
-		if roster.IsByzantine(msg.Author) {
-			result.ByzAppends++
+	result.MemHighWater = mem.LiveHighWater()
+	// Per-author counts come from the register lengths — identical to
+	// scanning the messages, but valid over a windowed memory too.
+	for i := 0; i < cfg.N; i++ {
+		id := appendmem.NodeID(i)
+		if roster.IsByzantine(id) {
+			result.ByzAppends += mem.RegisterLen(id)
 		} else {
-			result.CorrectAppends++
+			result.CorrectAppends += mem.RegisterLen(id)
 		}
 	}
 	if vis != nil {

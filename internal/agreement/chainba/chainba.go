@@ -86,3 +86,48 @@ func (r Rule) Decide(view appendmem.View, k int, rng *xrand.PCG) (int64, bool) {
 	tip := r.TB.Pick(tips, view, rng)
 	return node.SumSign(t.PrefixValues(tip, k)), true
 }
+
+// ViewFloor implements agreement.WindowedRule: the smallest id this node's
+// future appends or index extensions can reach, over both cached indexes.
+// Zero for the stateless shared rule, which caches nothing.
+func (r Rule) ViewFloor() int {
+	if r.app == nil || r.dec == nil {
+		return 0
+	}
+	f := r.app.Floor()
+	if d := r.dec.Floor(); d < f {
+		f = d
+	}
+	return f
+}
+
+// CompactTo implements agreement.WindowedRule by compacting both cached
+// indexes; the watermark achieved is the smaller of the two.
+func (r Rule) CompactTo(w int) int {
+	if r.app == nil || r.dec == nil {
+		return 0
+	}
+	wa, wd := r.app.CompactTo(w), r.dec.CompactTo(w)
+	if wd < wa {
+		wa = wd
+	}
+	return wa
+}
+
+// AppendFloor implements agreement.AppendWindowed: the floor of the
+// append-side cache alone, for consumers (the fresh-reading adversary)
+// that never exercise the decision path.
+func (r Rule) AppendFloor() int {
+	if r.app == nil {
+		return 0
+	}
+	return r.app.Floor()
+}
+
+// CompactAppendTo implements agreement.AppendWindowed.
+func (r Rule) CompactAppendTo(w int) int {
+	if r.app == nil {
+		return 0
+	}
+	return r.app.CompactTo(w)
+}

@@ -1,0 +1,120 @@
+// Bounded-memory execution: windowed retirement of the append memory and
+// pre-decision trial checkpoints. Both are opt-in; with the Window,
+// CheckpointSink and ResumeFrom knobs at their zero values RunRandomized
+// consumes randomness and schedules events in exactly the historical
+// order, byte for byte.
+package agreement
+
+import (
+	"math"
+
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// WindowedRule is implemented by per-node rule instances that can bound
+// and retire their reachable prefix. ViewFloor returns the smallest id the
+// node's future appends or index extensions can touch (min of the cached
+// indexes' built sizes and tip floors — both monotone, so a floor once
+// reported stays safe). CompactTo retires index state below w, returning
+// the watermark achieved (indexes may decline conservatively).
+//
+// The harness retires memory chunks only below the minimum floor over all
+// appending parties, so a rule that never implements this simply disables
+// windowed mode for its protocol.
+type WindowedRule interface {
+	ViewFloor() int
+	CompactTo(w int) int
+}
+
+// WindowedAdversary is the adversary-side counterpart of WindowedRule.
+type WindowedAdversary interface {
+	ViewFloor() int
+	CompactTo(w int)
+}
+
+// AppendWindowed is optionally implemented by rules whose append path
+// bounds its reachable prefix independently of the decision path. A
+// fresh-reading adversary (ValueFlip) drives only Append, so its floor is
+// the append-side floor alone — the decision-side cache it never touches
+// would otherwise pin the combined ViewFloor at 0 and disable retirement.
+type AppendWindowed interface {
+	AppendFloor() int
+	CompactAppendTo(w int) int
+}
+
+// ViewFloor implements WindowedAdversary: a silent adversary never reads
+// or appends, so it bounds nothing.
+func (Silent) ViewFloor() int { return math.MaxInt }
+
+// CompactTo implements WindowedAdversary.
+func (Silent) CompactTo(int) {}
+
+// ViewFloor implements WindowedAdversary by delegating to the flip rule's
+// append-side cache: the adversary reads fresh and never decides.
+func (a *ValueFlip) ViewFloor() int {
+	if aw, ok := a.rule.(AppendWindowed); ok {
+		return aw.AppendFloor()
+	}
+	if wr, ok := a.rule.(WindowedRule); ok {
+		return wr.ViewFloor()
+	}
+	return 0
+}
+
+// CompactTo implements WindowedAdversary.
+func (a *ValueFlip) CompactTo(w int) {
+	if aw, ok := a.rule.(AppendWindowed); ok {
+		aw.CompactAppendTo(w)
+		return
+	}
+	if wr, ok := a.rule.(WindowedRule); ok {
+		wr.CompactTo(w)
+	}
+}
+
+// windowChunk sizes the fixed slab chunks of a windowed memory: an eighth
+// of the window (clamped) so retirement reclaims in steps much smaller
+// than the live window itself.
+func windowChunk(window int) int {
+	c := window / 8
+	if c < 64 {
+		c = 64
+	}
+	if c > 4096 {
+		c = 4096
+	}
+	return c
+}
+
+// Checkpoint is a resumable snapshot of a run, captured immediately before
+// the first decision commits: the cloned memory, the virtual clock, the
+// authority's pending grant, and the position of every rng stream. At that
+// instant no node has decided, so two runs differing only in confirmation
+// depth (or any knob that can only postpone decisions) have evolved
+// identically — resuming the deeper run from the shallower run's
+// checkpoint replays the exact suffix a from-scratch run would produce,
+// skipping the shared prefix.
+//
+// A Checkpoint is immutable after capture: every resume clones the memory
+// again, so one checkpoint serves many sweep points, concurrently.
+type Checkpoint struct {
+	Mem    *appendmem.Memory
+	Now    sim.Time
+	Grants int
+
+	// AuthoritySeq and AuthorityAt restart grant numbering and the pending
+	// grant instant; the inter-arrival draw behind AuthorityAt was already
+	// consumed, which is why the authority rng state alone is not enough.
+	AuthoritySeq int
+	AuthorityAt  sim.Time
+
+	AuthorityRng xrand.State
+	AdversaryRng xrand.State
+	NodeRngs     []xrand.State
+
+	CrashAt   []sim.Time
+	ReadAt    []sim.Time
+	ViewSizes []int
+}

@@ -33,7 +33,7 @@ func TestViewEachNoAllocs(t *testing.T) {
 	m := New(4)
 	parents := []MsgID{None}
 	for i := 0; i < 200; i++ {
-		msg := m.Writer(NodeID(i % 4)).MustAppend(int64(i), 0, parents)
+		msg := m.Writer(NodeID(i%4)).MustAppend(int64(i), 0, parents)
 		parents[0] = msg.ID
 	}
 	v := m.Read()

@@ -32,6 +32,20 @@
 // boundary crossed — performs zero heap allocations; boundary crossings
 // amortize to one allocation per chunkSize messages.
 //
+// # Windowed mode
+//
+// Long-horizon runs only ever reach a bounded suffix of the memory, so the
+// harness can retire the unreachable prefix: Retire(w) advances a watermark
+// and hands fully-retired chunks back to the Memory's slab free list, where
+// the next append reuses them. NewBounded selects a fixed chunk geometry so
+// reclamation granularity stays proportional to the live window instead of
+// the doubling chunks' half-of-history tail. Views, Each and Diff remain
+// valid over the live window [watermark, size); any read below the
+// watermark panics — retirement is driven by reachability proofs in the
+// substrate indexes, so such a read is a protocol bug, never a modelled
+// fault. LiveHighWater reports the peak live-message count, the memory
+// high-water stat of windowed runs.
+//
 // A Memory is not safe for concurrent use; the deterministic simulator
 // drives each run from a single goroutine, and parallel trials use disjoint
 // Memory instances.
@@ -96,10 +110,20 @@ func chunkOf(id MsgID) (int, int) {
 type Memory struct {
 	n       int
 	size    int         // total messages appended; the next MsgID
-	chunks  [][]Message // arrival order; message id lives in chunks[id>>chunkShift][id&chunkMask]
-	regs    [][]MsgID   // per-author registers, in author order
+	chunks  [][]Message // arrival order; retired chunks are nil
+	regs    [][]MsgID   // per-author registers, live suffix only
 	writers []Writer
 	arena   []MsgID // current parent-reference arena block
+
+	// Windowed-mode state. fixedShift selects fixed 1<<fixedShift chunks
+	// (0 keeps the default doubling geometry); watermark is the first live
+	// id; regOff counts each author's retired messages; free is the slab
+	// pool of retired chunks awaiting reuse.
+	fixedShift int
+	watermark  int
+	regOff     []int
+	liveHW     int
+	free       [][]Message
 }
 
 // New creates an append memory for n nodes. It panics when n <= 0.
@@ -114,15 +138,55 @@ func New(n int) *Memory {
 	return m
 }
 
+// NewBounded creates an append memory whose chunks hold a fixed chunkSize
+// messages (rounded up to a power of two, at least baseChunk) instead of
+// doubling. Fixed geometry is what makes Retire effective: a doubling
+// memory's newest chunk spans half its history and so can never be
+// reclaimed while the run is live. chunkSize should be a small fraction
+// of the intended live window.
+func NewBounded(n, chunkSize int) *Memory {
+	m := New(n)
+	if chunkSize < baseChunk {
+		chunkSize = baseChunk
+	}
+	m.fixedShift = bits.Len64(uint64(chunkSize - 1))
+	return m
+}
+
 // NumNodes returns n.
 func (m *Memory) NumNodes() int { return m.n }
 
 // Len returns the total number of messages appended so far.
 func (m *Memory) Len() int { return m.size }
 
+// Watermark returns the first live id: messages below it have been retired
+// and reading them panics. 0 until the first Retire.
+func (m *Memory) Watermark() int { return m.watermark }
+
+// Live returns the number of live (unretired) messages.
+func (m *Memory) Live() int { return m.size - m.watermark }
+
+// LiveHighWater returns the peak live-message count over the run so far —
+// the memory high-water stat. Without Retire it equals Len.
+func (m *Memory) LiveHighWater() int {
+	if m.size-m.watermark > m.liveHW {
+		return m.size - m.watermark
+	}
+	return m.liveHW
+}
+
+// chunkIndex maps a message id to its (chunk index, offset) under the
+// memory's geometry.
+func (m *Memory) chunkIndex(id MsgID) (int, int) {
+	if m.fixedShift > 0 {
+		return int(id) >> m.fixedShift, int(id) & (1<<m.fixedShift - 1)
+	}
+	return chunkOf(id)
+}
+
 // msg returns the message with a valid id. Callers check the range.
 func (m *Memory) msg(id MsgID) *Message {
-	ci, off := chunkOf(id)
+	ci, off := m.chunkIndex(id)
 	return &m.chunks[ci][off]
 }
 
@@ -137,10 +201,15 @@ func (m *Memory) Writer(id NodeID) *Writer {
 }
 
 // Message returns the message with the given id, or nil when the id is
-// invalid or None.
+// invalid or None. It panics when the id has been retired below the
+// watermark: windowed retirement only drops ids the protocol proved
+// unreachable, so such a read is a bug, not a miss.
 func (m *Memory) Message(id MsgID) *Message {
 	if id < 0 || int(id) >= m.size {
 		return nil
+	}
+	if int(id) < m.watermark {
+		panic(fmt.Sprintf("appendmem: read of id %d below watermark %d", id, m.watermark))
 	}
 	return m.msg(id)
 }
@@ -159,8 +228,9 @@ func (m *Memory) ViewAt(size int) View {
 	return View{mem: m, size: size}
 }
 
-// Register returns the ids of node id's messages in append order — the
-// contents of register R_id. The returned slice is a copy.
+// Register returns the ids of node id's live messages in append order —
+// the contents of register R_id, minus any retired prefix. The returned
+// slice is a copy.
 func (m *Memory) Register(id NodeID) []MsgID {
 	if id < 0 || int(id) >= m.n {
 		panic(fmt.Sprintf("appendmem: Register(%d) out of range [0,%d)", id, m.n))
@@ -168,11 +238,29 @@ func (m *Memory) Register(id NodeID) []MsgID {
 	return append([]MsgID(nil), m.regs[id]...)
 }
 
+// RegisterLen returns the total number of messages node id has appended,
+// including any retired below the watermark — register lengths survive
+// retirement even though the retired contents do not.
+func (m *Memory) RegisterLen(id NodeID) int {
+	if id < 0 || int(id) >= m.n {
+		panic(fmt.Sprintf("appendmem: RegisterLen(%d) out of range [0,%d)", id, m.n))
+	}
+	n := len(m.regs[id])
+	if m.regOff != nil {
+		n += m.regOff[id]
+	}
+	return n
+}
+
 // Timestamps exposes the global arrival order of all messages. This models
 // the central authority of Section 5.1 that stamps every append; only the
 // timestamp baseline protocol (Algorithm 4) may use it. The returned slice
-// is a copy in arrival order.
+// is a copy in arrival order. It panics on a windowed memory that has
+// retired messages: the timestamp authority needs the full history.
 func (m *Memory) Timestamps() []MsgID {
+	if m.watermark > 0 {
+		panic("appendmem: Timestamps below watermark")
+	}
 	ids := make([]MsgID, m.size)
 	for i := range ids {
 		ids[i] = MsgID(i)
@@ -180,11 +268,98 @@ func (m *Memory) Timestamps() []MsgID {
 	return ids
 }
 
+// Retire advances the watermark to w, invalidating every message with id
+// below it. Chunks that fall entirely below the watermark are zeroed (so
+// the arena blocks their parent spans pin become collectable) and pushed
+// onto the slab free list for reuse by later appends. Retirement is
+// monotone; a watermark at or below the current one is a no-op. It panics
+// when w exceeds Len. The caller is responsible for proving nothing will
+// read below w — see agreement's windowed mode.
+func (m *Memory) Retire(w int) {
+	if w > m.size {
+		panic(fmt.Sprintf("appendmem: Retire(%d) beyond Len %d", w, m.size))
+	}
+	if w <= m.watermark {
+		return
+	}
+	if live := m.size - m.watermark; live > m.liveHW {
+		m.liveHW = live
+	}
+	// Free chunks whose id range sits entirely below the new watermark:
+	// everything strictly before the chunk containing w. That chunk itself
+	// holds w (the first live id) and survives even when w is its first
+	// slot — it is fully live, not fully retired.
+	lastCi, _ := m.chunkIndex(MsgID(m.watermark))
+	ci, _ := m.chunkIndex(MsgID(w))
+	for ; lastCi < ci && lastCi < len(m.chunks); lastCi++ {
+		c := m.chunks[lastCi]
+		if c == nil {
+			continue
+		}
+		for i := range c {
+			c[i] = Message{}
+		}
+		if m.fixedShift > 0 {
+			m.free = append(m.free, c[:0])
+		}
+		m.chunks[lastCi] = nil
+	}
+	// Drop the retired prefix of each register in place: shifting the live
+	// suffix to the front keeps the backing array bounded by the peak live
+	// register length instead of growing with the full history.
+	if m.regOff == nil {
+		m.regOff = make([]int, m.n)
+	}
+	for a := range m.regs {
+		reg := m.regs[a]
+		k := 0
+		for k < len(reg) && int(reg[k]) < w {
+			k++
+		}
+		if k > 0 {
+			m.regOff[a] += k
+			m.regs[a] = append(reg[:0], reg[k:]...)
+		}
+	}
+	m.watermark = w
+}
+
+// Clone returns an independent deep copy of the memory: same messages,
+// ids, registers and crash flags, disjoint storage. It replays the append
+// sequence rather than copying slabs, so parent spans land in the clone's
+// own arena. Checkpointing uses it to snapshot a trial prefix. It panics
+// on a windowed memory that has retired messages — a retired prefix
+// cannot be replayed.
+func (m *Memory) Clone() *Memory {
+	if m.watermark > 0 {
+		panic("appendmem: Clone below watermark")
+	}
+	c := New(m.n)
+	c.fixedShift = m.fixedShift
+	for id := 0; id < m.size; id++ {
+		msg := m.msg(MsgID(id))
+		c.append(msg.Author, msg.Value, msg.Round, msg.Parents)
+	}
+	for i := range m.writers {
+		c.writers[i].crashed = m.writers[i].crashed
+	}
+	return c
+}
+
 // append stores one message in the slabs and returns its stable address.
 func (m *Memory) append(author NodeID, value int64, round int, parents []MsgID) *Message {
-	ci, _ := chunkOf(MsgID(m.size))
+	ci, _ := m.chunkIndex(MsgID(m.size))
 	if ci == len(m.chunks) {
-		m.chunks = append(m.chunks, make([]Message, 0, baseChunk<<ci))
+		var c []Message
+		if n := len(m.free); n > 0 {
+			c, m.free[n-1] = m.free[n-1], nil
+			m.free = m.free[:n-1]
+		} else if m.fixedShift > 0 {
+			c = make([]Message, 0, 1<<m.fixedShift)
+		} else {
+			c = make([]Message, 0, baseChunk<<ci)
+		}
+		m.chunks = append(m.chunks, c)
 	}
 	var ps []MsgID
 	if len(parents) > 0 {
@@ -205,10 +380,14 @@ func (m *Memory) append(author NodeID, value int64, round int, parents []MsgID) 
 		m.arena = append(m.arena, parents...)
 		ps = m.arena[start:len(m.arena):len(m.arena)]
 	}
+	seq := len(m.regs[author])
+	if m.regOff != nil {
+		seq += m.regOff[author]
+	}
 	chunk := append(m.chunks[ci], Message{
 		ID:      MsgID(m.size),
 		Author:  author,
-		Seq:     len(m.regs[author]),
+		Seq:     seq,
 		Value:   value,
 		Round:   round,
 		Parents: ps,
@@ -285,12 +464,13 @@ func (v View) Empty() bool { return v.size == 0 }
 func (v View) Contains(id MsgID) bool { return id >= 0 && int(id) < v.size }
 
 // Message returns the message with the given id when it is in the view,
-// else nil.
+// else nil. Like Memory.Message it panics for ids retired below the
+// watermark.
 func (v View) Message(id MsgID) *Message {
 	if !v.Contains(id) {
 		return nil
 	}
-	return v.mem.msg(id)
+	return v.mem.Message(id)
 }
 
 // Each calls yield for every message in the view in (author, seq) order —
@@ -300,6 +480,9 @@ func (v View) Message(id MsgID) *Message {
 // visible prefix of each register is exactly the author's messages in the
 // view.
 func (v View) Each(yield func(*Message) bool) {
+	if v.size < v.mem.watermark {
+		panic(fmt.Sprintf("appendmem: Each over view of size %d below watermark %d", v.size, v.mem.watermark))
+	}
 	for _, reg := range v.mem.regs {
 		for _, id := range reg {
 			if !v.Contains(id) {
@@ -325,9 +508,12 @@ func (v View) Messages() []*Message {
 	return msgs
 }
 
-// ByAuthor returns the messages of one author inside the view, in the
-// author's register order.
+// ByAuthor returns the live messages of one author inside the view, in
+// the author's register order.
 func (v View) ByAuthor(id NodeID) []*Message {
+	if v.size < v.mem.watermark {
+		panic(fmt.Sprintf("appendmem: ByAuthor over view of size %d below watermark %d", v.size, v.mem.watermark))
+	}
 	var msgs []*Message
 	for _, mid := range v.mem.regs[id] {
 		if !v.Contains(mid) {
@@ -356,6 +542,9 @@ func (v View) ByRound(round int) []*Message {
 // Section 5.1 and must only be used by the timestamp baseline protocol
 // (Algorithm 4); chain and DAG protocols are forbidden this information.
 func (v View) ArrivalOrder() []*Message {
+	if v.mem.watermark > 0 {
+		panic("appendmem: ArrivalOrder below watermark")
+	}
 	msgs := make([]*Message, v.size)
 	for i := range msgs {
 		msgs[i] = v.mem.msg(MsgID(i))
@@ -378,6 +567,9 @@ func (v View) Diff(older View) []*Message {
 	}
 	if older.size > v.size {
 		panic("appendmem: Diff with newer 'older' view")
+	}
+	if older.size < v.mem.watermark && v.size > older.size {
+		panic(fmt.Sprintf("appendmem: Diff from view of size %d below watermark %d", older.size, v.mem.watermark))
 	}
 	msgs := make([]*Message, v.size-older.size)
 	for i := range msgs {

@@ -1,0 +1,231 @@
+// Tests for the windowed (bounded-live) memory mode: fixed-chunk geometry,
+// watermark retirement, slab reuse, and the hard panics that turn any read
+// below the watermark into a bug report instead of silent garbage.
+package appendmem
+
+import (
+	"testing"
+)
+
+// fill appends n single-author messages carrying their id as value and
+// returns the memory. chunkSize fixes the slab geometry.
+func fillBounded(t *testing.T, nodes, chunkSize, n int) *Memory {
+	t.Helper()
+	m := NewBounded(nodes, chunkSize)
+	for i := 0; i < n; i++ {
+		w := m.Writer(NodeID(i % nodes))
+		var parents []MsgID
+		if i > 0 {
+			parents = []MsgID{MsgID(i - 1)}
+		}
+		if _, err := w.Append(int64(i), 0, parents); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestRetireMidChunkKeepsLiveMessages is the regression test for the chunk
+// release boundary: a watermark in the middle of a chunk must keep that
+// whole chunk allocated — every id at or above the watermark stays
+// readable, whichever slot of its chunk it occupies.
+func TestRetireMidChunkKeepsLiveMessages(t *testing.T) {
+	const chunk = 16
+	m := fillBounded(t, 3, chunk, 100)
+	// Watermarks chosen to land mid-chunk, at chunk starts, and at chunk
+	// ends; each must leave [w, 100) fully readable.
+	for _, w := range []int{5, 17, 31, 32, 33, 47, 63, 64, 90} {
+		m.Retire(w)
+		if got := m.Watermark(); got != w {
+			t.Fatalf("watermark after Retire(%d): %d", w, got)
+		}
+		for id := w; id < 100; id++ {
+			msg := m.Message(MsgID(id))
+			if msg == nil || msg.Value != int64(id) {
+				t.Fatalf("after Retire(%d): message %d = %+v", w, id, msg)
+			}
+		}
+	}
+}
+
+func TestRetireMonotoneAndBounds(t *testing.T) {
+	m := fillBounded(t, 2, 16, 64)
+	m.Retire(40)
+	m.Retire(20) // below current watermark: no-op
+	if m.Watermark() != 40 {
+		t.Fatalf("watermark regressed to %d", m.Watermark())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retire beyond Len did not panic")
+		}
+	}()
+	m.Retire(65)
+}
+
+func TestReadBelowWatermarkPanics(t *testing.T) {
+	m := fillBounded(t, 2, 16, 64)
+	m.Retire(40)
+	for name, read := range map[string]func(){
+		"Message":    func() { m.Message(MsgID(39)) },
+		"ViewAt":     func() { m.ViewAt(30).Message(MsgID(10)) },
+		"Each":       func() { m.ViewAt(30).Each(func(*Message) bool { return true }) },
+		"ByAuthor":   func() { m.ViewAt(30).ByAuthor(0) },
+		"Timestamps": func() { m.Timestamps() },
+		"Clone":      func() { m.Clone() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s below watermark did not panic", name)
+				}
+			}()
+			read()
+		}()
+	}
+}
+
+// TestSlabReuse: retired chunks return through the free list, so a
+// windowed memory's allocated chunk count stays bounded by the live window
+// regardless of horizon.
+func TestSlabReuse(t *testing.T) {
+	const chunk = 16
+	m := NewBounded(1, chunk)
+	w := m.Writer(0)
+	for i := 0; i < 100*chunk; i++ {
+		if _, err := w.Append(int64(i), 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 4*chunk {
+			m.Retire(i - 4*chunk)
+		}
+	}
+	if hw := m.LiveHighWater(); hw > 5*chunk {
+		t.Fatalf("live high-water %d for a %d-message window", hw, 4*chunk)
+	}
+	live := 0
+	for id := m.Watermark(); id < m.Len(); id++ {
+		if m.Message(MsgID(id)).Value != int64(id) {
+			t.Fatalf("live message %d corrupted", id)
+		}
+		live++
+	}
+	if live != m.Live() {
+		t.Fatalf("Live() = %d, counted %d", m.Live(), live)
+	}
+}
+
+// TestRegistersAcrossRetirement: register lengths and sequence numbers
+// survive retirement even though the retired contents do not.
+func TestRegistersAcrossRetirement(t *testing.T) {
+	m := fillBounded(t, 3, 16, 90)
+	m.Retire(60)
+	for id := 0; id < 3; id++ {
+		if got := m.RegisterLen(NodeID(id)); got != 30 {
+			t.Fatalf("RegisterLen(%d) = %d after retirement, want 30", id, got)
+		}
+		for _, mid := range m.Register(NodeID(id)) {
+			if int(mid) < 60 {
+				t.Fatalf("Register(%d) kept retired id %d", id, mid)
+			}
+		}
+	}
+	// New appends continue the per-author sequence where it left off.
+	msg, err := m.Writer(0).Append(999, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Seq != 30 {
+		t.Fatalf("post-retirement Seq = %d, want 30", msg.Seq)
+	}
+}
+
+// TestViewOpsAcrossWatermark: views at or above the watermark keep full
+// semantics — Diff, SubsetOf and Each see exactly the live suffix.
+func TestViewOpsAcrossWatermark(t *testing.T) {
+	m := fillBounded(t, 2, 16, 80)
+	older := m.ViewAt(50)
+	newer := m.ViewAt(74)
+	m.Retire(48)
+
+	if !older.SubsetOf(newer) || newer.SubsetOf(older) {
+		t.Fatal("SubsetOf broken across watermark")
+	}
+	diff := newer.Diff(older)
+	if len(diff) != 24 {
+		t.Fatalf("Diff length %d, want 24", len(diff))
+	}
+	for i, msg := range diff {
+		if msg.ID != MsgID(50+i) {
+			t.Fatalf("diff[%d] = id %d, want %d", i, msg.ID, 50+i)
+		}
+	}
+	// Each enumerates the *live* portion of the view: registers keep only
+	// the unretired suffix, so ids below the watermark are gone — by
+	// design, a windowed consumer has proven it no longer needs them.
+	n := 0
+	older.Each(func(msg *Message) bool {
+		if int(msg.ID) < 48 {
+			t.Fatalf("Each yielded retired id %d", msg.ID)
+		}
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Fatalf("Each over live view visited %d, want 2 (ids 48,49)", n)
+	}
+
+	// Diff anchored below the watermark must refuse: the gap it would
+	// report includes retired messages.
+	m.Retire(60)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Diff from below-watermark view did not panic")
+		}
+	}()
+	newer.Diff(older)
+}
+
+// TestCloneRoundTrip: a clone replays the append sequence — same ids,
+// authors, values, parents, crash flags — into disjoint storage.
+func TestCloneRoundTrip(t *testing.T) {
+	m := New(3)
+	for i := 0; i < 40; i++ {
+		var parents []MsgID
+		if i > 2 {
+			parents = []MsgID{MsgID(i - 1), MsgID(i - 3)}
+		}
+		if _, err := m.Writer(NodeID(i%3)).Append(int64(i*7), i%4, parents); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Writer(2).Crash()
+	c := m.Clone()
+	if c.Len() != m.Len() {
+		t.Fatalf("clone length %d, want %d", c.Len(), m.Len())
+	}
+	for id := 0; id < m.Len(); id++ {
+		a, b := m.Message(MsgID(id)), c.Message(MsgID(id))
+		if a.Author != b.Author || a.Seq != b.Seq || a.Value != b.Value || a.Round != b.Round {
+			t.Fatalf("clone message %d: %+v vs %+v", id, a, b)
+		}
+		if len(a.Parents) != len(b.Parents) {
+			t.Fatalf("clone message %d parents: %v vs %v", id, a.Parents, b.Parents)
+		}
+		for j := range a.Parents {
+			if a.Parents[j] != b.Parents[j] {
+				t.Fatalf("clone message %d parents: %v vs %v", id, a.Parents, b.Parents)
+			}
+		}
+	}
+	// Divergence after the clone: independent storage.
+	if _, err := m.Writer(0).Append(1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == m.Len() {
+		t.Fatal("clone shares size with original")
+	}
+	if _, err := c.Writer(2).Append(1, 0, nil); err == nil {
+		t.Fatal("clone lost the crash flag")
+	}
+}

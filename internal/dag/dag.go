@@ -35,6 +35,7 @@
 package dag
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/appendmem"
@@ -43,22 +44,41 @@ import (
 // Dag indexes the multi-parent structure of a view. Blocks with any parent
 // reference outside the view are dangling and excluded (with the append
 // memory this needs a malformed reference, since parents always precede
-// children). All per-block data lives in slices indexed by MsgID; the
-// parent-keyed slices use index int(id)+1 so the virtual genesis
-// (appendmem.None) occupies slot 0.
+// children). All per-block data lives in slices indexed by MsgID minus the
+// compaction origin `off`; the parent-keyed slices use index int(id)+1-off
+// so the virtual genesis (appendmem.None) — or, after a Compact, the
+// anchor block off-1 — occupies slot 0.
+//
+// Once compaction is engaged the index caches parents, values and
+// (author, seq), so every query is answered from the index alone: a
+// windowed memory may retire messages the index still holds live, and the
+// traversals must not read them back.
 type Dag struct {
 	view  appendmem.View
-	built int // number of view-prefix blocks ingested == len(inDag)
-	size  int // non-dangling blocks
+	built int // number of view-prefix blocks ingested
+	size  int // non-dangling blocks, including frozen ones
 
-	inDag     []bool              // by id
+	off       int                 // first live id; per-id slices index id-off
+	inDag     []bool              // by id-off
 	depth     []int32             // longest all-parent path; genesis children = 1; 0 = dangling
 	treeDepth []int32             // selected-parent tree depth; 0 = dangling
 	weight    []int32             // selected-parent subtree size
-	children  [][]appendmem.MsgID // by parent id+1, over all parent edges
-	treeKids  [][]appendmem.MsgID // by parent id+1, selected-parent tree
-	ghostBest []appendmem.MsgID   // by parent id+1: earliest heaviest tree kid; None when childless
+	children  [][]appendmem.MsgID // by parent id+1-off, over all parent edges
+	treeKids  [][]appendmem.MsgID // by parent id+1-off, selected-parent tree
+	ghostBest []appendmem.MsgID   // by parent id+1-off: earliest heaviest tree kid; None when childless
 	parent    []appendmem.MsgID   // selected parent, cached to avoid Message lookups on hot walks
+
+	// Structure caches, materialized by the first Compact and maintained
+	// by extend from then on: a windowed memory may retire messages the
+	// index still answers for, so a compacting index must never re-read
+	// the view. Until then traversals read the view directly and the
+	// caches cost nothing — the unbounded path carries no windowed
+	// overhead.
+	tracking  bool
+	parents   [][]appendmem.MsgID // by id-off: all parent refs, spans into parArena
+	value     []int64             // by id-off: block value
+	authorSeq []int64             // by id-off: author<<32|seq, the linearize tie-break key
+	parArena  []appendmem.MsgID   // current parent-span arena block
 
 	height int
 
@@ -69,6 +89,12 @@ type Dag struct {
 
 	// tips is the current childless set in ascending id (= arrival) order.
 	tips []appendmem.MsgID
+
+	// Frozen-prefix state: the linearized values of the blocks at or below
+	// the anchor (a shared prefix of both pivot rules' orders — see
+	// Compact) and the anchor's selected-parent tree depth.
+	frozenVals      []int64
+	anchorTreeDepth int32
 
 	// Epoch-stamped scratch for the traversal helpers: a slot is "visited"
 	// in the current traversal iff its stamp equals the current epoch, so
@@ -121,22 +147,107 @@ func (d *Dag) Extend(view appendmem.View) {
 	d.extend(view.Size())
 }
 
+// Parent-span arena geometry, mirroring the append memory's: blocks
+// double from parArenaBase up to parArenaMax, so interning a block's
+// parents amortizes to zero allocations.
+const (
+	parArenaBase = 64
+	parArenaMax  = 16384
+)
+
+// internParents copies ps into the index-owned arena and returns the
+// span. The index must answer traversals without reading the memory —
+// a windowed memory may retire messages the index still holds live.
+func (d *Dag) internParents(ps []appendmem.MsgID) []appendmem.MsgID {
+	if len(ps) == 0 {
+		return nil
+	}
+	if cap(d.parArena)-len(d.parArena) < len(ps) {
+		c := cap(d.parArena) * 2
+		if c < parArenaBase {
+			c = parArenaBase
+		}
+		if c > parArenaMax {
+			c = parArenaMax
+		}
+		if len(ps) > c {
+			c = len(ps)
+		}
+		d.parArena = make([]appendmem.MsgID, 0, c)
+	}
+	start := len(d.parArena)
+	d.parArena = append(d.parArena, ps...)
+	return d.parArena[start:len(d.parArena):len(d.parArena)]
+}
+
+// track materializes the parents/value/authorSeq caches from the view.
+// Called by the first Compact, which always precedes any memory
+// retirement (the harness compacts indexes before retiring chunks), so
+// every built id is still readable here. Dangling blocks keep zero slots,
+// exactly as a tracking extend would have left them.
+func (d *Dag) track() {
+	if d.tracking {
+		return
+	}
+	d.tracking = true
+	d.parents = make([][]appendmem.MsgID, d.built-d.off)
+	d.value = make([]int64, d.built-d.off)
+	d.authorSeq = make([]int64, d.built-d.off)
+	for id := appendmem.MsgID(d.off); int(id) < d.built; id++ {
+		idx := int(id) - d.off
+		if !d.inDag[idx] {
+			continue
+		}
+		msg := d.view.Message(id)
+		d.parents[idx] = d.internParents(msg.Parents)
+		d.value[idx] = msg.Value
+		d.authorSeq[idx] = int64(msg.Author)<<32 | int64(msg.Seq)
+	}
+}
+
+// parentsOf returns the parent refs of a built block, from the cache when
+// compaction is engaged and from the view otherwise.
+func (d *Dag) parentsOf(id appendmem.MsgID) []appendmem.MsgID {
+	if d.tracking {
+		return d.parents[int(id)-d.off]
+	}
+	return d.view.Message(id).Parents
+}
+
+// valueOf is parentsOf's counterpart for the block value.
+func (d *Dag) valueOf(id appendmem.MsgID) int64 {
+	if d.tracking {
+		return d.value[int(id)-d.off]
+	}
+	return d.view.Message(id).Value
+}
+
+// authorSeqOf is parentsOf's counterpart for the linearize tie-break key.
+func (d *Dag) authorSeqOf(id appendmem.MsgID) int64 {
+	if d.tracking {
+		return d.authorSeq[int(id)-d.off]
+	}
+	msg := d.view.Message(id)
+	return int64(msg.Author)<<32 | int64(msg.Seq)
+}
+
 // extend ingests ids [d.built, size).
 func (d *Dag) extend(size int) {
 	for id := appendmem.MsgID(d.built); int(id) < size; id++ {
 		msg := d.view.Message(id)
+		idx := int(id) - d.off
 		ok := true
 		var maxDepth int32
 		for _, p := range msg.Parents {
 			if p == appendmem.None {
 				continue
 			}
-			if !d.inDag[p] {
-				ok = false
+			if int(p) < d.off || !d.inDag[int(p)-d.off] {
+				ok = false // dangling: parent invisible, dangling or frozen away
 				break
 			}
-			if d.depth[p] > maxDepth {
-				maxDepth = d.depth[p]
+			if d.depth[int(p)-d.off] > maxDepth {
+				maxDepth = d.depth[int(p)-d.off]
 			}
 		}
 		// Grow the per-id slots (zero values = dangling).
@@ -148,22 +259,34 @@ func (d *Dag) extend(size int) {
 		d.treeKids = append(d.treeKids, nil)
 		d.ghostBest = append(d.ghostBest, appendmem.None)
 		d.parent = append(d.parent, appendmem.None)
+		if d.tracking {
+			d.parents = append(d.parents, nil)
+			d.value = append(d.value, 0)
+			d.authorSeq = append(d.authorSeq, 0)
+		}
 		d.visited = append(d.visited, 0)
 		d.ordered = append(d.ordered, 0)
 		if !ok {
 			continue
 		}
-		d.inDag[id] = true
+		d.inDag[idx] = true
 		d.size++
-		d.depth[id] = maxDepth + 1
-		if int(d.depth[id]) > d.height {
-			d.height = int(d.depth[id])
+		d.depth[idx] = maxDepth + 1
+		if d.tracking {
+			d.parents[idx] = d.internParents(msg.Parents)
+			d.value[idx] = msg.Value
+			d.authorSeq[idx] = int64(msg.Author)<<32 | int64(msg.Seq)
+		}
+		if int(d.depth[idx]) > d.height {
+			d.height = int(d.depth[idx])
 		}
 		// Child edges (one per distinct parent) and tip maintenance: every
 		// referenced parent stops being childless, the new block becomes the
 		// (largest-id) tip.
 		if len(msg.Parents) == 0 {
-			d.children[0] = append(d.children[0], id)
+			if d.off == 0 {
+				d.children[0] = append(d.children[0], id)
+			} // else: a fresh root after Compact — no genesis slot remains
 		} else {
 			for i, p := range msg.Parents {
 				dup := false
@@ -176,7 +299,9 @@ func (d *Dag) extend(size int) {
 				if dup {
 					continue
 				}
-				d.children[p+1] = append(d.children[p+1], id)
+				if ci := int(p) + 1 - d.off; ci >= 0 {
+					d.children[ci] = append(d.children[ci], id)
+				}
 				if p != appendmem.None {
 					d.dropTip(p)
 				}
@@ -186,24 +311,32 @@ func (d *Dag) extend(size int) {
 
 		// Selected-parent tree: attach, then push the new block's unit
 		// weight up the selected-parent path, keeping each ancestor's
-		// heaviest-kid tie-state exact.
+		// heaviest-kid tie-state exact. The walk stops at the compaction
+		// anchor: the frozen pivot prefix no longer competes, so its
+		// weights need not stay current.
 		sp := SelectedParent(msg)
-		d.parent[id] = sp
-		d.treeKids[sp+1] = append(d.treeKids[sp+1], id)
+		d.parent[idx] = sp
+		if si := int(sp) + 1 - d.off; si >= 0 {
+			d.treeKids[si] = append(d.treeKids[si], id)
+		}
 		if sp == appendmem.None {
-			d.treeDepth[id] = 1
+			d.treeDepth[idx] = 1
 		} else {
-			d.treeDepth[id] = d.treeDepth[sp] + 1
+			d.treeDepth[idx] = d.treeDepth[int(sp)-d.off] + 1
 		}
-		if d.treeDepth[id] > d.bestTreeDepth {
-			d.bestTreeDepth, d.bestTreeTip = d.treeDepth[id], id
+		if d.treeDepth[idx] > d.bestTreeDepth {
+			d.bestTreeDepth, d.bestTreeTip = d.treeDepth[idx], id
 		}
-		d.weight[id] = 1
-		d.bumpGhostBest(sp, id)
-		for p := sp; p != appendmem.None; {
-			d.weight[p]++
-			pp := d.parent[p]
-			d.bumpGhostBest(pp, p)
+		d.weight[idx] = 1
+		if int(sp)+1-d.off >= 0 {
+			d.bumpGhostBest(sp, id)
+		}
+		for p := sp; int(p) >= d.off; {
+			d.weight[int(p)-d.off]++
+			pp := d.parent[int(p)-d.off]
+			if int(pp)+1-d.off >= 0 {
+				d.bumpGhostBest(pp, p)
+			}
 			p = pp
 		}
 	}
@@ -226,13 +359,14 @@ func (d *Dag) dropTip(p appendmem.MsgID) {
 // was the best (still is), strictly passes the best, or ties it — and a tie
 // goes to the earlier arrival, matching the from-scratch arrival-order scan.
 func (d *Dag) bumpGhostBest(p, kid appendmem.MsgID) {
-	cur := d.ghostBest[p+1]
+	slot := int(p) + 1 - d.off
+	cur := d.ghostBest[slot]
 	if cur == kid {
 		return
 	}
-	if cur == appendmem.None || d.weight[kid] > d.weight[cur] ||
-		(d.weight[kid] == d.weight[cur] && kid < cur) {
-		d.ghostBest[p+1] = kid
+	if cur == appendmem.None || d.weight[int(kid)-d.off] > d.weight[int(cur)-d.off] ||
+		(d.weight[int(kid)-d.off] == d.weight[int(cur)-d.off] && kid < cur) {
+		d.ghostBest[slot] = kid
 	}
 }
 
@@ -245,27 +379,38 @@ func (d *Dag) Size() int { return d.size }
 // Height returns the longest all-parent path length from genesis.
 func (d *Dag) Height() int { return d.height }
 
+// belowWatermark panics for ids frozen away by Compact.
+func (d *Dag) belowWatermark(id appendmem.MsgID) {
+	if id >= 0 && int(id) < d.off {
+		panic(fmt.Sprintf("dag: query for id %d below watermark %d", id, d.off))
+	}
+}
+
 // Contains reports whether the block is in the DAG (visible, well-formed).
+// It panics for blocks frozen below the compaction watermark.
 func (d *Dag) Contains(id appendmem.MsgID) bool {
-	return id >= 0 && int(id) < d.built && d.inDag[id]
+	d.belowWatermark(id)
+	return id >= 0 && int(id) < d.built && d.inDag[int(id)-d.off]
 }
 
 // Depth returns the block's depth (genesis children have depth 1) and
-// whether it is in the DAG.
+// whether it is in the DAG. It panics below the compaction watermark.
 func (d *Dag) Depth(id appendmem.MsgID) (int, bool) {
 	if !d.Contains(id) {
 		return 0, false
 	}
-	return int(d.depth[id]), true
+	return int(d.depth[int(id)-d.off]), true
 }
 
 // Weight returns the selected-parent subtree size of the block (the GHOST
-// weight), or 0 when absent.
+// weight), or 0 when absent. It panics below the compaction watermark.
+// Live weights stay exact across Compact: a block's subtree holds only
+// blocks with larger ids, which retirement never touches.
 func (d *Dag) Weight(id appendmem.MsgID) int {
 	if !d.Contains(id) {
 		return 0
 	}
-	return int(d.weight[id])
+	return int(d.weight[int(id)-d.off])
 }
 
 // Tips returns the blocks with no children over any parent edge — the set
@@ -278,13 +423,14 @@ func (d *Dag) Tips() []appendmem.MsgID {
 	return append([]appendmem.MsgID(nil), d.tips...)
 }
 
-// kids returns the child list slot for id (None maps to the genesis slot);
-// nil when id is outside the indexed range.
+// kids returns the child list slot for id (None — or the compaction
+// anchor — maps to slot 0); nil when id is outside the indexed range.
 func (d *Dag) kids(of [][]appendmem.MsgID, id appendmem.MsgID) []appendmem.MsgID {
-	if id < appendmem.None || int(id)+1 >= len(of) {
+	slot := int(id) + 1 - d.off
+	if slot < 0 || slot >= len(of) {
 		return nil
 	}
-	return of[id+1]
+	return of[slot]
 }
 
 // Children returns the blocks that list id among their parents (None for
@@ -298,16 +444,19 @@ func (d *Dag) Children(id appendmem.MsgID) []appendmem.MsgID {
 // largest subtree weight, breaking ties by arrival order. Oldest first;
 // empty for an empty DAG. The heaviest-kid choice is maintained
 // incrementally on Extend, so retrieval is O(pivot length).
+// After a Compact the walk starts at the anchor (slot 0) and the returned
+// chain is the live pivot segment; the frozen prefix is fixed and already
+// folded into OrderedValues.
 func (d *Dag) GhostPivot() []appendmem.MsgID {
 	var pivot []appendmem.MsgID
-	cur := appendmem.None
+	slot := 0
 	for {
-		best := d.ghostBest[cur+1]
+		best := d.ghostBest[slot]
 		if best == appendmem.None {
 			return pivot
 		}
 		pivot = append(pivot, best)
-		cur = best
+		slot = int(best) + 1 - d.off
 	}
 }
 
@@ -319,11 +468,12 @@ func (d *Dag) LongestPivot() []appendmem.MsgID {
 	if d.bestTreeTip == appendmem.None {
 		return nil
 	}
-	pivot := make([]appendmem.MsgID, d.bestTreeDepth)
+	n := int(d.bestTreeDepth - d.anchorTreeDepth)
+	pivot := make([]appendmem.MsgID, n)
 	cur := d.bestTreeTip
-	for i := int(d.bestTreeDepth) - 1; i >= 0; i-- {
+	for i := n - 1; i >= 0; i-- {
 		pivot[i] = cur
-		cur = d.parent[cur]
+		cur = d.parent[int(cur)-d.off]
 	}
 	return pivot
 }
@@ -332,21 +482,26 @@ func (d *Dag) LongestPivot() []appendmem.MsgID {
 // itself, in ascending id order. Empty when id is not in the DAG. The
 // traversal reuses the Dag's epoch-stamped scratch, so the only allocation
 // is the returned slice.
+// After a Compact the cone is truncated at the watermark: frozen
+// ancestors are already ordered and no longer enumerable.
 func (d *Dag) PastCone(id appendmem.MsgID) []appendmem.MsgID {
 	if !d.Contains(id) {
 		return nil
 	}
 	d.visitEpoch++
 	e := d.visitEpoch
-	d.visited[id] = e
+	d.visited[int(id)-d.off] = e
 	stack := append(d.dfsStack[:0], id)
 	cone := []appendmem.MsgID{id}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range d.view.Message(cur).Parents {
-			if p != appendmem.None && d.visited[p] != e {
-				d.visited[p] = e
+		for _, p := range d.parentsOf(cur) {
+			if p == appendmem.None || int(p) < d.off {
+				continue
+			}
+			if d.visited[int(p)-d.off] != e {
+				d.visited[int(p)-d.off] = e
 				cone = append(cone, p)
 				stack = append(stack, p)
 			}
@@ -368,27 +523,27 @@ func (d *Dag) IsAncestor(a, b appendmem.MsgID) bool {
 	if a == b {
 		return true
 	}
-	da := d.depth[a]
+	da := d.depth[int(a)-d.off]
 	d.visitEpoch++
 	e := d.visitEpoch
-	d.visited[b] = e
+	d.visited[int(b)-d.off] = e
 	stack := append(d.dfsStack[:0], b)
 	found := false
 	for len(stack) > 0 && !found {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range d.view.Message(cur).Parents {
+		for _, p := range d.parentsOf(cur) {
 			if p == a {
 				found = true
 				break
 			}
 			// Ancestor ids strictly decrease and depths strictly decrease
 			// along parent edges: anything older or shallower than a cannot
-			// lead back to it.
-			if p == appendmem.None || p < a || d.depth[p] <= da || d.visited[p] == e {
+			// lead back to it. (a >= off, so frozen parents prune here too.)
+			if p == appendmem.None || p < a || d.depth[int(p)-d.off] <= da || d.visited[int(p)-d.off] == e {
 				continue
 			}
-			d.visited[p] = e
+			d.visited[int(p)-d.off] = e
 			stack = append(stack, p)
 		}
 	}
@@ -412,14 +567,17 @@ func (d *Dag) Linearize(pivot []appendmem.MsgID) []appendmem.MsgID {
 		// blocks. The DFS stops at already-ordered blocks, so each block
 		// is visited once across the whole linearization (amortized
 		// O(V+E) instead of one full past-cone walk per pivot block).
+		// Frozen parents (below the watermark) are by construction inside
+		// the anchor's past cone, i.e. ordered by the frozen prefix, so the
+		// DFS treats them exactly like earlier-epoch blocks and stops.
 		d.visitEpoch++
 		ve := d.visitEpoch
-		d.visited[pb] = ve
+		d.visited[int(pb)-d.off] = ve
 		epoch := d.epochBuf[:0]
 		stack := d.dfsStack[:0]
-		for _, p := range d.view.Message(pb).Parents {
-			if p != appendmem.None && d.ordered[p] != oe && d.visited[p] != ve {
-				d.visited[p] = ve
+		for _, p := range d.parentsOf(pb) {
+			if p != appendmem.None && int(p) >= d.off && d.ordered[int(p)-d.off] != oe && d.visited[int(p)-d.off] != ve {
+				d.visited[int(p)-d.off] = ve
 				stack = append(stack, p)
 			}
 		}
@@ -427,30 +585,29 @@ func (d *Dag) Linearize(pivot []appendmem.MsgID) []appendmem.MsgID {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			epoch = append(epoch, cur)
-			for _, p := range d.view.Message(cur).Parents {
-				if p != appendmem.None && d.ordered[p] != oe && d.visited[p] != ve {
-					d.visited[p] = ve
+			for _, p := range d.parentsOf(cur) {
+				if p != appendmem.None && int(p) >= d.off && d.ordered[int(p)-d.off] != oe && d.visited[int(p)-d.off] != ve {
+					d.visited[int(p)-d.off] = ve
 					stack = append(stack, p)
 				}
 			}
 		}
 		d.dfsStack = stack
 		sort.Slice(epoch, func(i, j int) bool {
-			a, b := d.view.Message(epoch[i]), d.view.Message(epoch[j])
-			if d.depth[epoch[i]] != d.depth[epoch[j]] {
-				return d.depth[epoch[i]] < d.depth[epoch[j]]
+			ii, jj := int(epoch[i])-d.off, int(epoch[j])-d.off
+			if d.depth[ii] != d.depth[jj] {
+				return d.depth[ii] < d.depth[jj]
 			}
-			if a.Author != b.Author {
-				return a.Author < b.Author
-			}
-			return a.Seq < b.Seq
+			// authorSeq packs (author, seq) so one compare is the
+			// lexicographic tie-break.
+			return d.authorSeqOf(epoch[i]) < d.authorSeqOf(epoch[j])
 		})
 		for _, id := range epoch {
-			d.ordered[id] = oe
+			d.ordered[int(id)-d.off] = oe
 			order = append(order, id)
 		}
 		d.epochBuf = epoch[:0]
-		d.ordered[pb] = oe
+		d.ordered[int(pb)-d.off] = oe
 		order = append(order, pb)
 	}
 	return order
@@ -458,17 +615,174 @@ func (d *Dag) Linearize(pivot []appendmem.MsgID) []appendmem.MsgID {
 
 // OrderedValues returns the values of the first k blocks in the
 // linearization of the given pivot — the decision input of Algorithm 6
-// Line 10. Fewer than k when the ordering is shorter.
+// Line 10. Fewer than k when the ordering is shorter. After a Compact the
+// frozen prefix supplies the leading values and pivot is the live segment
+// (what GhostPivot/LongestPivot return), so decisions are unchanged by
+// retirement.
 func (d *Dag) OrderedValues(pivot []appendmem.MsgID, k int) []int64 {
-	order := d.Linearize(pivot)
-	if len(order) > k {
-		order = order[:k]
+	if k <= len(d.frozenVals) {
+		return append([]int64(nil), d.frozenVals[:k]...)
 	}
-	vals := make([]int64, len(order))
-	for i, id := range order {
-		vals[i] = d.view.Message(id).Value
+	order := d.Linearize(pivot)
+	if rest := k - len(d.frozenVals); len(order) > rest {
+		order = order[:rest]
+	}
+	vals := make([]int64, 0, len(d.frozenVals)+len(order))
+	vals = append(vals, d.frozenVals...)
+	for _, id := range order {
+		vals = append(vals, d.valueOf(id))
 	}
 	return vals
+}
+
+// Watermark returns the compaction watermark: the first id still held
+// live. Queries below it panic. 0 before any successful Compact.
+func (d *Dag) Watermark() int { return d.off }
+
+// TipFloor returns the smallest id in the childless set, or -1 for an
+// empty DAG — the reachability floor windowed retirement takes the
+// minimum over, since every future block's parents draw from the current
+// tips or newer.
+func (d *Dag) TipFloor() appendmem.MsgID {
+	if len(d.tips) == 0 {
+		return -1
+	}
+	return d.tips[0]
+}
+
+// Compact retires the index prefix below a safe anchor: the deepest
+// ghost-pivot block, strictly below both reqW and every current tip, that
+// (a) every live block descends from in the selected-parent tree and (b)
+// whose past cone contains every live block at or below it. Under (a) both
+// pivot rules pass through the anchor forever (its subtree alone keeps
+// growing, frozen siblings never catch up), and under (b) the prefix of
+// the linearization up to the anchor is fixed, so its values are frozen
+// into frozenVals and the dense slices are rebased in place — dropping the
+// retired ids' slots and handing the anchor the virtual-genesis slot 0.
+//
+// Compact is conservative: when no anchor at or below reqW qualifies
+// (e.g. a fork off the deep past is still live), it declines and returns
+// the current watermark. The watermark is monotone; ids below it panic.
+// Decisions are unaffected: heights, sizes, tips, weights of live blocks,
+// fork counts and OrderedValues all answer exactly as the uncompacted
+// index would.
+func (d *Dag) Compact(reqW int) int {
+	d.track()
+	if reqW > d.built {
+		reqW = d.built
+	}
+	if reqW <= d.off || d.bestTreeTip == appendmem.None {
+		return d.off
+	}
+	limit := reqW
+	if len(d.tips) > 0 && int(d.tips[0]) < limit {
+		limit = int(d.tips[0])
+	}
+	if int(d.bestTreeTip) < limit {
+		limit = int(d.bestTreeTip)
+	}
+	if limit <= d.off {
+		return d.off
+	}
+	// Candidate: deepest ghost-pivot block with id < limit. The pivot path
+	// from the old anchor to the candidate is recorded for the freeze step
+	// (a fresh slice: Linearize reuses the shared scratch buffers).
+	var seg []appendmem.MsgID
+	cand := appendmem.None
+	slot := 0
+	for {
+		best := d.ghostBest[slot]
+		if best == appendmem.None || int(best) >= limit {
+			break
+		}
+		cand = best
+		seg = append(seg, best)
+		slot = int(best) + 1 - d.off
+	}
+	if cand == appendmem.None {
+		return d.off
+	}
+	// (a) Every live block above the candidate must descend from it in the
+	// selected-parent tree. Parents precede children, so one ascending
+	// marking pass suffices.
+	d.visitEpoch++
+	e := d.visitEpoch
+	d.visited[int(cand)-d.off] = e
+	for i := int(cand) + 1 - d.off; i < len(d.inDag); i++ {
+		if !d.inDag[i] {
+			continue
+		}
+		sp := d.parent[i]
+		if int(sp) < d.off || d.visited[int(sp)-d.off] != e {
+			return d.off
+		}
+		d.visited[i] = e
+	}
+	// (b) Every live block at or below the candidate must be in its past
+	// cone — otherwise the cone walk skipping frozen parents would miss
+	// blocks the full linearization orders. Blocks below the old watermark
+	// satisfied (b) at their own retirement, so the walk prunes there.
+	d.orderedEpoch++
+	oe := d.orderedEpoch
+	d.ordered[int(cand)-d.off] = oe
+	stack := append(d.dfsStack[:0], cand)
+	covered := 1
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range d.parents[int(cur)-d.off] {
+			if p == appendmem.None || int(p) < d.off {
+				continue
+			}
+			if d.ordered[int(p)-d.off] != oe {
+				d.ordered[int(p)-d.off] = oe
+				covered++
+				stack = append(stack, p)
+			}
+		}
+	}
+	d.dfsStack = stack[:0]
+	live := 0
+	for i := 0; i <= int(cand)-d.off; i++ {
+		if d.inDag[i] {
+			live++
+		}
+	}
+	if covered != live {
+		return d.off
+	}
+	// Freeze: linearize the pivot segment ending at the candidate. By (b)
+	// this orders exactly the live blocks at or below it, extending
+	// frozenVals by the same values the full index's linearization holds
+	// at those positions.
+	order := d.Linearize(seg)
+	if len(order) != live {
+		panic(fmt.Sprintf("dag: Compact froze %d blocks, expected %d", len(order), live))
+	}
+	for _, id := range order {
+		d.frozenVals = append(d.frozenVals, d.value[int(id)-d.off])
+	}
+	d.anchorTreeDepth = d.treeDepth[int(cand)-d.off]
+
+	// Rebase all dense slices in place: live data shifts down by
+	// newOff-off; the anchor's parent-keyed slots land on slot 0.
+	newOff := int(cand) + 1
+	shift := newOff - d.off
+	d.inDag = d.inDag[:copy(d.inDag, d.inDag[shift:])]
+	d.depth = d.depth[:copy(d.depth, d.depth[shift:])]
+	d.treeDepth = d.treeDepth[:copy(d.treeDepth, d.treeDepth[shift:])]
+	d.weight = d.weight[:copy(d.weight, d.weight[shift:])]
+	d.parent = d.parent[:copy(d.parent, d.parent[shift:])]
+	d.parents = d.parents[:copy(d.parents, d.parents[shift:])]
+	d.value = d.value[:copy(d.value, d.value[shift:])]
+	d.authorSeq = d.authorSeq[:copy(d.authorSeq, d.authorSeq[shift:])]
+	d.visited = d.visited[:copy(d.visited, d.visited[shift:])]
+	d.ordered = d.ordered[:copy(d.ordered, d.ordered[shift:])]
+	d.children = d.children[:copy(d.children, d.children[shift:])]
+	d.treeKids = d.treeKids[:copy(d.treeKids, d.treeKids[shift:])]
+	d.ghostBest = d.ghostBest[:copy(d.ghostBest, d.ghostBest[shift:])]
+	d.off = newOff
+	return d.off
 }
 
 // Cached is a reusable index handle for one consumer whose reads of a
@@ -499,4 +813,27 @@ func (c *Cached) At(view appendmem.View) *Dag {
 	}
 	c.d = Build(view)
 	return c.d
+}
+
+// Floor returns the smallest id the handle's future extensions or appends
+// can reach: the minimum of the built prefix (extensions read from there)
+// and the tip floor (parents draw from the tips). 0 before the first At.
+func (c *Cached) Floor() int {
+	if c.d == nil {
+		return 0
+	}
+	f := c.d.built
+	if tf := c.d.TipFloor(); tf >= 0 && int(tf) < f {
+		f = int(tf)
+	}
+	return f
+}
+
+// CompactTo forwards Compact(reqW) to the held index and returns the
+// watermark achieved; 0 when no index exists yet.
+func (c *Cached) CompactTo(reqW int) int {
+	if c.d == nil {
+		return 0
+	}
+	return c.d.Compact(reqW)
 }

@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"E20", "Hashing power, not head count: heterogeneous rates", "Section 1.1 (PoW reading)", RunE20},
 		{"E21", "The GHOST advantage: private forks vs pivot rules", "Section 5.3 (refs [22],[14])", RunE21},
 		{"E22", "Chain vs DAG across network topologies", "Theorems 5.4/5.6 under gossip transport", RunE22},
+		{"E23", "Bounded-memory horizons: windowed views and checkpointed prefixes", "Definition 2.1 (view inclusion) / Section 4 (cost)", RunE23},
 	}
 }
 

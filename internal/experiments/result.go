@@ -1,6 +1,10 @@
 package experiments
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/scenario"
+)
 
 // Result is one experiment run as a structured record: identity, the
 // options it ran under, typed tables, the declarative paper predictions
@@ -15,6 +19,9 @@ type Result struct {
 	Tables   []*Table      `json:"tables"`
 	Checks   []Check       `json:"checks,omitempty"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
+	// Reuse aggregates checkpoint prefix-reuse counts hoisted from the
+	// tables; nil when no table ran a checkpointed sweep.
+	Reuse *scenario.ReuseStats `json:"reuse,omitempty"`
 }
 
 // NewResult assembles a Result from already-built tables, hoisting the
@@ -34,6 +41,13 @@ func NewResult(id, title, paperRef string, tables []*Table) *Result {
 			r.Checks = append(r.Checks, c)
 		}
 		t.checks = nil
+		if t.Reuse != nil {
+			if r.Reuse == nil {
+				r.Reuse = &scenario.ReuseStats{}
+			}
+			r.Reuse.Captured += t.Reuse.Captured
+			r.Reuse.Resumed += t.Reuse.Resumed
+		}
 	}
 	return r
 }

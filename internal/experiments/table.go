@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"repro/internal/runner"
+	"repro/internal/scenario"
 )
 
 // CellKind discriminates the typed payload of a Cell.
@@ -93,6 +94,10 @@ type Table struct {
 	Note  string   `json:"note,omitempty"`
 	Cols  []string `json:"cols"`
 	Rows  [][]Cell `json:"rows"`
+	// Reuse carries checkpoint prefix-reuse counts when the table came from
+	// a checkpointed sweep; hoisted into Result.Reuse so amexp -timing can
+	// report it.
+	Reuse *scenario.ReuseStats `json:"reuse,omitempty"`
 
 	checks []Check
 }

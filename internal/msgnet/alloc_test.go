@@ -1,0 +1,68 @@
+package msgnet
+
+import (
+	"testing"
+
+	"repro/internal/appendmem"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// TestGossipFloodSteadyStateAllocs pins the steady-state allocation
+// behavior of the flood path: once the hop heap, the message pool and the
+// simulator's event heap are warm, a full broadcast-and-drain cycle over
+// the graph reuses everything — pooled gossipMsg records with their seen
+// bitmaps, value-typed hops, recycled simulator events. Only the optional
+// payload copy (skipped here with a nil body) should ever allocate.
+func TestGossipFloodSteadyStateAllocs(t *testing.T) {
+	s := sim.New()
+	g := topology.Ring(32, 2, 0.1)
+	nw := NewGossip(s, xrand.New(1, 1), g, topology.DelayModel{Kind: topology.DelayUniform})
+	delivered := 0
+	for id := 0; id < g.N(); id++ {
+		nw.Register(appendmem.NodeID(id), func(Envelope) { delivered++ })
+	}
+	flood := func() {
+		nw.Broadcast(0, "append", nil)
+		s.Run()
+	}
+	for i := 0; i < 50; i++ {
+		flood()
+	}
+
+	delivered = 0
+	allocs := testing.AllocsPerRun(100, flood)
+	if allocs > 0 {
+		t.Errorf("warm gossip flood allocated %.2f times per broadcast, want 0", allocs)
+	}
+	// AllocsPerRun invokes the function runs+1 times (one extra warm-up).
+	if delivered != 101*g.N() {
+		t.Fatalf("floods delivered %d times, want %d", delivered, 101*g.N())
+	}
+}
+
+// TestGossipUnicastSteadyStateAllocs pins the source-routed path: the
+// shortest-path tree is cached on first use, so a warm unicast is heap
+// pushes and a delivery — nothing per-send.
+func TestGossipUnicastSteadyStateAllocs(t *testing.T) {
+	s := sim.New()
+	g := topology.Ring(32, 2, 0.1)
+	nw := NewGossip(s, xrand.New(2, 2), g, topology.DelayModel{})
+	got := 0
+	for id := 0; id < g.N(); id++ {
+		nw.Register(appendmem.NodeID(id), func(Envelope) { got++ })
+	}
+	send := func() {
+		nw.Send(0, 9, "value", nil)
+		s.Run()
+	}
+	for i := 0; i < 50; i++ {
+		send()
+	}
+
+	allocs := testing.AllocsPerRun(100, send)
+	if allocs > 0 {
+		t.Errorf("warm gossip unicast allocated %.2f times per send, want 0", allocs)
+	}
+}

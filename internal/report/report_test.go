@@ -216,7 +216,7 @@ var elapsedRe = regexp.MustCompile(`(?m)^(### .*) \[[^\]]*\]$`)
 // prediction must hold.
 func TestAmexpQuickGolden(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden run skipped in -short mode (runs all 22 experiments)")
+		t.Skip("golden run skipped in -short mode (runs all 23 experiments)")
 	}
 	want, err := os.ReadFile("testdata/amexp-quick.golden")
 	if err != nil {

@@ -37,6 +37,11 @@ type Result struct {
 	// VisMeanLag is the mean append-propagation lag over the topology
 	// (randomized runs with a non-complete topology; zero otherwise).
 	VisMeanLag float64
+
+	// MemHighWater is the peak live-message count over the run — equal to
+	// TotalAppends for an unbounded memory, bounded near the spec's Window
+	// in windowed mode (randomized runs only).
+	MemHighWater int
 }
 
 // Bound is a spec resolved against the registries: the honest rule, the
@@ -175,7 +180,60 @@ func Bind(spec Spec) (*Bound, error) {
 	if err := b.bindTopology(); err != nil {
 		return nil, err
 	}
+	if err := b.bindBounded(); err != nil {
+		return nil, err
+	}
 	return b, nil
+}
+
+// bindBounded validates the windowed-memory and checkpointing knobs
+// eagerly, so a sweep cannot fail (or silently disable a mode) trials in.
+func (b *Bound) bindBounded() error {
+	s := &b.spec
+	if s.Window < 0 {
+		return fmt.Errorf("scenario: window must be >= 0, got %d", s.Window)
+	}
+	if s.Window == 0 && !s.Checkpoint {
+		return nil
+	}
+	if s.Window > 0 && s.Checkpoint {
+		return fmt.Errorf("scenario: window and checkpoint are mutually exclusive (a windowed memory cannot be snapshotted)")
+	}
+	if s.Protocol != Chain && s.Protocol != Dag {
+		return fmt.Errorf("scenario: window/checkpoint apply to chain/dag protocols only, not %q", s.Protocol)
+	}
+	switch {
+	case b.topo != nil:
+		return fmt.Errorf("scenario: window/checkpoint require the complete topology, not %q", s.Topology)
+	case s.AsyncDelayMax > 0:
+		return fmt.Errorf("scenario: window/checkpoint are incompatible with async_delay_max")
+	case s.StallAtSize > 0:
+		return fmt.Errorf("scenario: window/checkpoint are incompatible with stall_at")
+	}
+	if s.Window > 0 {
+		if lookback := s.K + s.Confirm; s.Window < lookback {
+			return fmt.Errorf("scenario: window %d is smaller than the decision lookback k+confirm = %d+%d = %d",
+				s.Window, s.K, s.Confirm, lookback)
+		}
+		if _, ok := b.rule.(agreement.WindowedRule); !ok {
+			return fmt.Errorf("scenario: protocol %q cannot bound its reachable prefix", s.Protocol)
+		}
+		if s.T > 0 {
+			if _, ok := b.newAdv().(agreement.WindowedAdversary); !ok {
+				return fmt.Errorf("scenario: attack %q cannot bound its reachable prefix; window supports silent/flip", s.Attack)
+			}
+		}
+	}
+	if s.Checkpoint {
+		// A resumed run re-creates the adversary from scratch; only
+		// adversaries fully determined by (fresh view, rng cursor) replay
+		// correctly. The private-chain family carries hidden per-run state
+		// the checkpoint does not capture.
+		if a := s.Attack; a != "" && a != AttackSilent && a != AttackFlip {
+			return fmt.Errorf("scenario: checkpoint supports attacks silent/flip only, not %q (adversary state is not checkpointed)", a)
+		}
+	}
+	return nil
 }
 
 // bindTopology resolves the spec's topology and delay-model fields. The
@@ -275,6 +333,7 @@ func (b *Bound) randomizedConfig(seed uint64, rec *trace.Recorder) agreement.Ran
 		FreshHonestReads: b.spec.FreshReads,
 		StallAtSize:      b.spec.StallAtSize, StallFor: b.spec.StallFor,
 		AsyncDelayMax: b.spec.AsyncDelayMax,
+		Window:        b.spec.Window,
 		Trace:         rec,
 	}
 	if b.topo != nil {
@@ -341,6 +400,13 @@ func (b *Bound) RunTraced(seed uint64, rec *trace.Recorder) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return fromRandomized(r), nil
+}
+
+// fromRandomized converts a randomized-harness result into the uniform
+// scenario Result (shared by the trial path and the checkpointing sweep
+// executor).
+func fromRandomized(r *agreement.Result) *Result {
 	return &Result{
 		Verdict:  r.Verdict,
 		Decision: r.Outcome.Decision, Decided: r.Outcome.Decided,
@@ -348,9 +414,10 @@ func (b *Bound) RunTraced(seed uint64, rec *trace.Recorder) (*Result, error) {
 		TotalAppends: r.TotalAppends, ByzAppends: r.ByzAppends,
 		Grants: r.Grants, Duration: r.Duration,
 		FinalView: r.FinalView, HasView: true,
-		DecideTime: r.DecideTime,
-		VisMeanLag: r.VisMeanLag,
-	}, nil
+		DecideTime:   r.DecideTime,
+		VisMeanLag:   r.VisMeanLag,
+		MemHighWater: r.MemHighWater,
+	}
 }
 
 // mustRun is Run for the sweep executor: Bind has already validated the

@@ -215,3 +215,61 @@ func TestRandomInputsDeterministicPerSeed(t *testing.T) {
 		t.Fatal("random inputs identical across seeds (suspicious)")
 	}
 }
+
+// TestBindBoundedValidation: the windowed/checkpoint knobs must fail at
+// bind time with errors naming the conflict, never trials in.
+func TestBindBoundedValidation(t *testing.T) {
+	ok := Spec{Protocol: Dag, N: 6, T: 2, Lambda: 1, K: 15, Window: 64, Attack: AttackFlip}
+	if _, err := Bind(ok); err != nil {
+		t.Fatalf("valid windowed spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"negative", func(s *Spec) { s.Window = -1 }, "window must be >= 0"},
+		{"below lookback", func(s *Spec) { s.Window = 16; s.Confirm = 4 }, "k+confirm = 15+4 = 19"},
+		{"wrong protocol", func(s *Spec) { s.Protocol = Timestamp }, "chain/dag"},
+		{"attack", func(s *Spec) { s.Attack = AttackPrivateChain }, "silent/flip"},
+		{"topology", func(s *Spec) { s.Topology = TopoRing }, "complete topology"},
+		{"stall", func(s *Spec) { s.StallAtSize = 10 }, "stall_at"},
+		{"async", func(s *Spec) { s.AsyncDelayMax = 2 }, "async_delay_max"},
+		{"both modes", func(s *Spec) { s.Checkpoint = true }, "mutually exclusive"},
+		{"checkpoint attack", func(s *Spec) { s.Window = 0; s.Checkpoint = true; s.Attack = AttackLastMinute }, "adversary state is not checkpointed"},
+	}
+	for _, tc := range cases {
+		s := ok
+		tc.mut(&s)
+		_, err := Bind(s)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+	// The window-below-lookback error must name both sides of the conflict.
+	s := ok
+	s.Window = 16
+	s.Confirm = 4
+	_, err := Bind(s)
+	if err == nil || !strings.Contains(err.Error(), "window 16") {
+		t.Errorf("lookback error does not name the window: %v", err)
+	}
+}
+
+// TestOrderMetricsRejectWindow: metrics that rebuild the full chain/dag
+// from the final view cannot run over a windowed (prefix-retired) memory.
+func TestOrderMetricsRejectWindow(t *testing.T) {
+	b, err := Bind(Spec{Protocol: Dag, N: 6, T: 2, Lambda: 1, K: 15, Window: 64, Attack: AttackFlip})
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	for _, name := range []string{"max-byz-run", "byz-prefix-share"} {
+		def, ok := Metrics.Lookup(name)
+		if !ok {
+			t.Fatalf("metric %q not registered", name)
+		}
+		if _, err := def.Bind(b); err == nil || !strings.Contains(err.Error(), "window") {
+			t.Errorf("%s: want window rejection, got %v", name, err)
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
+	"repro/internal/agreement"
 	"repro/internal/runner"
 )
 
@@ -44,6 +46,47 @@ type SweepResult struct {
 	Spec   Spec          `json:"spec"`
 	Axes   []string      `json:"axes,omitempty"`
 	Points []PointResult `json:"points"`
+	// Reuse reports checkpointed prefix reuse; nil unless the spec enables
+	// Checkpoint.
+	Reuse *ReuseStats `json:"reuse,omitempty"`
+}
+
+// ReuseStats counts checkpointed trial prefixes over one sweep execution.
+type ReuseStats struct {
+	// Captured is the number of trials that snapshotted their prefix (the
+	// lowest-confirmation point of each sweep group).
+	Captured int `json:"captured"`
+	// Resumed is the number of trials fast-forwarded from a snapshot
+	// instead of re-simulating the shared prefix.
+	Resumed int `json:"resumed"`
+}
+
+// cpGroup holds the per-trial checkpoints captured by the first-executed
+// point of one sweep group (all axes equal except confirmation depth).
+type cpGroup struct {
+	confirm int
+	cps     []*agreement.Checkpoint
+}
+
+// checkpointKey buckets sweep points that differ only in confirmation
+// depth: the serialized spec with Confirm zeroed.
+func checkpointKey(s Spec) string {
+	s.Confirm = 0
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // Spec is a plain data struct; marshal cannot fail
+	}
+	return string(b)
+}
+
+// MustRunSpec is RunSpec for specs known valid (experiment code with
+// compiled-in specs); it panics on error.
+func MustRunSpec(spec Spec, o Options) *SweepResult {
+	res, err := RunSpec(spec, o)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // metricAcc accumulates one point's trials in seed order. TrialsReduce
@@ -82,6 +125,18 @@ func RunSpec(spec Spec, o Options) (*SweepResult, error) {
 	for _, ax := range spec.Sweep {
 		out.Axes = append(out.Axes, ax.Name)
 	}
+	// Checkpointed prefix reuse across confirm-sweep groups: the first
+	// point of each group (lowest confirmation when the axis ascends)
+	// captures one checkpoint per trial; every later point with a deeper
+	// confirmation resumes from it. Trial i's checkpoint lives at slot i,
+	// so capture and resume are independent of the worker count — the
+	// fan-out writes disjoint slots and the next point starts only after
+	// the reduce barrier.
+	var store map[string]*cpGroup
+	if spec.Checkpoint {
+		store = map[string]*cpGroup{}
+		out.Reuse = &ReuseStats{}
+	}
 	for _, pt := range points {
 		b, err := Bind(pt.Spec)
 		if err != nil {
@@ -93,9 +148,44 @@ func RunSpec(spec Spec, o Options) (*SweepResult, error) {
 				return nil, err
 			}
 		}
+		run := b.mustRun
+		var captured []*agreement.Checkpoint
+		if pt.Spec.Checkpoint && !b.sync {
+			key := checkpointKey(pt.Spec)
+			base := pt.Spec.Seed
+			switch grp := store[key]; {
+			case grp == nil:
+				captured = make([]*agreement.Checkpoint, trials)
+				store[key] = &cpGroup{confirm: pt.Spec.Confirm, cps: captured}
+				sink := captured
+				run = func(seed uint64) *Result {
+					cfg := b.randomizedConfig(seed, nil)
+					idx := int(seed - base)
+					cfg.CheckpointSink = func(cp *agreement.Checkpoint) { sink[idx] = cp }
+					return fromRandomized(agreement.MustRun(cfg, b.rule, b.newAdv()))
+				}
+			case grp.confirm < pt.Spec.Confirm:
+				// Valid resume: a deeper confirmation can only postpone the
+				// first decision, so the capturing run and this one evolve
+				// identically up to the capture instant.
+				resumes := grp.cps
+				run = func(seed uint64) *Result {
+					cfg := b.randomizedConfig(seed, nil)
+					if cp := resumes[int(seed-base)]; cp != nil {
+						cfg.ResumeFrom = cp
+					}
+					return fromRandomized(agreement.MustRun(cfg, b.rule, b.newAdv()))
+				}
+				for _, cp := range resumes {
+					if cp != nil {
+						out.Reuse.Resumed++
+					}
+				}
+			}
+		}
 		acc := runner.TrialsReduce(trials, pt.Spec.Seed, o.Workers, metricAcc{},
 			func(seed uint64) []float64 {
-				r := b.mustRun(seed)
+				r := run(seed)
 				vals := make([]float64, len(extract))
 				for i, f := range extract {
 					vals[i] = f(r)
@@ -116,6 +206,11 @@ func RunSpec(spec Spec, o Options) (*SweepResult, error) {
 				}
 				return a
 			})
+		for _, cp := range captured {
+			if cp != nil {
+				out.Reuse.Captured++
+			}
+		}
 		pr := PointResult{Spec: pt.Spec, Coords: pt.Coords, Trials: trials,
 			Metrics: make([]MetricValue, len(defs))}
 		for i, def := range defs {

@@ -135,3 +135,73 @@ func TestMeanMetricNaN(t *testing.T) {
 		t.Fatalf("undefined mean metric = %+v, want NaN with count 0", m)
 	}
 }
+
+// TestRunSpecCheckpointReuse: a confirm sweep with Checkpoint on must
+// produce byte-identical metrics to the same sweep without it — prefix
+// reuse is a wall-clock optimization, never a semantic one — and must
+// actually capture and resume.
+func TestRunSpecCheckpointReuse(t *testing.T) {
+	base := Spec{
+		Protocol: Dag, N: 6, T: 2, Lambda: 1, K: 15, Crashes: 1,
+		Attack: AttackFlip, Trials: 3, Seed: 11,
+		Metrics: []string{"ok", "duration", "appends", "decide-time"},
+		Sweep:   []Axis{{Name: "confirm", Values: []Value{{Num: 0}, {Num: 2}, {Num: 5}}}},
+	}
+	plain, err := RunSpec(base, Options{})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	cp := base
+	cp.Checkpoint = true
+	for _, workers := range []int{0, 1} {
+		got, err := RunSpec(cp, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("RunSpec(checkpoint, workers=%d): %v", workers, err)
+		}
+		for i := range plain.Points {
+			for j := range plain.Points[i].Metrics {
+				a, b := plain.Points[i].Metrics[j], got.Points[i].Metrics[j]
+				if a.Value != b.Value || a.Count != b.Count {
+					t.Errorf("workers=%d point %d metric %s: %v/%d with checkpoint, %v/%d without",
+						workers, i, a.Name, b.Value, b.Count, a.Value, a.Count)
+				}
+			}
+		}
+		if got.Reuse == nil || got.Reuse.Captured != 3 || got.Reuse.Resumed != 6 {
+			t.Errorf("workers=%d reuse stats %+v, want 3 captured / 6 resumed", workers, got.Reuse)
+		}
+	}
+	if plain.Reuse != nil {
+		t.Errorf("plain sweep reports reuse stats %+v", plain.Reuse)
+	}
+}
+
+// TestRunSpecWindowed: a windowed sweep point decides exactly like the
+// unbounded one and reports a lower memory high-water mark.
+func TestRunSpecWindowed(t *testing.T) {
+	base := Spec{
+		Protocol: Chain, N: 6, T: 2, Lambda: 1, K: 41,
+		Attack: AttackFlip, Trials: 3, Seed: 3,
+		Metrics: []string{"ok", "duration", "appends", "mem-high-water"},
+	}
+	plain, err := RunSpec(base, Options{})
+	if err != nil {
+		t.Fatalf("RunSpec: %v", err)
+	}
+	win := base
+	win.Window = 48
+	windowed, err := RunSpec(win, Options{})
+	if err != nil {
+		t.Fatalf("RunSpec(window): %v", err)
+	}
+	for j := 0; j < 3; j++ { // ok, duration, appends agree exactly
+		a, b := plain.Points[0].Metrics[j], windowed.Points[0].Metrics[j]
+		if a.Value != b.Value || a.Count != b.Count {
+			t.Errorf("metric %s: %v/%d windowed, %v/%d unbounded", a.Name, b.Value, b.Count, a.Value, a.Count)
+		}
+	}
+	hw, whw := plain.Points[0].Metrics[3], windowed.Points[0].Metrics[3]
+	if !(whw.Value < hw.Value) {
+		t.Errorf("windowed high-water %v not below unbounded %v", whw.Value, hw.Value)
+	}
+}

@@ -75,6 +75,11 @@ func analysisTieBreak(s *Spec) chain.TieBreaker {
 // byzShare below).
 func orderedPrefix(stat func(r *Result, ids []appendmem.MsgID) float64) func(b *Bound) (func(*Result) float64, error) {
 	return func(b *Bound) (func(*Result) float64, error) {
+		if b.spec.Window > 0 {
+			// Order metrics rebuild the whole chain/dag from the final view;
+			// a windowed run has retired that prefix.
+			return nil, fmt.Errorf("scenario: order metrics need the full final view and cannot run with window > 0")
+		}
 		k := b.spec.K
 		switch b.spec.Protocol {
 		case Chain:
@@ -200,6 +205,12 @@ func init() {
 					}
 					return sum / float64(cnt)
 				}, nil
+			})})
+	Metrics.Register("mem-high-water",
+		"mean peak live-message count (= appends unbounded; bounded near `window` in windowed mode)",
+		MetricDef{Kind: KindMean, Bind: randomizedOnly("mem-high-water",
+			func(*Bound) (func(*Result) float64, error) {
+				return func(r *Result) float64 { return float64(r.MemHighWater) }, nil
 			})})
 	Metrics.Register("vis-lag",
 		"mean append-propagation lag over the topology (in Δ; 0 on the complete/oracle path)",

@@ -253,7 +253,7 @@ func init() {
 		"worst-case deterministic rule: prefer Byzantine-authored tips (Theorem 5.3)",
 		func(n, t int) chain.TieBreaker {
 			return chain.AdversarialTieBreaker{
-				IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= n - t },
+				IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= n-t },
 			}
 		})
 

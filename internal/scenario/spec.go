@@ -58,6 +58,19 @@ type Spec struct {
 	StallFor      float64 `json:"stall_for,omitempty"`       // blackout duration in Δ; 0 means 8
 	AsyncDelayMax float64 `json:"async_delay_max,omitempty"` // honest token-to-append delay bound in Δ (Theorem 5.1)
 
+	// Window > 0 runs the memory in windowed (bounded-live) mode: every Δ
+	// the harness retires messages no party can reach any more, keeping at
+	// least Window live. Decisions are unchanged. Chain/dag protocols with
+	// the silent or flip attack only; must cover the decision lookback
+	// k+confirm; incompatible with topology/async/stall and Checkpoint.
+	Window int `json:"window,omitempty"`
+	// Checkpoint reuses trial prefixes across a confirm sweep: the lowest
+	// confirmation point of each sweep group snapshots every trial at its
+	// first decision, and deeper-confirmation points fast-forward from the
+	// snapshot instead of re-simulating the shared prefix. Results are
+	// byte-identical with or without it. Chain/dag with silent/flip only.
+	Checkpoint bool `json:"checkpoint,omitempty"`
+
 	Seed   uint64 `json:"seed,omitempty"`   // base seed; trial i uses Seed+i
 	Trials int    `json:"trials,omitempty"` // trials per sweep point; 0 means 1
 
@@ -153,7 +166,7 @@ func ParseAxis(s string) (Axis, error) {
 func SweepAxes() []string {
 	return []string{
 		"n", "t", "crashes", "lambda", "delta", "k", "rounds", "confirm",
-		"margin", "stall_at", "stall_for", "async_delay_max", "seed",
+		"margin", "stall_at", "stall_for", "async_delay_max", "window", "seed",
 		"protocol", "tiebreak", "pivot", "attack", "inputs", "access",
 		"fresh_reads", "topology", "link_delay", "link_jitter", "delay_dist",
 		"topo:<param>",
@@ -227,6 +240,8 @@ func (s Spec) with(axis string, v Value) (Spec, error) {
 		err = setInt(&s.Margin)
 	case "stall_at":
 		err = setInt(&s.StallAtSize)
+	case "window":
+		err = setInt(&s.Window)
 	case "lambda":
 		err = setFloat(&s.Lambda)
 	case "delta":

@@ -25,6 +25,7 @@ func fullSpec() Spec {
 		TopologyTable: [][]float64{{0, 1, 0.5}, {1, 2}},
 		LinkDelay:     0.25, LinkJitter: 0.4, DelayDist: "uniform",
 		StallAtSize: 30, StallFor: 2, AsyncDelayMax: 4,
+		Window: 64, Checkpoint: true, // mutually exclusive at Bind; fine for the marshal round-trip
 		Seed: 7, Trials: 12,
 		Metrics: []string{"ok", "validity"},
 		Sweep: []Axis{

@@ -106,6 +106,17 @@ func (s *Sim) Reset() {
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
+// StartAt sets the clock of a fresh simulator to t, so a checkpointed run
+// resumes mid-stream with every rescheduled event keeping its original
+// absolute time. It panics once events are queued or the clock has moved —
+// jumping a live simulator would reorder causality.
+func (s *Sim) StartAt(t Time) {
+	if len(s.events) > 0 || s.now != 0 {
+		panic("sim: StartAt on a running simulator")
+	}
+	s.now = t
+}
+
 // Pending returns the number of scheduled, not-yet-fired events.
 func (s *Sim) Pending() int { return len(s.events) }
 

@@ -29,6 +29,21 @@ func New(seed, stream uint64) *PCG {
 	return p
 }
 
+// State is a snapshot of a generator's position in its stream. Capturing
+// and restoring it is how trial checkpointing resumes every rng stream at
+// the exact draw it had reached — replaying a run suffix byte-identically.
+type State struct {
+	State  uint64
+	Stream uint64
+}
+
+// State returns the generator's current state for later Restore.
+func (p *PCG) State() State { return State{State: p.state, Stream: p.inc} }
+
+// Restore returns a generator positioned exactly at s: its next draw is
+// the same the captured generator would have produced.
+func Restore(s State) *PCG { return &PCG{state: s.State, inc: s.Stream} }
+
 // Split derives a new, independent generator from p. The child's seed and
 // stream are drawn from p, so repeated Split calls yield distinct streams.
 // Split advances p.
