@@ -10,11 +10,12 @@ import (
 )
 
 // TestGossipFloodSteadyStateAllocs pins the steady-state allocation
-// behavior of the flood path: once the hop heap, the message pool and the
-// simulator's event heap are warm, a full broadcast-and-drain cycle over
-// the graph reuses everything — pooled gossipMsg records with their seen
-// bitmaps, value-typed hops, recycled simulator events. Only the optional
-// payload copy (skipped here with a nil body) should ever allocate.
+// behavior of the flood path: once the hop heap, the message pool, the
+// payload pool and the simulator's event heap are warm, a full
+// broadcast-and-drain cycle over the graph reuses everything — pooled
+// gossipMsg records with their seen bitmaps and arrival tables, pooled
+// payload buffers, value-typed hops, recycled simulator events. Zero
+// allocations per broadcast, payload copy included.
 func TestGossipFloodSteadyStateAllocs(t *testing.T) {
 	s := sim.New()
 	g := topology.Ring(32, 2, 0.1)
@@ -23,8 +24,9 @@ func TestGossipFloodSteadyStateAllocs(t *testing.T) {
 	for id := 0; id < g.N(); id++ {
 		nw.Register(appendmem.NodeID(id), func(Envelope) { delivered++ })
 	}
+	body := []byte("steady-state payload")
 	flood := func() {
-		nw.Broadcast(0, "append", nil)
+		nw.Broadcast(0, "append", body)
 		s.Run()
 	}
 	for i := 0; i < 50; i++ {

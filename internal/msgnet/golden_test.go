@@ -1,0 +1,102 @@
+package msgnet
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/appendmem"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden delivery traces")
+
+// goldenGraph is the fixed trace topology: a 64-node small-world graph,
+// the regime where flood and unicast paths both have real route choices.
+func goldenGraph() *topology.Graph {
+	return topology.WattsStrogatz(xrand.New(1234, 7), 64, 3, 0.3, 0.1)
+}
+
+// goldenTrial records the complete delivery trace of one seed: a flood
+// from a seed-chosen origin plus two source-routed unicasts, every
+// delivery as "(time, node, kind)" in arrival order, and the final
+// traffic counters. The trace is a pure function of (graph, seed) and is
+// pinned byte-for-byte against the pre-PR8 transport implementation.
+func goldenTrial(g *topology.Graph, routes *topology.Routes, seed uint64) string {
+	s := sim.New()
+	nw := NewGossipWithRoutes(s, xrand.New(seed, 1), g, topology.DelayModel{Kind: topology.DelayLongTail}, routes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "trial %d\n", seed)
+	for i := 0; i < g.N(); i++ {
+		i := i
+		nw.Register(appendmem.NodeID(i), func(e Envelope) {
+			fmt.Fprintf(&b, "%.12g %d %s %s\n", float64(s.Now()), i, e.Kind, e.Body)
+		})
+	}
+	origin := appendmem.NodeID(seed % uint64(g.N()))
+	nw.Broadcast(origin, "append", []byte("payload"))
+	nw.Send(origin, appendmem.NodeID((int(origin)+g.N()/2)%g.N()), "ack", []byte("a"))
+	nw.Send(appendmem.NodeID((int(origin)+1)%g.N()), origin, "ack", []byte("b"))
+	s.Run()
+	st := nw.Stats()
+	fmt.Fprintf(&b, "stats %d %d append=%d ack=%d\n", st.Messages, st.Bytes, st.ByKind["append"], st.ByKind["ack"])
+	return b.String()
+}
+
+// goldenTraces runs trials seeds through the worker pool and concatenates
+// their traces in seed order.
+func goldenTraces(g *topology.Graph, routes *topology.Routes, trials, workers int) string {
+	parts := runner.Trials(trials, 1, workers, func(seed uint64) string {
+		return goldenTrial(g, routes, seed)
+	})
+	return strings.Join(parts, "")
+}
+
+// TestGossipDeliveryTraceGolden pins the optimized transport's full
+// delivery trace — delivery order, timestamps (rng draw order), payloads
+// and traffic accounting — byte-identical to the pre-PR8 implementation
+// the committed golden was generated from, at workers 1 and 8 and with
+// the shared route plane engaged.
+func TestGossipDeliveryTraceGolden(t *testing.T) {
+	g := goldenGraph()
+	routes := topology.NewRoutes(g)
+	path := filepath.Join("testdata", "gossip_trace.golden")
+	got := goldenTraces(g, routes, 8, 1)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		diffLine := 0
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for diffLine < len(gl) && diffLine < len(wl) && gl[diffLine] == wl[diffLine] {
+			diffLine++
+		}
+		t.Fatalf("delivery trace diverges from pre-PR8 golden at line %d:\n got: %q\nwant: %q",
+			diffLine+1, at(gl, diffLine), at(wl, diffLine))
+	}
+	if w8 := goldenTraces(g, routes, 8, 8); w8 != got {
+		t.Fatal("delivery traces differ between workers 1 and 8")
+	}
+}
+
+func at(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<eof>"
+}

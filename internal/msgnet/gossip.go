@@ -17,11 +17,29 @@ import (
 // path. Every hop's delay is the link's base latency shaped by the delay
 // model dm.
 //
-// Determinism: relays are scheduled on the simulator's value-typed event
-// heap and all rng draws happen inside event callbacks or synchronous
-// sends, so the full delivery trace is a pure function of (g, dm, rng
-// state, send sequence) — byte-identical at any worker count.
+// Determinism: relays are scheduled on a value-typed hop heap keyed by
+// (at, seq) — the same total order the simulator fires by — and all rng
+// draws happen inside event callbacks or synchronous sends, so the full
+// delivery trace is a pure function of (g, dm, rng state, send sequence)
+// — byte-identical at any worker count.
+//
+// Payload ownership: the transport pools broadcast payload buffers and
+// recycles them once a flood fully drains, so an Envelope's Body is valid
+// for the duration of the handler call only — handlers that retain it
+// must copy (DESIGN.md §13).
 func NewGossip(s *sim.Sim, rng *xrand.PCG, g *topology.Graph, dm topology.DelayModel) *Network {
+	return NewGossipWithRoutes(s, rng, g, dm, nil)
+}
+
+// NewGossipWithRoutes is NewGossip with a precomputed shared route plane.
+// The plane must belong to g; all transports handed the same plane share
+// its per-source shortest-path trees read-only, so a sweep's trials pay
+// each Dijkstra once per graph instead of once per trial. A nil plane
+// keeps the transport-local lazy route table.
+func NewGossipWithRoutes(s *sim.Sim, rng *xrand.PCG, g *topology.Graph, dm topology.DelayModel, routes *topology.Routes) *Network {
+	if routes != nil && routes.Graph() != g {
+		panic("msgnet: route plane belongs to a different graph")
+	}
 	nw := newNetwork(s, rng, g.N())
 	eps := sim.Time(g.MinLatency() / 1e9)
 	if eps <= 0 {
@@ -32,10 +50,9 @@ func NewGossip(s *sim.Sim, rng *xrand.PCG, g *topology.Graph, dm topology.DelayM
 		g:      g,
 		dm:     dm,
 		eps:    eps,
-		msgs:   make(map[uint64]*gossipMsg),
-		routes: make(map[int]*route),
+		routes: routes,
 	}
-	t.tick = t.drain
+	t.tick = t.drainTick
 	nw.transport = t
 	return nw
 }
@@ -43,7 +60,16 @@ func NewGossip(s *sim.Sim, rng *xrand.PCG, g *topology.Graph, dm topology.DelayM
 // gossipTransport relays messages over an explicit graph. It owns its own
 // value-typed hop heap (same (at, seq) discipline as the network's pending
 // heap) because a hop's arrival triggers relaying, not just handler
-// delivery.
+// delivery. All per-message state lives in a slot-indexed freelist table —
+// no maps, no per-flood allocations in steady state.
+//
+// Event coalescing: instead of booking one simulator event per hop, the
+// transport keeps a single armed tick at the hop heap's minimum time.
+// Arming times form a strictly decreasing stack (a new arm is only pushed
+// when a hop beats the current minimum), every tick drains all hops at
+// exactly its instant and re-arms at the new minimum, so simulator-heap
+// traffic is O(distinct drain times) and the simulator's heap stays near
+// empty instead of holding every in-flight hop.
 type gossipTransport struct {
 	nw  *Network
 	g   *topology.Graph
@@ -52,21 +78,31 @@ type gossipTransport struct {
 
 	hops []hop // in-flight relay hops, min-heap on (at, seq)
 	hseq uint64
-	tick func() // bound drain, allocated once
+	tick func() // bound drainTick, allocated once
 
-	msgs   map[uint64]*gossipMsg // in-flight broadcasts by id
-	nextID uint64
-	free   []*gossipMsg // pooled records with seen bitmaps
+	// armed holds the times of outstanding coalesced ticks, strictly
+	// decreasing (top of the stack = earliest). Invariant: whenever the
+	// hop heap is non-empty, armed's top equals the heap minimum's time,
+	// so a tick can never fire with an empty hop heap.
+	armed []sim.Time
 
-	routes map[int]*route // per-source shortest-path trees, lazy
+	slots    []gossipMsg // in-flight broadcasts and unicasts by slot
+	freeSlot []int32     // recycled slot indexes, LIFO
+	payloads [][]byte    // pooled broadcast payload buffers
+
+	routes *topology.Routes // shared per-graph route plane (may be nil)
+	local  []route          // dense per-source fallback, lazy per source
 }
 
-// hop is one in-flight link transmission of a flooded message.
+// hop is one in-flight link transmission. The slot/gen pair identifies
+// the message record: generations catch (and panic on) any hop that
+// would touch a recycled slot.
 type hop struct {
 	at       sim.Time
 	seq      uint64
-	id       uint64 // broadcast id
-	to, from int32  // receiving node; inbound neighbor (-1 at the origin)
+	slot     int32
+	gen      uint32
+	to, from int32 // receiving node; inbound neighbor (-1 at the origin)
 }
 
 func (h *hop) before(o *hop) bool {
@@ -76,16 +112,21 @@ func (h *hop) before(o *hop) bool {
 	return h.seq < o.seq
 }
 
-// gossipMsg is one flooded broadcast: the payload, which nodes have taken
-// delivery, and how many hops are still in flight (the record is recycled
-// when the last one drains).
+// gossipMsg is one slot of the message table: a flooded broadcast (seen
+// bitset, relay fan-out) or a source-routed unicast (single delivery).
+// The record is recycled — generation bumped, payload buffer pooled —
+// when the last referencing hop drains.
 type gossipMsg struct {
-	env      Envelope // From/Kind/Body; To is set per delivery
-	seen     []uint64 // delivery bitset
-	inflight int
+	env      Envelope   // From/Kind/Body; To is set per delivery
+	seen     []uint64   // delivery bitset (broadcasts)
+	eta      []sim.Time // earliest pending arrival per node; 0 = none yet
+	inflight int32
+	gen      uint32
+	unicast  bool
 }
 
-// route is one source's shortest-path tree over the graph.
+// route is one source's shortest-path tree (transport-local fallback when
+// no shared plane is installed).
 type route struct {
 	dist []float64
 	prev []int32
@@ -96,35 +137,41 @@ func (t *gossipTransport) Name() string { return "gossip" }
 // Broadcast floods one payload from `from`. The origin's own delivery is
 // scheduled after eps (asynchronous like every other delivery, but not a
 // link transmission, so it is not counted in stats); relays fan out from
-// there as the flood drains.
+// there as the flood drains. The payload is copied into a pooled buffer
+// that is recycled when the flood drains.
 func (t *gossipTransport) Broadcast(nw *Network, from appendmem.NodeID, kind string, body []byte) {
 	if from < 0 || int(from) >= nw.n {
 		panic(fmt.Sprintf("msgnet: gossip broadcast from %d out of range", from))
 	}
-	id := t.nextID
-	t.nextID++
-	m := t.acquire()
-	m.env = Envelope{From: from, Kind: kind, Body: append([]byte(nil), body...)}
-	t.msgs[id] = m
-	t.schedule(id, m, -1, int32(from), t.eps)
+	slot := t.acquire()
+	m := &t.slots[slot]
+	m.env = Envelope{From: from, Kind: kind, Body: t.copyBody(body)}
+	m.inflight = 1
+	at := nw.s.Now() + t.eps
+	m.eta[from] = at
+	t.hseq++
+	t.push(hop{at: at, seq: t.hseq, slot: slot, gen: m.gen, to: int32(from), from: -1})
+	t.maybeArm()
 }
 
 // Unicast source-routes env along the minimum-latency path, sampling each
 // hop's delay (so the draw count equals the hop count) and delivering once
 // at the summed delay. Each hop counts as one transmission; a self-send
-// counts as one message.
+// (zero links) counts as one message and is delivered after the eps floor.
+// Delivery rides the same coalesced hop heap as floods, so unicasts book
+// no per-send simulator event either.
 func (t *gossipTransport) Unicast(nw *Network, env Envelope) {
 	src, dst := int(env.From), int(env.To)
 	if src < 0 || src >= nw.n {
 		panic(fmt.Sprintf("msgnet: gossip send from %d out of range", env.From))
 	}
-	r := t.route(src)
-	if dst != src && r.prev[dst] < 0 {
+	prev := t.prevFor(src)
+	if dst != src && prev[dst] < 0 {
 		panic(fmt.Sprintf("msgnet: gossip send %d -> %d unreachable", src, dst))
 	}
 	total, links := 0.0, 0
 	for v := dst; v != src; {
-		p := int(r.prev[v])
+		p := int(prev[v])
 		lat, _ := t.g.Link(p, v)
 		total += t.dm.Sample(lat, nw.rng)
 		links++
@@ -141,40 +188,90 @@ func (t *gossipTransport) Unicast(nw *Network, env Envelope) {
 	if delay <= 0 {
 		delay = t.eps
 	}
-	nw.DeliverAfter(delay, env)
-}
-
-// route returns src's shortest-path tree, computing it on first use. The
-// tree depends only on the immutable graph, so caching does not affect
-// determinism.
-func (t *gossipTransport) route(src int) *route {
-	r := t.routes[src]
-	if r == nil {
-		dist, prev := t.g.PathLatencies(src)
-		r = &route{dist: dist, prev: prev}
-		t.routes[src] = r
-	}
-	return r
-}
-
-// schedule pushes one hop and books its simulator event.
-func (t *gossipTransport) schedule(id uint64, m *gossipMsg, from, to int32, delay sim.Time) {
-	m.inflight++
+	slot := t.acquire()
+	m := &t.slots[slot]
+	m.env = env
+	m.unicast = true
+	m.inflight = 1
 	t.hseq++
-	t.push(hop{at: t.nw.s.Now() + delay, seq: t.hseq, id: id, to: to, from: from})
-	t.nw.s.After(delay, t.tick)
+	t.push(hop{at: nw.s.Now() + delay, seq: t.hseq, slot: slot, gen: m.gen, to: int32(dst), from: -1})
+	t.maybeArm()
 }
 
-// drain fires the earliest in-flight hop. First arrival at a node delivers
-// to its handler and relays to every neighbor except the inbound one;
-// later copies are suppressed. A dropped receiver is marked seen without
-// delivering or relaying — a crashed node neither learns nor forwards.
-func (t *gossipTransport) drain() {
+// prevFor returns src's shortest-path predecessor tree: from the shared
+// route plane when one is installed (computed once per graph, shared
+// across transports and trials), otherwise from the transport's dense
+// lazy table. Either way the tree depends only on the immutable graph,
+// so caching does not affect determinism.
+func (t *gossipTransport) prevFor(src int) []int32 {
+	if t.routes != nil {
+		return t.routes.For(src).Prev
+	}
+	if t.local == nil {
+		t.local = make([]route, t.g.N())
+	}
+	r := &t.local[src]
+	if r.prev == nil {
+		r.dist, r.prev = t.g.PathLatencies(src)
+	}
+	return r.prev
+}
+
+// maybeArm books a coalesced tick at the hop heap's minimum if no armed
+// tick covers it yet. Arm times are pushed strictly decreasing, so the
+// stack top is always the earliest outstanding tick.
+func (t *gossipTransport) maybeArm() {
+	at := t.hops[0].at
+	if n := len(t.armed); n == 0 || at < t.armed[n-1] {
+		t.armed = append(t.armed, at)
+		t.nw.s.At(at, t.tick)
+	}
+}
+
+// drainTick fires one coalesced tick: it consumes its arm record, drains
+// every hop scheduled at exactly this instant (relay delays are floored
+// at eps > 0, so hops pushed while draining always land strictly later),
+// and re-arms at the heap's new minimum if no outstanding tick covers it.
+func (t *gossipTransport) drainTick() {
+	n := len(t.armed)
+	if n == 0 || len(t.hops) == 0 {
+		panic("msgnet: coalesced gossip tick fired with an empty hop heap")
+	}
+	at := t.armed[n-1]
+	if t.hops[0].at != at {
+		panic("msgnet: coalesced gossip tick out of sync with hop heap")
+	}
+	for len(t.hops) > 0 && t.hops[0].at == at {
+		t.drainOne()
+	}
+	// Consume the arm record only now: while hops at this instant are
+	// still draining they remain the heap minimum, and leaving this
+	// tick's time on the stack is what stops a mid-drain relay's
+	// maybeArm from re-arming a duplicate tick at the current time.
+	t.armed = t.armed[:len(t.armed)-1]
+	if len(t.hops) > 0 {
+		t.maybeArm()
+	}
+}
+
+// drainOne pops and processes the earliest in-flight hop. First arrival
+// at a node delivers to its handler and relays to every neighbor except
+// the inbound one; later copies are suppressed. A dropped receiver is
+// marked seen without delivering or relaying — a crashed node neither
+// learns nor forwards.
+func (t *gossipTransport) drainOne() {
 	h := t.pop()
-	m := t.msgs[h.id]
+	m := &t.slots[h.slot]
+	if m.gen != h.gen {
+		panic("msgnet: gossip hop references a recycled slot")
+	}
 	m.inflight--
-	v := int(h.to)
-	if !bitGet(m.seen, v) {
+	if m.unicast {
+		env := m.env
+		if hnd := t.nw.handlers[env.To]; hnd != nil {
+			hnd(env)
+		}
+	} else if v := int(h.to); !bitGet(m.seen, v) {
 		bitSet(m.seen, v)
 		env := m.env
 		env.To = appendmem.NodeID(v)
@@ -182,48 +279,137 @@ func (t *gossipTransport) drain() {
 			if hnd := t.nw.handlers[v]; hnd != nil {
 				hnd(env)
 			}
-			t.g.Neighbors(v, func(j int, lat float64) bool {
-				if int32(j) != h.from {
-					t.relay(h.id, m, int32(v), int32(j), lat)
-				}
-				return true
-			})
+			t.relayBatch(h.slot, int32(v), h.from)
 		}
 	}
-	if m.inflight == 0 {
-		delete(t.msgs, h.id)
-		t.release(m)
+	// Handlers may broadcast, growing the slot table; re-index before the
+	// final bookkeeping.
+	if m = &t.slots[h.slot]; m.inflight == 0 {
+		t.release(h.slot)
 	}
 }
 
-// relay forwards m over one link, sampling the hop delay and counting the
-// transmission.
-func (t *gossipTransport) relay(id uint64, m *gossipMsg, from, to int32, lat float64) {
-	t.nw.Account(m.env, 1)
-	delay := sim.Time(t.dm.Sample(lat, t.nw.rng))
-	if delay <= 0 {
-		delay = t.eps
+// relayBatch fans slot's flood out from node v as one run of hops:
+// delays are sampled in ascending neighbor order (skipping the inbound
+// link — the exact per-neighbor draw order of the unbatched relay), the
+// run is appended to the hop arena and heapified as a block, and the
+// whole fan-out is accounted in one call. A transmission whose target
+// has already taken delivery is sampled and counted like any other but
+// not materialized as a hop — it could never deliver or relay, only
+// advance the virtual clock at quiescence (DESIGN.md §13).
+func (t *gossipTransport) relayBatch(slot, v, inbound int32) {
+	m := &t.slots[slot]
+	rng := t.nw.rng
+	now := t.nw.s.Now()
+	gen := m.gen
+	base := len(t.hops)
+	links, queued := 0, 0
+	if ts, ls := t.g.Adj(int(v)); ts != nil {
+		for k := 0; k < len(ts); k++ {
+			j := ts[k]
+			if j == inbound {
+				continue
+			}
+			links++
+			d := sim.Time(t.dm.Sample(ls[k], rng))
+			if d <= 0 {
+				d = t.eps
+			}
+			if bitGet(m.seen, int(j)) {
+				continue
+			}
+			at := now + d
+			if e := m.eta[j]; e != 0 && at >= e {
+				continue // a pending hop beats this one to j
+			}
+			m.eta[j] = at
+			t.hseq++
+			t.hops = append(t.hops, hop{at: at, seq: t.hseq, slot: slot, gen: gen, to: j, from: v})
+			queued++
+		}
+	} else { // implicit complete graph: synthesize the fan-out
+		t.g.Neighbors(int(v), func(j int, lat float64) bool {
+			if int32(j) == inbound {
+				return true
+			}
+			links++
+			d := sim.Time(t.dm.Sample(lat, rng))
+			if d <= 0 {
+				d = t.eps
+			}
+			if bitGet(m.seen, j) {
+				return true
+			}
+			at := now + d
+			if e := m.eta[j]; e != 0 && at >= e {
+				return true // a pending hop beats this one to j
+			}
+			m.eta[j] = at
+			t.hseq++
+			t.hops = append(t.hops, hop{at: at, seq: t.hseq, slot: slot, gen: gen, to: int32(j), from: v})
+			queued++
+			return true
+		})
 	}
-	t.schedule(id, m, from, to, delay)
+	if links > 0 {
+		t.nw.Account(m.env, links)
+	}
+	m.inflight += int32(queued)
+	if queued > 0 {
+		t.pushN(base)
+		t.maybeArm()
+	}
 }
 
-// acquire returns a cleared gossipMsg, reusing pooled seen bitmaps.
-func (t *gossipTransport) acquire() *gossipMsg {
-	if n := len(t.free); n > 0 {
-		m := t.free[n-1]
-		t.free = t.free[:n-1]
+// acquire returns a cleared slot, reusing freed records (and their seen
+// bitmaps) LIFO.
+func (t *gossipTransport) acquire() int32 {
+	if n := len(t.freeSlot); n > 0 {
+		slot := t.freeSlot[n-1]
+		t.freeSlot = t.freeSlot[:n-1]
+		m := &t.slots[slot]
 		for i := range m.seen {
 			m.seen[i] = 0
 		}
-		return m
+		for i := range m.eta {
+			m.eta[i] = 0
+		}
+		m.inflight = 0
+		m.unicast = false
+		return slot
 	}
-	return &gossipMsg{seen: make([]uint64, (t.g.N()+63)/64)}
+	t.slots = append(t.slots, gossipMsg{
+		seen: make([]uint64, (t.g.N()+63)/64),
+		eta:  make([]sim.Time, t.g.N()),
+	})
+	return int32(len(t.slots) - 1)
 }
 
-// release recycles a drained gossipMsg, releasing the payload.
-func (t *gossipTransport) release(m *gossipMsg) {
+// release recycles a drained slot: the generation is bumped so any stale
+// hop panics instead of touching the reused record, and a pooled
+// broadcast payload buffer returns to the pool.
+func (t *gossipTransport) release(slot int32) {
+	m := &t.slots[slot]
+	m.gen++
+	if !m.unicast && m.env.Body != nil {
+		t.payloads = append(t.payloads, m.env.Body[:0])
+	}
 	m.env = Envelope{}
-	t.free = append(t.free, m)
+	t.freeSlot = append(t.freeSlot, slot)
+}
+
+// copyBody copies a broadcast payload into a pooled buffer (nil for an
+// empty payload, matching the unpooled copy's behavior).
+func (t *gossipTransport) copyBody(body []byte) []byte {
+	if len(body) == 0 {
+		return nil
+	}
+	var buf []byte
+	if n := len(t.payloads); n > 0 {
+		buf = t.payloads[n-1]
+		t.payloads = t.payloads[:n-1]
+	}
+	return append(buf, body...)
 }
 
 func bitGet(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
@@ -231,8 +417,30 @@ func bitSet(b []uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
 
 // push adds h to the hop min-heap.
 func (t *gossipTransport) push(h hop) {
-	hs := append(t.hops, h)
-	i := len(hs) - 1
+	t.hops = append(t.hops, h)
+	t.siftUp(len(t.hops) - 1)
+}
+
+// pushN restores the heap property after a block of hops was appended at
+// index base. A block landing on an empty heap is heapified bottom-up
+// (Floyd, O(block)); otherwise each appended hop sifts up.
+func (t *gossipTransport) pushN(base int) {
+	hs := t.hops
+	if base == 0 {
+		for i := len(hs)/2 - 1; i >= 0; i-- {
+			t.siftDown(i)
+		}
+		return
+	}
+	for i := base; i < len(hs); i++ {
+		t.siftUp(i)
+	}
+}
+
+// siftUp restores the heap property for the element at index i.
+func (t *gossipTransport) siftUp(i int) {
+	hs := t.hops
+	h := hs[i]
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !h.before(&hs[parent]) {
@@ -242,7 +450,29 @@ func (t *gossipTransport) push(h hop) {
 		i = parent
 	}
 	hs[i] = h
-	t.hops = hs
+}
+
+// siftDown restores the heap property below index i.
+func (t *gossipTransport) siftDown(i int) {
+	hs := t.hops
+	n := len(hs)
+	h := hs[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && hs[r].before(&hs[l]) {
+			m = r
+		}
+		if !hs[m].before(&h) {
+			break
+		}
+		hs[i] = hs[m]
+		i = m
+	}
+	hs[i] = h
 }
 
 // pop removes and returns the minimum hop.
@@ -250,27 +480,11 @@ func (t *gossipTransport) pop() hop {
 	hs := t.hops
 	min := hs[0]
 	n := len(hs) - 1
-	last := hs[n]
+	hs[0] = hs[n]
 	hs = hs[:n]
 	t.hops = hs
 	if n > 0 {
-		i := 0
-		for {
-			l := 2*i + 1
-			if l >= n {
-				break
-			}
-			m := l
-			if r := l + 1; r < n && hs[r].before(&hs[l]) {
-				m = r
-			}
-			if !hs[m].before(&last) {
-				break
-			}
-			hs[i] = hs[m]
-			i = m
-		}
-		hs[i] = last
+		t.siftDown(0)
 	}
 	return min
 }

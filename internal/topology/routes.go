@@ -1,0 +1,71 @@
+package topology
+
+import "sync/atomic"
+
+// RoutePlane is one source's immutable shortest-path tree over a graph:
+// Dist[v] is the minimum summed base latency from the source to v (-1
+// when unreachable) and Prev[v] the predecessor of v on that path (-1
+// for the source and unreachable nodes) — the exact pair PathLatencies
+// returns, frozen for sharing. A published plane is never mutated.
+type RoutePlane struct {
+	Dist []float64
+	Prev []int32
+}
+
+// Routes is the shared route plane of one immutable graph: per-source
+// shortest-path trees computed at most once per (graph, source) and
+// shared read-only across every transport, trial and worker that routes
+// over the graph. Before Routes existed each gossip transport kept its
+// own lazy per-source cache, so a 256-trial sweep re-ran Dijkstra 256
+// times per source; a Routes handle amortizes that to once.
+//
+// Planes are computed lazily: the handle itself is O(n) and a plane is
+// only materialized for sources that actually originate unicasts, which
+// is what keeps 10k+-node graphs (where an eager all-pairs table would
+// be O(n²) memory) affordable.
+//
+// Concurrency: For is safe to call from any number of goroutines with no
+// locks. Dijkstra over an immutable graph is deterministic, so concurrent
+// first callers compute identical planes and publication races are
+// benign — one plane wins the CompareAndSwap, the rest are discarded.
+// Determinism downstream is unaffected: every caller reads the same
+// values either way, and route computation consumes no run rng.
+type Routes struct {
+	g      *Graph
+	planes []atomic.Pointer[RoutePlane]
+}
+
+// NewRoutes creates the (empty) shared route plane for g.
+func NewRoutes(g *Graph) *Routes {
+	return &Routes{g: g, planes: make([]atomic.Pointer[RoutePlane], g.N())}
+}
+
+// Graph returns the graph the planes are computed over.
+func (r *Routes) Graph() *Graph { return r.g }
+
+// For returns src's shortest-path plane, computing and publishing it on
+// first use. The returned plane is shared and must be treated as
+// read-only.
+func (r *Routes) For(src int) *RoutePlane {
+	if p := r.planes[src].Load(); p != nil {
+		return p
+	}
+	dist, prev := r.g.PathLatencies(src)
+	p := &RoutePlane{Dist: dist, Prev: prev}
+	if !r.planes[src].CompareAndSwap(nil, p) {
+		return r.planes[src].Load() // a concurrent computation won; use it
+	}
+	return p
+}
+
+// Computed returns how many source planes have been materialized so far
+// (inspection and tests; O(n)).
+func (r *Routes) Computed() int {
+	n := 0
+	for i := range r.planes {
+		if r.planes[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestRoutesMatchesPathLatencies pins that a shared plane is exactly the
+// Dijkstra result PathLatencies computes, for every source, and that
+// planes materialize lazily — only for sources that were asked for.
+func TestRoutesMatchesPathLatencies(t *testing.T) {
+	g := WattsStrogatz(xrand.New(3, 9), 40, 2, 0.3, 0.1)
+	r := NewRoutes(g)
+	if r.Graph() != g {
+		t.Fatal("Graph() does not return the bound graph")
+	}
+	if r.Computed() != 0 {
+		t.Fatalf("fresh Routes has %d planes computed, want 0", r.Computed())
+	}
+	for src := 0; src < g.N(); src += 3 {
+		p := r.For(src)
+		dist, prev := g.PathLatencies(src)
+		for v := 0; v < g.N(); v++ {
+			if p.Dist[v] != dist[v] || p.Prev[v] != prev[v] {
+				t.Fatalf("plane for %d diverges from PathLatencies at node %d: (%v,%d) vs (%v,%d)",
+					src, v, p.Dist[v], p.Prev[v], dist[v], prev[v])
+			}
+		}
+		if again := r.For(src); again != p {
+			t.Fatalf("For(%d) recomputed instead of returning the published plane", src)
+		}
+	}
+	if want := (g.N() + 2) / 3; r.Computed() != want {
+		t.Fatalf("Computed() = %d, want %d (only requested sources)", r.Computed(), want)
+	}
+}
+
+// TestRoutesConcurrentFor pins that concurrent first callers of the same
+// source converge on one published plane (the CompareAndSwap race is
+// benign) and that the race detector sees no unsynchronized access.
+func TestRoutesConcurrentFor(t *testing.T) {
+	g := WattsStrogatz(xrand.New(5, 2), 64, 3, 0.2, 0.1)
+	r := NewRoutes(g)
+	const workers = 8
+	planes := make([]*RoutePlane, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for src := 0; src < g.N(); src++ {
+				p := r.For(src)
+				if src == 17 {
+					planes[w] = p
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if planes[w] != planes[0] {
+			t.Fatalf("worker %d saw a different published plane for source 17", w)
+		}
+	}
+	if r.Computed() != g.N() {
+		t.Fatalf("Computed() = %d after touching every source, want %d", r.Computed(), g.N())
+	}
+}

@@ -149,6 +149,20 @@ func (g *Graph) Neighbors(i int, yield func(j int, lat float64) bool) {
 	}
 }
 
+// Adj returns node i's CSR adjacency row — neighbor ids and their base
+// latencies, ascending by neighbor id — for batch iteration without a
+// per-neighbor callback (the gossip relay hot loop). The slices alias
+// the graph's storage and must be treated as read-only. Complete graphs
+// keep their adjacency implicit and return nil slices; callers fall
+// back to Neighbors, which synthesizes the fan-out.
+func (g *Graph) Adj(i int) ([]int32, []float64) {
+	if g.complete {
+		return nil, nil
+	}
+	lo, hi := g.offsets[i], g.offsets[i+1]
+	return g.targets[lo:hi], g.lats[lo:hi]
+}
+
 // Edges calls yield once per undirected link (u < v) with its base
 // latency, stopping early when yield returns false.
 func (g *Graph) Edges(yield func(u, v int, lat float64) bool) {
