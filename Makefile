@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check cover bench bench-diff experiments quick examples scenarios clean
+.PHONY: all build test vet check cover bench bench-diff experiments quick examples scenarios distributed clean
 
 all: build vet test check
 
@@ -34,8 +34,8 @@ cover:
 # record under a different name (e.g. make bench BENCH=BENCH_local.json).
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 3
-BENCH ?= BENCH_PR8.json
-BENCH_BASE ?= BENCH_PR7.json
+BENCH ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR8.json
 BENCH_THRESHOLD ?= 0.35
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | $(GO) run ./cmd/benchjson -o $(BENCH)
@@ -61,6 +61,23 @@ scenarios:
 	@set -e; for f in examples/scenarios/*.json; do \
 		echo "== $$f"; $(GO) run ./cmd/amrun -spec $$f -trials 1; \
 	done
+
+# Distributed-sweep smoke: the same sweep run in-process and sharded
+# across two spawned worker processes must produce byte-identical output,
+# and a warm re-run over the cache directory must dispatch nothing.
+DIST_ARGS ?= -protocol dag -n 10 -t 4 -lambda 1 -k 21 -attack private-chain \
+	-trials 40 -sweep lambda=0.5,1,2 -metrics ok,validity,decide-time -format json
+distributed:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/amrun ./cmd/amrun; \
+	$$tmp/amrun $(DIST_ARGS) > $$tmp/local.json; \
+	$$tmp/amrun $(DIST_ARGS) -distribute 2 -cache $$tmp/cache -timing > $$tmp/dist.json 2> $$tmp/cold.txt; \
+	cmp $$tmp/local.json $$tmp/dist.json; \
+	$$tmp/amrun $(DIST_ARGS) -distribute 2 -cache $$tmp/cache -timing > $$tmp/warm.json 2> $$tmp/warm.txt; \
+	cmp $$tmp/local.json $$tmp/warm.json; \
+	cat $$tmp/cold.txt $$tmp/warm.txt; \
+	grep -q 'dispatched=0' $$tmp/warm.txt; \
+	echo "distributed smoke: byte-identical, warm run fully cache-served"
 
 examples:
 	$(GO) run ./examples/quickstart

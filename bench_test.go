@@ -25,6 +25,7 @@ import (
 	"repro/internal/appendmem"
 	"repro/internal/chain"
 	"repro/internal/dag"
+	"repro/internal/distrib"
 	"repro/internal/experiments"
 	"repro/internal/msgnet"
 	"repro/internal/report"
@@ -353,6 +354,28 @@ func BenchmarkTrialsReduceDispatch(b *testing.B) {
 			func(a, v uint64) uint64 { return a + v })
 		if sum == 0 {
 			b.Fatal("bad fold")
+		}
+	}
+}
+
+// BenchmarkDistributedDispatch times the distributed sweep machinery end
+// to end at its smallest useful scale: per iteration, two in-process
+// loopback workers are brought up (pipes, handshake), a 32-trial sync
+// sweep is chunked into leases, framed over the wire, executed, merged in
+// chunk order and the session torn down. The delta against
+// TrialsReduceDispatch is what -distribute costs over the in-process
+// pool.
+func BenchmarkDistributedDispatch(b *testing.B) {
+	spec := scenario.Spec{Protocol: scenario.Sync, N: 4, T: 1, Trials: 32, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ws := []distrib.Transport{distrib.Loopback(), distrib.Loopback()}
+		res, _, err := distrib.Run(spec, distrib.Config{Workers: ws, ChunkSize: 8})
+		if err != nil || len(res.Points) != 1 {
+			b.Fatalf("bad distributed run: %v", err)
+		}
+		for _, w := range ws {
+			w.Close()
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/appendmem"
+	"repro/internal/distrib"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -86,9 +87,24 @@ func main() {
 		format   = flag.String("format", "text", "sweep output format: text | md | json | csv")
 		out      = flag.String("o", "", "write sweep output to file instead of stdout")
 		workers  = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
+
+		distribute = flag.Int("distribute", 0, "spawn this many local worker processes and shard sweep trials across them")
+		workersAdr = flag.String("workers-addr", "", "comma-separated amworker TCP addresses to shard sweep trials across")
+		cacheDir   = flag.String("cache", "", "content-addressed lease result cache directory (distributed sweeps)")
+		leaseTO    = flag.Duration("lease-timeout", 0, "per-lease worker timeout before reassignment (0 = 2m)")
+		amworker   = flag.Bool("amworker", false, "internal: serve leases over stdio (what -distribute spawns)")
 	)
 	flag.Var(&sweeps, "sweep", "sweep axis as axis=v1,v2,... (repeatable; see -list for axes)")
 	flag.Parse()
+
+	// Worker mode: the re-exec'd child of a -distribute run. Serve leases
+	// over stdin/stdout until the coordinator hangs up.
+	if *amworker {
+		if err := distrib.ServeStdio(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// -list is a query, not a run.
 	if *list {
@@ -154,9 +170,18 @@ func main() {
 		spec.Metrics = splitList(*metricsF)
 	}
 
-	// A spec file, a sweep or an explicit metric set selects table mode;
-	// bare flag runs keep the classic single-run / trials output.
-	if *specPath != "" || len(spec.Sweep) > 0 || len(spec.Metrics) > 0 {
+	// A spec file, a sweep, an explicit metric set or a distributed flag
+	// selects table mode; bare flag runs keep the classic single-run /
+	// trials output.
+	distributed := *distribute > 0 || *workersAdr != "" || *cacheDir != ""
+	if *specPath != "" || len(spec.Sweep) > 0 || len(spec.Metrics) > 0 || distributed {
+		if distributed {
+			runDistributed(spec, distribOptions{
+				spawn: *distribute, addrs: *workersAdr,
+				cacheDir: *cacheDir, leaseTimeout: *leaseTO,
+			}, *format, *out, *timing)
+			return
+		}
 		runSweep(spec, *workers, *format, *out, *timing)
 		return
 	}
@@ -276,6 +301,75 @@ func runSweep(spec scenario.Spec, workers int, format, out string, timing bool) 
 		}
 		fmt.Fprintln(os.Stderr)
 	}
+	renderSweep(res, format, out)
+}
+
+// distribOptions carries the distributed-execution flags.
+type distribOptions struct {
+	spawn        int    // -distribute: local worker processes to fork
+	addrs        string // -workers-addr: remote amworker TCP addresses
+	cacheDir     string // -cache: lease result cache directory
+	leaseTimeout time.Duration
+}
+
+// runDistributed shards the sweep's trials across worker processes via
+// internal/distrib and renders the merged result — byte-identical to the
+// same sweep run in-process at the same seed.
+func runDistributed(spec scenario.Spec, o distribOptions, format, out string, timing bool) {
+	var ws []distrib.Transport
+	if o.addrs != "" {
+		remote, err := distrib.DialWorkers(o.addrs)
+		if err != nil {
+			fatal(err)
+		}
+		ws = append(ws, remote...)
+	}
+	if o.spawn > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			fatal(fmt.Errorf("cannot locate own binary to spawn workers: %w", err))
+		}
+		procs, err := distrib.SpawnN(o.spawn, []string{exe, "-amworker"}, nil)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range procs {
+			ws = append(ws, p)
+		}
+	}
+	defer func() {
+		for _, w := range ws {
+			w.Close()
+		}
+	}()
+
+	var cache *distrib.Cache
+	if o.cacheDir != "" {
+		var err error
+		if cache, err = distrib.NewCache(o.cacheDir, 0); err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	res, stats, err := distrib.Run(spec, distrib.Config{
+		Workers: ws, Cache: cache, LeaseTimeout: o.leaseTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if timing {
+		fmt.Fprintf(os.Stderr,
+			"amrun: sweep %v  workers=%d leases=%d dispatched=%d cache-hits=%d inline=%d retries=%d lost=%d\n",
+			time.Since(start).Round(time.Millisecond), len(ws),
+			stats.Leases, stats.Dispatched, stats.FromCache, stats.Inline, stats.Retries, stats.LostWorker)
+	}
+	renderSweep(res, format, out)
+}
+
+// renderSweep writes the point table in the requested format — shared by
+// the in-process and distributed paths so their bytes can only agree.
+func renderSweep(res *scenario.SweepResult, format, out string) {
 	var w io.Writer = os.Stdout
 	if out != "" {
 		f, err := os.Create(out)

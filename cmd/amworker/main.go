@@ -1,0 +1,45 @@
+// Command amworker serves append-memory sweep leases to a distributed
+// amrun coordinator. It speaks the internal/distrib length-prefixed JSON
+// protocol either over stdin/stdout (the default — what `amrun
+// -distribute N` spawns) or over TCP for remote fleets:
+//
+//	amworker -listen :7070          # on each worker machine
+//	amrun -spec sweep.json -workers-addr host1:7070,host2:7070
+//
+// A worker holds no state a coordinator depends on: killing one
+// mid-sweep only moves its leases elsewhere, the merged output is
+// byte-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/distrib"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve leases over TCP on this address (default: stdio)")
+	flag.Parse()
+
+	if *listen == "" {
+		if err := distrib.ServeStdio(); err != nil {
+			fmt.Fprintln(os.Stderr, "amworker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amworker:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "amworker: serving leases on %s\n", ln.Addr())
+	if err := distrib.ServeTCP(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "amworker:", err)
+		os.Exit(1)
+	}
+}

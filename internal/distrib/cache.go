@@ -1,0 +1,164 @@
+package distrib
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// LeaseKey is the content address of one lease: the canonical hash of the
+// point spec it runs (which covers every simulation parameter plus the
+// resolved metric names), the base seed, and the trial chunk. Worker
+// count, chunk scheduling and transport are deliberately absent — they
+// cannot change a lease's result.
+func LeaseKey(spec scenario.Spec, seed uint64, lo, hi int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "amlease/v1\nspec=%s\nseed=%d\nchunk=%d-%d\n", scenario.SpecHash(spec), seed, lo, hi)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is one retained lease result.
+type cacheEntry struct {
+	key  string
+	vals [][]uint64
+}
+
+// Cache is the content-addressed result cache: an in-memory LRU bounded
+// by entry count, optionally backed by a directory so repeated sweeps and
+// CI runs skip completed leases across processes. Disk entries are one
+// JSON file per key (written atomically via rename), so concurrent
+// coordinators sharing a directory at worst duplicate work, never corrupt
+// it.
+type Cache struct {
+	mu      sync.Mutex
+	dir     string // "" = memory only
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits, misses, evictions int
+}
+
+// DefaultCacheEntries bounds the in-memory cache when the caller does not
+// say otherwise; at a few KB per lease result this is a few MB.
+const DefaultCacheEntries = 4096
+
+// NewCache returns a cache holding at most maxEntries results in memory
+// (0 means DefaultCacheEntries). dir != "" additionally persists every
+// stored result under dir (created if missing); persisted entries survive
+// in-memory eviction and process restarts.
+func NewCache(dir string, maxEntries int) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("distrib: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, max: maxEntries, entries: map[string]*list.Element{}, lru: list.New()}, nil
+}
+
+// file is the on-disk serialization of one lease result.
+type cacheFile struct {
+	Key  string     `json:"key"`
+	Vals [][]uint64 `json:"vals"`
+}
+
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".json") }
+
+// Get returns the cached trial vectors for a lease key, consulting memory
+// first and then the backing directory. Counted as a hit or a miss.
+func (c *Cache) Get(key string) ([][]uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).vals, true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(key)); err == nil {
+			var f cacheFile
+			// A corrupt or foreign file is a miss, not an error: the lease
+			// just runs and overwrites it.
+			if json.Unmarshal(data, &f) == nil && f.Key == key {
+				c.insert(key, f.Vals)
+				c.hits++
+				return f.Vals, true
+			}
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a lease result in memory (evicting the least recently used
+// entry beyond the bound) and, when backed, on disk.
+func (c *Cache) Put(key string, vals [][]uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).vals = vals
+	} else {
+		c.insert(key, vals)
+	}
+	if c.dir != "" {
+		c.writeFile(key, vals)
+	}
+}
+
+// insert adds a fresh entry, evicting from the LRU tail past the bound.
+// Eviction only drops the in-memory copy: a disk-backed entry remains
+// content-addressed on disk and reloads on the next Get.
+func (c *Cache) insert(key string, vals [][]uint64) {
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, vals: vals})
+	for c.lru.Len() > c.max {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// writeFile persists one entry atomically (temp file + rename), so a
+// crashed or concurrent writer can never leave a torn entry.
+func (c *Cache) writeFile(key string, vals [][]uint64) {
+	data, err := json.Marshal(cacheFile{Key: key, Vals: vals})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions, Live int
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Live: c.lru.Len()}
+}

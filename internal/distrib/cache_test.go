@@ -1,0 +1,181 @@
+package distrib
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestLeaseKeyShape(t *testing.T) {
+	spec := scenario.Spec{Protocol: scenario.Dag, N: 8, Lambda: 1, K: 15, Trials: 8}
+	base := LeaseKey(spec, 1, 0, 4)
+	if len(base) != 64 { // hex sha256
+		t.Fatalf("lease key %q is not a sha256 hex digest", base)
+	}
+	// Every content input must move the key...
+	for name, k := range map[string]string{
+		"seed": LeaseKey(spec, 2, 0, 4),
+		"lo":   LeaseKey(spec, 1, 1, 4),
+		"hi":   LeaseKey(spec, 1, 0, 5),
+		"spec": LeaseKey(scenario.Spec{Protocol: scenario.Dag, N: 9, Lambda: 1, K: 15, Trials: 8}, 1, 0, 4),
+	} {
+		if k == base {
+			t.Fatalf("changing %s did not change the lease key", name)
+		}
+	}
+	// ...and nothing else: the same inputs re-derive the same key.
+	if LeaseKey(spec, 1, 0, 4) != base {
+		t.Fatalf("lease key is not deterministic")
+	}
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c, err := NewCache("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := func(n uint64) [][]uint64 { return [][]uint64{{n}} }
+	if _, ok := c.Get("a"); ok {
+		t.Fatalf("empty cache hit")
+	}
+	c.Put("a", v(1))
+	c.Put("b", v(2))
+	if got, ok := c.Get("a"); !ok || got[0][0] != 1 {
+		t.Fatalf("a: got %v ok=%v", got, ok)
+	}
+	// a was just used, so inserting c evicts b (the LRU tail).
+	c.Put("c", v(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatalf("b survived eviction past the bound")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatalf("recently-used a was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Live != 2 {
+		t.Fatalf("stats %+v, want 1 eviction and 2 live", st)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats %+v, want 2 hits / 2 misses", st)
+	}
+}
+
+func TestCacheDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	vals := [][]uint64{{1, 2}, {3, 4}}
+
+	c1, err := NewCache(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Put("k1", vals)
+
+	// A fresh cache over the same directory serves the entry from disk.
+	c2, err := NewCache(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get("k1")
+	if !ok || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("disk reload: got %v ok=%v", got, ok)
+	}
+
+	// Eviction drops only the memory copy; the next Get reloads from disk.
+	c3, err := NewCache(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.Put("k1", vals)
+	c3.Put("k2", [][]uint64{{9}})
+	if st := c3.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats %+v, want one eviction", st)
+	}
+	if got, ok := c3.Get("k1"); !ok || !reflect.DeepEqual(got, vals) {
+		t.Fatalf("evicted disk-backed entry did not reload: got %v ok=%v", got, ok)
+	}
+}
+
+func TestCacheCorruptFileIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatalf("corrupt cache file served as a hit")
+	}
+	// A key mismatch inside a well-formed file is also a miss.
+	if err := os.WriteFile(filepath.Join(dir, "sneaky.json"),
+		[]byte(`{"key":"other","vals":[[1]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("sneaky"); ok {
+		t.Fatalf("mismatched cache file served as a hit")
+	}
+}
+
+// A cached distributed run must return the identical result with zero
+// dispatches, and a shared disk cache must carry across coordinators.
+func TestRunWithCache(t *testing.T) {
+	spec := scenario.Spec{Name: "cached", Protocol: scenario.Dag, N: 8, T: 2, Lambda: 1, K: 15,
+		Attack: "private-chain", Trials: 10, Seed: 6,
+		Sweep: []scenario.Axis{{Name: "lambda", Values: []scenario.Value{{Num: 0.5}, {Num: 1}}}}}
+	local := mustRunLocal(t, spec)
+	dir := t.TempDir()
+
+	cold, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Loopback()
+	defer w.Close()
+	r1, s1, err := Run(spec, Config{Workers: []Transport{w}, Cache: cold, ChunkSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, spec, local, r1)
+	if s1.FromCache != 0 || s1.Dispatched == 0 {
+		t.Fatalf("cold run stats %+v", s1)
+	}
+
+	// Warm run, new coordinator and cache instance, no workers at all: every
+	// lease must come from the shared directory. The chunk size must match —
+	// a different chunking addresses different content.
+	warm, err := NewCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := Run(spec, Config{Cache: warm, ChunkSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, spec, local, r2)
+	if s2.FromCache != s2.Leases || s2.Dispatched != 0 || s2.Inline != 0 {
+		t.Fatalf("warm run was not fully cache-served: %+v", s2)
+	}
+
+	// Changing the seed must miss: content addresses cover it.
+	spec2 := spec
+	spec2.Seed = 7
+	_, s3, err := Run(spec2, Config{Cache: warm, ChunkSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.FromCache != 0 {
+		t.Fatalf("different seed hit the cache: %+v", s3)
+	}
+}
+
+func BenchmarkLeaseKey(b *testing.B) {
+	spec := scenario.Spec{Protocol: scenario.Dag, N: 32, Lambda: 1, K: 21, Trials: 64}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = LeaseKey(spec, 1, 0, 16)
+	}
+}

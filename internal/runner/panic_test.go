@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// catchTrialPanic runs fn and returns the *TrialPanic it panics with.
+func catchTrialPanic(t *testing.T, fn func()) (tp *TrialPanic) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("fan-out did not panic")
+		}
+		var ok bool
+		tp, ok = r.(*TrialPanic)
+		if !ok {
+			t.Fatalf("panic value is %T (%v), want *TrialPanic", r, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// A panicking trial must not crash the pool: TrialsReduce re-panics on
+// the caller with the trial index and seed annotated.
+func TestTrialsReducePanicAnnotated(t *testing.T) {
+	boom := errors.New("boom")
+	tp := catchTrialPanic(t, func() {
+		TrialsReduce(64, 100, 0, 0, func(seed uint64) int {
+			if seed == 107 {
+				panic(boom)
+			}
+			return 1
+		}, func(a, x int) int { return a + x })
+	})
+	if tp.Trial != 7 || tp.Seed != 107 {
+		t.Fatalf("panic annotated trial=%d seed=%d, want trial=7 seed=107", tp.Trial, tp.Seed)
+	}
+	if !errors.Is(tp, boom) {
+		t.Fatalf("TrialPanic does not unwrap to the original error: %v", tp)
+	}
+	if !strings.Contains(tp.Error(), "trial 7") {
+		t.Fatalf("Error() does not name the trial: %q", tp.Error())
+	}
+	if len(tp.Stack) == 0 {
+		t.Fatalf("no worker stack captured")
+	}
+}
+
+// Multiple panicking trials re-raise the lowest trial index, so the
+// failure is deterministic across worker counts and steal orders.
+func TestTrialsReducePanicLowestIndexWins(t *testing.T) {
+	tp := catchTrialPanic(t, func() {
+		TrialsReduce(256, 0, 0, 0, func(seed uint64) int {
+			if seed%3 == 2 { // trials 2, 5, 8, ...
+				panic("deterministic failure")
+			}
+			return 1
+		}, func(a, x int) int { return a + x })
+	})
+	if tp.Trial != 2 {
+		t.Fatalf("re-panicked trial %d, want the lowest panicking index 2", tp.Trial)
+	}
+}
+
+// Trials (the materializing form) gets the same annotation.
+func TestTrialsPanicAnnotated(t *testing.T) {
+	tp := catchTrialPanic(t, func() {
+		Trials(64, 0, 0, func(seed uint64) int {
+			if seed == 13 {
+				panic("boom")
+			}
+			return int(seed)
+		})
+	})
+	if tp.Trial != 13 || tp.Seed != 13 {
+		t.Fatalf("panic annotated trial=%d seed=%d, want 13/13", tp.Trial, tp.Seed)
+	}
+}
+
+// The pool must stay healthy after a recovered trial panic: subsequent
+// fan-outs on the same process-wide scheduler run to completion.
+func TestPoolSurvivesTrialPanic(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		catchTrialPanic(t, func() {
+			TrialsReduce(128, 0, 0, 0, func(seed uint64) int {
+				if seed == 64 {
+					panic("boom")
+				}
+				return 1
+			}, func(a, x int) int { return a + x })
+		})
+		got := CountTrials(512, 0, 0, func(seed uint64) bool { return seed%2 == 0 })
+		if got != 256 {
+			t.Fatalf("round %d: pool broken after panic: CountTrials = %d, want 256", round, got)
+		}
+	}
+}

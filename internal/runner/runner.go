@@ -7,6 +7,7 @@ package runner
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -19,21 +20,24 @@ import (
 //
 // Prefer TrialsReduce (or CountTrials/RateTrials/MeanTrials) when the
 // caller only folds the results: Trials materializes all n of them.
+//
+// If f panics on a pool worker, the fan-out still completes and Trials
+// re-panics on the caller with a *TrialPanic annotating the trial index
+// (the workers==1 inline path propagates the panic unwrapped).
 func Trials[T any](n int, base uint64, workers int, f func(seed uint64) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
 			out[i] = f(base + uint64(i))
 		}
-	}
-	if workers == 1 || n == 1 {
-		run(0, n)
 		return out
 	}
-	dispatch(n, workers, chunkFor(n), run)
+	dispatch(n, workers, chunkFor(n), base, func(i int) {
+		out[i] = f(base + uint64(i))
+	})
 	return out
 }
 
@@ -44,6 +48,11 @@ func Trials[T any](n int, base uint64, workers int, f func(seed uint64) T) []T {
 // current chunk of results and the submitting goroutine folds chunks as
 // their turn comes, so memory stays O(chunk·workers) instead of O(n):
 // huge -trials runs stop materializing []T.
+//
+// If f panics on a pool worker, the panicked chunk is never folded, the
+// fan-out still completes, and TrialsReduce re-panics on the caller with
+// a *TrialPanic annotating the trial index (the workers==1 inline path
+// propagates the panic unwrapped).
 func TrialsReduce[T, A any](n int, base uint64, workers int, acc A, f func(seed uint64) T, fold func(A, T) A) A {
 	if n <= 0 {
 		return acc
@@ -58,17 +67,29 @@ func TrialsReduce[T, A any](n int, base uint64, workers int, acc A, f func(seed 
 	nchunks := (n + chunk - 1) / chunk
 	bufs := make([][]T, nchunks)
 	ready := make([]atomic.Bool, nchunks)
-	run := func(lo, hi int) {
+	j := &job{n: n, chunk: chunk, fin: make(chan struct{})}
+	j.run = func(lo, hi int) {
 		buf := make([]T, hi-lo)
-		for i := lo; i < hi; i++ {
+		var done bool
+		i := lo
+		defer func() {
+			// A panicking trial function must not crash the bare pool
+			// goroutine: record it (annotated with the trial index) and let
+			// runChunk account the chunk, so the fan-out still completes and
+			// the submitter re-panics below. The chunk never turns ready, so
+			// no partial buffer is folded.
+			if !done {
+				j.recordPanic(&TrialPanic{Trial: i, Seed: base + uint64(i), Value: recover(), Stack: debug.Stack()})
+			}
+		}()
+		for ; i < hi; i++ {
 			buf[i-lo] = f(base + uint64(i))
 		}
+		done = true
 		c := lo / chunk
 		bufs[c] = buf
 		ready[c].Store(true)
 	}
-
-	j := &job{n: n, chunk: chunk, run: run, fin: make(chan struct{})}
 	if workers > 0 {
 		j.limit = int32(workers)
 	}
@@ -88,6 +109,7 @@ func TrialsReduce[T, A any](n int, base uint64, workers int, acc A, f func(seed 
 	}
 	<-j.fin
 	sched.remove(j)
+	j.repanic()
 	foldReady()
 	return acc
 }

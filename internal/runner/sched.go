@@ -21,7 +21,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -37,6 +39,83 @@ type job struct {
 	next   atomic.Int64 // next unclaimed trial index
 	done   atomic.Int64 // completed trials; == n closes fin
 	fin    chan struct{}
+
+	pmu sync.Mutex
+	pan *TrialPanic // lowest-index trial panic, re-raised on the submitter
+}
+
+// TrialPanic is the value a Trials/TrialsReduce fan-out re-panics with
+// when a trial function panicked on a pool worker: the original panic
+// value annotated with the trial index, its seed and the worker's stack.
+// Without it the panic would tear down the process from a bare scheduler
+// goroutine, with no way to tell which trial died.
+type TrialPanic struct {
+	Trial int    // trial index within the fan-out (0-based)
+	Seed  uint64 // base + Trial
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking worker at recover time
+}
+
+func (p *TrialPanic) Error() string {
+	return fmt.Sprintf("runner: trial %d (seed %#x) panicked: %v", p.Trial, p.Seed, p.Value)
+}
+
+func (p *TrialPanic) String() string {
+	return fmt.Sprintf("%s\nworker stack:\n%s", p.Error(), p.Stack)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As through the wrapper.
+func (p *TrialPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recordPanic keeps the panic of the lowest trial index, so concurrent
+// panics re-raise deterministically.
+func (j *job) recordPanic(p *TrialPanic) {
+	j.pmu.Lock()
+	if j.pan == nil || p.Trial < j.pan.Trial {
+		j.pan = p
+	}
+	j.pmu.Unlock()
+}
+
+// panicked reports whether some trial of this job has panicked so far.
+func (j *job) panicked() bool {
+	j.pmu.Lock()
+	p := j.pan
+	j.pmu.Unlock()
+	return p != nil
+}
+
+// repanic re-raises the recorded trial panic, if any, on the caller's
+// goroutine. Called by the submitter after fin: every executor has left
+// run, so the job's accounting is complete and the pool is unharmed.
+func (j *job) repanic() {
+	if j.pan != nil {
+		panic(j.pan)
+	}
+}
+
+// guarded wraps a per-trial body into the chunk runner the scheduler
+// executes: it tracks the in-flight trial index and converts a panic into
+// a recorded TrialPanic instead of crashing the pool worker. The chunk is
+// accounted as done by runChunk either way — recovery must not strand the
+// fan-out's completion barrier.
+func guarded(j *job, base uint64, body func(i int)) func(lo, hi int) {
+	return func(lo, hi int) {
+		i := lo
+		defer func() {
+			if r := recover(); r != nil {
+				j.recordPanic(&TrialPanic{Trial: i, Seed: base + uint64(i), Value: r, Stack: debug.Stack()})
+			}
+		}()
+		for ; i < hi; i++ {
+			body(i)
+		}
+	}
 }
 
 // runChunk claims and executes one chunk, reporting whether it did any
@@ -179,11 +258,13 @@ func chunkFor(n int) int {
 	return c
 }
 
-// dispatch fans run(lo, hi) over the pool with the submitting goroutine
-// helping, and returns when all n trials have completed. workers > 0 caps
-// the number of concurrent executors on this job.
-func dispatch(n, workers, chunk int, run func(lo, hi int)) {
-	j := &job{n: n, chunk: chunk, run: run, fin: make(chan struct{})}
+// dispatch fans body(i) for i in [0, n) over the pool with the submitting
+// goroutine helping, and returns when all n trials have completed.
+// workers > 0 caps the number of concurrent executors on this job. If any
+// trial panicked, dispatch re-panics on the caller with a TrialPanic.
+func dispatch(n, workers, chunk int, base uint64, body func(i int)) {
+	j := &job{n: n, chunk: chunk, fin: make(chan struct{})}
+	j.run = guarded(j, base, body)
 	if workers > 0 {
 		j.limit = int32(workers)
 	}
@@ -192,4 +273,5 @@ func dispatch(n, workers, chunk int, run func(lo, hi int)) {
 	}
 	<-j.fin
 	sched.remove(j)
+	j.repanic()
 }

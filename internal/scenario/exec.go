@@ -2,8 +2,6 @@ package scenario
 
 import (
 	"encoding/json"
-	"fmt"
-	"math"
 
 	"repro/internal/agreement"
 	"repro/internal/runner"
@@ -100,17 +98,9 @@ type metricAcc struct {
 // trials on the shared worker pool and aggregates the named metrics.
 // Binding or metric errors surface per point, before any trial runs.
 func RunSpec(spec Spec, o Options) (*SweepResult, error) {
-	names := spec.Metrics
-	if len(names) == 0 {
-		names = DefaultMetrics()
-	}
-	defs := make([]MetricDef, len(names))
-	for i, name := range names {
-		def, ok := Metrics.Lookup(name)
-		if !ok {
-			return nil, fmt.Errorf("scenario: unknown metric %q (have %s)", name, Metrics.Help())
-		}
-		defs[i] = def
+	names, defs, err := ResolveMetrics(spec)
+	if err != nil {
+		return nil, err
 	}
 	trials := spec.Trials
 	if trials <= 0 {
@@ -142,11 +132,9 @@ func RunSpec(spec Spec, o Options) (*SweepResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		extract := make([]func(*Result) float64, len(defs))
-		for i, def := range defs {
-			if extract[i], err = def.Bind(b); err != nil {
-				return nil, err
-			}
+		extract, err := b.MetricExtractors(defs)
+		if err != nil {
+			return nil, err
 		}
 		run := b.mustRun
 		var captured []*agreement.Checkpoint
@@ -184,56 +172,14 @@ func RunSpec(spec Spec, o Options) (*SweepResult, error) {
 			}
 		}
 		acc := runner.TrialsReduce(trials, pt.Spec.Seed, o.Workers, metricAcc{},
-			func(seed uint64) []float64 {
-				r := run(seed)
-				vals := make([]float64, len(extract))
-				for i, f := range extract {
-					vals[i] = f(r)
-				}
-				return vals
-			},
-			func(a metricAcc, vals []float64) metricAcc {
-				if a.sum == nil {
-					a.sum = make([]float64, len(vals))
-					a.cnt = make([]int, len(vals))
-				}
-				for i, v := range vals {
-					if math.IsNaN(v) {
-						continue
-					}
-					a.sum[i] += v
-					a.cnt[i]++
-				}
-				return a
-			})
+			trialValues(run, extract), metricAcc.fold)
 		for _, cp := range captured {
 			if cp != nil {
 				out.Reuse.Captured++
 			}
 		}
-		pr := PointResult{Spec: pt.Spec, Coords: pt.Coords, Trials: trials,
-			Metrics: make([]MetricValue, len(defs))}
-		for i, def := range defs {
-			mv := MetricValue{Name: names[i], Kind: def.Kind}
-			if acc.sum != nil {
-				switch def.Kind {
-				case KindRate:
-					mv.Count = int(acc.sum[i])
-					mv.Value = acc.sum[i] / float64(trials)
-				case KindMean:
-					mv.Count = acc.cnt[i]
-					if acc.cnt[i] > 0 {
-						mv.Value = acc.sum[i] / float64(acc.cnt[i])
-					} else {
-						mv.Value = math.NaN()
-					}
-				}
-			} else {
-				mv.Value = math.NaN()
-			}
-			pr.Metrics[i] = mv
-		}
-		out.Points = append(out.Points, pr)
+		out.Points = append(out.Points, PointResult{Spec: pt.Spec, Coords: pt.Coords,
+			Trials: trials, Metrics: acc.finalize(names, defs, trials)})
 	}
 	return out, nil
 }

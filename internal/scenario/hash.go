@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// specHashVersion is folded into every spec hash, so any change to the
+// canonical form (new Spec fields marshal in declared order, but a field
+// rename or semantic change would silently collide) invalidates old
+// content-addressed cache entries instead of serving stale results.
+const specHashVersion = "amspec/v1\n"
+
+// CanonicalSpec renders a spec in its canonical byte form: the JSON
+// marshaling of the parsed struct. Field order is the struct declaration
+// order regardless of how an input file ordered its keys, and ParseSpec
+// rejects unknown fields, so two JSON documents canonicalize equal iff
+// they describe the same spec. The canonical form round-trips: parsing it
+// and re-canonicalizing yields the same bytes.
+func CanonicalSpec(s Spec) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // Spec is a plain data struct; marshal cannot fail
+	}
+	return b
+}
+
+// SpecHash is the content address of a spec: a versioned SHA-256 over its
+// canonical form, rendered as lowercase hex. Key-order variations of the
+// same JSON document hash identically; any parameter change does not.
+func SpecHash(s Spec) string {
+	h := sha256.New()
+	h.Write([]byte(specHashVersion))
+	h.Write(CanonicalSpec(s))
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// Two JSON documents that differ only in key order must canonicalize —
+// and therefore hash — identically.
+func TestSpecHashKeyOrderInsensitive(t *testing.T) {
+	a, err := ParseSpec([]byte(`{
+		"protocol": "dag", "n": 10, "t": 4, "lambda": 1, "k": 41,
+		"attack": "private-chain", "trials": 20,
+		"metrics": ["ok", "validity"],
+		"topology_params": {"m": 3, "k": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{
+		"metrics": ["ok", "validity"],
+		"topology_params": {"k": 2, "m": 3},
+		"trials": 20, "attack": "private-chain",
+		"k": 41, "lambda": 1, "t": 4, "n": 10, "protocol": "dag"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SpecHash(a) != SpecHash(b) {
+		t.Fatalf("key order changed the spec hash:\n a=%s\n b=%s", CanonicalSpec(a), CanonicalSpec(b))
+	}
+}
+
+// Any parameter change must change the hash.
+func TestSpecHashSensitivity(t *testing.T) {
+	base := Spec{Protocol: Dag, N: 10, T: 4, Lambda: 1, K: 41, Trials: 20, Seed: 1}
+	seen := map[string]string{SpecHash(base): "base"}
+	for name, mut := range map[string]func(*Spec){
+		"n":       func(s *Spec) { s.N = 12 },
+		"seed":    func(s *Spec) { s.Seed = 2 },
+		"lambda":  func(s *Spec) { s.Lambda = 0.5 },
+		"attack":  func(s *Spec) { s.Attack = AttackSilent },
+		"metrics": func(s *Spec) { s.Metrics = []string{"ok"} },
+		"trials":  func(s *Spec) { s.Trials = 21 },
+	} {
+		s := base
+		mut(&s)
+		h := SpecHash(s)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("mutating %q collides with %q", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// The canonical form round-trips: parse(canonical(s)) canonicalizes to
+// the same bytes, so hashing is stable across serialize/parse cycles.
+func TestSpecHashRoundTrip(t *testing.T) {
+	s := Spec{
+		Name: "rt", Protocol: Chain, N: 8, T: 2, Lambda: 0.5, K: 21,
+		TieBreak: TieRandom, Attack: AttackFlip, Trials: 5, Seed: 9,
+		Metrics: []string{"ok", "duration"},
+		Sweep:   []Axis{{Name: "lambda", Values: []Value{{Num: 0.25}, {Num: 1}}}},
+	}
+	parsed, err := ParseSpec(CanonicalSpec(s))
+	if err != nil {
+		t.Fatalf("canonical form does not parse: %v", err)
+	}
+	if SpecHash(parsed) != SpecHash(s) {
+		t.Fatalf("canonical round-trip changed the hash")
+	}
+}
+
+// Unknown fields must be rejected at parse time, not silently dropped
+// into a colliding hash.
+func TestSpecParseRejectsUnknownField(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"protocol": "dag", "n": 10, "lamda": 1}`))
+	if err == nil || !strings.Contains(err.Error(), "lamda") {
+		t.Fatalf("misspelled field not rejected: %v", err)
+	}
+}
+
+// A sweep axis declared twice must be rejected with the axis named —
+// last-write-wins would silently drop the outer occurrence's values.
+func TestExpandRejectsDuplicateAxis(t *testing.T) {
+	s := Spec{Protocol: Dag, N: 10, Lambda: 1, K: 41, Sweep: []Axis{
+		{Name: "lambda", Values: []Value{{Num: 0.25}, {Num: 0.5}}},
+		{Name: "confirm", Values: []Value{{Num: 0}, {Num: 10}}},
+		{Name: "lambda", Values: []Value{{Num: 1}}},
+	}}
+	_, err := s.Expand()
+	if err == nil || !strings.Contains(err.Error(), `"lambda"`) {
+		t.Fatalf("duplicate axis not rejected by name: %v", err)
+	}
+	if _, err := RunSpec(s, Options{}); err == nil {
+		t.Fatalf("RunSpec accepted a duplicate sweep axis")
+	}
+}

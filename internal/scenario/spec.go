@@ -305,9 +305,17 @@ func (s Spec) Expand() ([]Point, error) {
 	base := s
 	base.Sweep = nil
 	points := []Point{{Spec: base}}
-	for _, ax := range s.Sweep {
+	for i, ax := range s.Sweep {
 		if len(ax.Values) == 0 {
 			return nil, fmt.Errorf("scenario: sweep axis %q has no values", ax.Name)
+		}
+		// A repeated axis would silently last-write-win: only the innermost
+		// occurrence would shape the point, while the outer one still
+		// multiplied the sweep and mislabeled the coordinates.
+		for _, prev := range s.Sweep[:i] {
+			if prev.Name == ax.Name {
+				return nil, fmt.Errorf("scenario: sweep axis %q declared twice", ax.Name)
+			}
 		}
 		next := make([]Point, 0, len(points)*len(ax.Values))
 		for _, p := range points {
