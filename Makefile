@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check cover bench bench-diff experiments quick examples scenarios distributed clean
+.PHONY: all build test vet check cover bench bench-diff experiments quick examples scenarios distributed search-smoke clean
 
 all: build vet test check
 
@@ -34,8 +34,8 @@ cover:
 # record under a different name (e.g. make bench BENCH=BENCH_local.json).
 BENCHTIME ?= 0.2s
 BENCHCOUNT ?= 3
-BENCH ?= BENCH_PR9.json
-BENCH_BASE ?= BENCH_PR8.json
+BENCH ?= BENCH_PR10.json
+BENCH_BASE ?= BENCH_PR9.json
 BENCH_THRESHOLD ?= 0.35
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) | $(GO) run ./cmd/benchjson -o $(BENCH)
@@ -78,6 +78,21 @@ distributed:
 	cat $$tmp/cold.txt $$tmp/warm.txt; \
 	grep -q 'dispatched=0' $$tmp/warm.txt; \
 	echo "distributed smoke: byte-identical, warm run fully cache-served"
+
+# Adversary-search smoke (~5s): a small-budget search must beat or match
+# the hand-coded preset it started from, and every promoted counterexample
+# committed under examples/scenarios/ must still reproduce its violation.
+SEARCH_ARGS ?= -protocol chain -n 9 -t 3 -lambda 0.5 -k 41 -tiebreak adversarial \
+	-attack fork -budget 960 -rungs 8,32 -seed 1
+search-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/amsearch ./cmd/amsearch; \
+	$$tmp/amsearch $(SEARCH_ARGS) | tee $$tmp/out.txt; \
+	grep -q '^best: ' $$tmp/out.txt; \
+	for f in examples/scenarios/searched-*.json; do \
+		$$tmp/amsearch -replay $$f; \
+	done; \
+	echo "search smoke: search ran, all promoted counterexamples reproduce"
 
 examples:
 	$(GO) run ./examples/quickstart

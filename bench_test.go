@@ -1,5 +1,5 @@
 // Package repro_test holds the repository-level benchmark harness: one
-// benchmark per experiment (E1–E23, see DESIGN.md's index), each of which
+// benchmark per experiment (E1–E24, see DESIGN.md's index), each of which
 // regenerates its experiment's tables — the same rows `amexp -e <id>`
 // prints — plus the single-line JSON record the same Result serializes
 // to, and reports the experiment's key figure as a custom metric.
@@ -262,6 +262,20 @@ func BenchmarkE22_TopologySeparation(b *testing.B) {
 func BenchmarkE23_BoundedMemory(b *testing.B) {
 	tables := runExperiment(b, "E23", 8)
 	b.ReportMetric(cellValue(b, tables[0].Rows[0][3]), "horizon-over-live-hw")
+}
+
+func BenchmarkE24_AdversarySearch(b *testing.B) {
+	tables := runExperiment(b, "E24", 8)
+	// Margin of the searched chain adversary over the strongest preset
+	// (≥ 0 by the E24 checks; 0 when the search lands exactly on one).
+	rows := tables[0].Rows
+	best := 0.0
+	for _, row := range rows[:len(rows)-1] {
+		if v := cellValue(b, row[2]); v > best {
+			best = v
+		}
+	}
+	b.ReportMetric(cellValue(b, rows[len(rows)-1][2])-best, "searched-minus-best-preset")
 }
 
 // --- substrate micro-benchmarks ---

@@ -48,38 +48,39 @@ func (s *sweepFlags) Set(v string) error {
 func main() {
 	var sweeps sweepFlags
 	var (
-		protocol = flag.String("protocol", "dag", scenario.Protocols.Help())
-		n        = flag.Int("n", 10, "total nodes")
-		t        = flag.Int("t", 0, "Byzantine nodes (the last t ids)")
-		lambda   = flag.Float64("lambda", 0.5, "token rate per node per Δ (randomized protocols)")
-		delta    = flag.Float64("delta", 1.0, "synchrony bound Δ")
-		k        = flag.Int("k", 21, "decision threshold (randomized protocols)")
-		rounds   = flag.Int("rounds", 0, "rounds for sync protocol (0 = t+1)")
-		tiebreak = flag.String("tiebreak", "random", "chain tie-breaking: "+scenario.TieBreaks.Help())
-		pivot    = flag.String("pivot", "ghost", "dag pivot rule: "+scenario.Pivots.Help())
-		attack   = flag.String("attack", "silent", scenario.Attacks.Help())
-		confirm  = flag.Int("confirm", 0, "chain/dag confirmation depth")
-		margin   = flag.Int("margin", 0, "last-minute attack burst margin (0 = default 6)")
-		crashes  = flag.Int("crashes", 0, "crash-faulty correct nodes")
-		inputs   = flag.String("inputs", "same", `inputs: same | same:-1 | split:<ones> | random`)
-		seed     = flag.Uint64("seed", 1, "base seed")
-		trials   = flag.Int("trials", 1, "number of runs (seeds seed..seed+trials-1)")
-		fresh    = flag.Bool("fresh-reads", false, "ablation: honest nodes read at grant time (no Δ staleness)")
-		access   = flag.String("access", "", "token authority: "+scenario.AccessModels.Help()+" (default poisson)")
-		topo     = flag.String("topology", "", "network topology: "+scenario.Topologies.Help()+" (default complete)")
-		topoPar  = flag.String("topology-params", "", "topology generator parameters as k=v,k=v (e.g. k=2,beta=0.3)")
-		linkDel  = flag.Float64("link-delay", 0, "base per-link latency in Δ (0 = default 0.5)")
-		linkJit  = flag.Float64("link-jitter", 0, "per-link delay spread fraction in [0,1) (0 = model default)")
-		delayD   = flag.String("delay-dist", "", "per-link delay distribution: "+strings.Join(topology.DelayKinds(), " | ")+" (default fixed)")
-		rr       = flag.Bool("round-robin", false, "ablation: burst-free round-robin token authority (same as -access round-robin)")
-		stallAt  = flag.Int("stall-at", 0, "inject async blackout once memory reaches this size (0 = off)")
-		stallFor = flag.Float64("stall-for", 0, "blackout duration in Δ (0 = default 8)")
-		adm      = flag.Float64("async-delay-max", 0, "honest token-to-append delay bound in Δ (0 = off)")
-		window   = flag.Int("window", 0, "bounded-memory horizon: retire message prefixes older than this many ids below every reachability floor (0 = unbounded)")
-		checkpt  = flag.Bool("checkpoint", false, "snapshot each trial at first decision and reuse the prefix across confirm-sweep points")
-		verbose  = flag.Bool("v", false, "print per-node decisions")
-		traceN   = flag.Int("trace", 0, "print the last N trace events of the run")
-		timing   = flag.Bool("timing", false, "report sweep wall clock and checkpoint prefix reuse on stderr")
+		protocol  = flag.String("protocol", "dag", scenario.Protocols.Help())
+		n         = flag.Int("n", 10, "total nodes")
+		t         = flag.Int("t", 0, "Byzantine nodes (the last t ids)")
+		lambda    = flag.Float64("lambda", 0.5, "token rate per node per Δ (randomized protocols)")
+		delta     = flag.Float64("delta", 1.0, "synchrony bound Δ")
+		k         = flag.Int("k", 21, "decision threshold (randomized protocols)")
+		rounds    = flag.Int("rounds", 0, "rounds for sync protocol (0 = t+1)")
+		tiebreak  = flag.String("tiebreak", "random", "chain tie-breaking: "+scenario.TieBreaks.Help())
+		pivot     = flag.String("pivot", "ghost", "dag pivot rule: "+scenario.Pivots.Help())
+		attack    = flag.String("attack", "silent", scenario.Attacks.Help())
+		attackPar = flag.String("attack-params", "", "attack template parameter overrides as name=value,name=value (see -list for each attack's schema)")
+		confirm   = flag.Int("confirm", 0, "chain/dag confirmation depth")
+		margin    = flag.Int("margin", 0, "last-minute attack burst margin (0 = default 6)")
+		crashes   = flag.Int("crashes", 0, "crash-faulty correct nodes")
+		inputs    = flag.String("inputs", "same", `inputs: same | same:-1 | split:<ones> | random`)
+		seed      = flag.Uint64("seed", 1, "base seed")
+		trials    = flag.Int("trials", 1, "number of runs (seeds seed..seed+trials-1)")
+		fresh     = flag.Bool("fresh-reads", false, "ablation: honest nodes read at grant time (no Δ staleness)")
+		access    = flag.String("access", "", "token authority: "+scenario.AccessModels.Help()+" (default poisson)")
+		topo      = flag.String("topology", "", "network topology: "+scenario.Topologies.Help()+" (default complete)")
+		topoPar   = flag.String("topology-params", "", "topology generator parameters as k=v,k=v (e.g. k=2,beta=0.3)")
+		linkDel   = flag.Float64("link-delay", 0, "base per-link latency in Δ (0 = default 0.5)")
+		linkJit   = flag.Float64("link-jitter", 0, "per-link delay spread fraction in [0,1) (0 = model default)")
+		delayD    = flag.String("delay-dist", "", "per-link delay distribution: "+strings.Join(topology.DelayKinds(), " | ")+" (default fixed)")
+		rr        = flag.Bool("round-robin", false, "ablation: burst-free round-robin token authority (same as -access round-robin)")
+		stallAt   = flag.Int("stall-at", 0, "inject async blackout once memory reaches this size (0 = off)")
+		stallFor  = flag.Float64("stall-for", 0, "blackout duration in Δ (0 = default 8)")
+		adm       = flag.Float64("async-delay-max", 0, "honest token-to-append delay bound in Δ (0 = off)")
+		window    = flag.Int("window", 0, "bounded-memory horizon: retire message prefixes older than this many ids below every reachability floor (0 = unbounded)")
+		checkpt   = flag.Bool("checkpoint", false, "snapshot each trial at first decision and reuse the prefix across confirm-sweep points")
+		verbose   = flag.Bool("v", false, "print per-node decisions")
+		traceN    = flag.Int("trace", 0, "print the last N trace events of the run")
+		timing    = flag.Bool("timing", false, "report sweep wall clock and checkpoint prefix reuse on stderr")
 
 		list     = flag.Bool("list", false, "enumerate the registries (protocols, tie-breaks, pivots, attacks, access models, metrics, sweep axes) and exit")
 		specPath = flag.String("spec", "", "run a JSON scenario spec (explicitly-set flags override its fields)")
@@ -92,6 +93,7 @@ func main() {
 		workersAdr = flag.String("workers-addr", "", "comma-separated amworker TCP addresses to shard sweep trials across")
 		cacheDir   = flag.String("cache", "", "content-addressed lease result cache directory (distributed sweeps)")
 		leaseTO    = flag.Duration("lease-timeout", 0, "per-lease worker timeout before reassignment (0 = 2m)")
+		chunkSize  = flag.Int("chunk", 0, "trials per distributed lease (0 = adaptive sizing, or 16 with -cache; shapes cache keys)")
 		amworker   = flag.Bool("amworker", false, "internal: serve leases over stdio (what -distribute spawns)")
 	)
 	flag.Var(&sweeps, "sweep", "sweep axis as axis=v1,v2,... (repeatable; see -list for axes)")
@@ -128,15 +130,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	attackParams, err := scenario.ParseAttackParams(*attackPar)
+	if err != nil {
+		fatal(err)
+	}
 
 	spec := scenario.Spec{
 		Protocol: scenario.Protocol(*protocol),
 		N:        *n, T: *t, Crashes: *crashes,
 		Lambda: *lambda, Delta: *delta, K: *k, Rounds: *rounds,
-		TieBreak: scenario.TieBreak(*tiebreak),
-		Pivot:    scenario.Pivot(*pivot),
-		Attack:   scenario.Attack(*attack),
-		Confirm:  *confirm, Margin: *margin,
+		TieBreak:     scenario.TieBreak(*tiebreak),
+		Pivot:        scenario.Pivot(*pivot),
+		Attack:       scenario.Attack(*attack),
+		AttackParams: attackParams,
+		Confirm:      *confirm, Margin: *margin,
 		Inputs: *inputs, Seed: *seed, Trials: *trials,
 		FreshReads:     *fresh,
 		Access:         scenario.Access(*access),
@@ -179,6 +186,7 @@ func main() {
 			runDistributed(spec, distribOptions{
 				spawn: *distribute, addrs: *workersAdr,
 				cacheDir: *cacheDir, leaseTimeout: *leaseTO,
+				chunk: *chunkSize,
 			}, *format, *out, *timing)
 			return
 		}
@@ -248,6 +256,8 @@ func overrideSpec(dst *scenario.Spec, flags scenario.Spec) {
 			dst.Pivot = flags.Pivot
 		case "attack":
 			dst.Attack = flags.Attack
+		case "attack-params":
+			dst.AttackParams = flags.AttackParams
 		case "confirm":
 			dst.Confirm = flags.Confirm
 		case "margin":
@@ -310,6 +320,7 @@ type distribOptions struct {
 	addrs        string // -workers-addr: remote amworker TCP addresses
 	cacheDir     string // -cache: lease result cache directory
 	leaseTimeout time.Duration
+	chunk        int // -chunk: trials per lease (0 = adaptive / default)
 }
 
 // runDistributed shards the sweep's trials across worker processes via
@@ -354,6 +365,7 @@ func runDistributed(spec scenario.Spec, o distribOptions, format, out string, ti
 	start := time.Now()
 	res, stats, err := distrib.Run(spec, distrib.Config{
 		Workers: ws, Cache: cache, LeaseTimeout: o.leaseTimeout,
+		ChunkSize: o.chunk,
 	})
 	if err != nil {
 		fatal(err)
@@ -447,9 +459,14 @@ func printList() {
 	section("protocols", scenario.Protocols.Names(), scenario.Protocols.Doc)
 	section("tie-breaks (chain)", scenario.TieBreaks.Names(), scenario.TieBreaks.Doc)
 	section("pivots (dag)", scenario.Pivots.Names(), scenario.Pivots.Doc)
-	section("attacks", scenario.Attacks.Names(), func(name string) string {
-		return fmt.Sprintf("[%s] %s", attackScope(name), scenario.Attacks.Doc(name))
-	})
+	fmt.Printf("attacks:\n")
+	for _, name := range scenario.Attacks.Names() {
+		fmt.Printf("  %-17s [%s] %s\n", name, attackScope(name), scenario.Attacks.Doc(name))
+		for _, line := range scenario.AttackParamLines(name) {
+			fmt.Printf("      %s\n", line)
+		}
+	}
+	fmt.Println()
 	section("access models", scenario.AccessModels.Names(), scenario.AccessModels.Doc)
 	section("topologies", scenario.Topologies.Names(), scenario.Topologies.Doc)
 	fmt.Printf("delay distributions:\n  %s\n\n", strings.Join(topology.DelayKinds(), ", "))

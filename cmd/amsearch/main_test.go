@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildAmsearch compiles this command once per test run — the tests
+// below exercise the shipped CLI end to end, including worker spawning.
+var buildAmsearch = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "amsearch-test")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "amsearch")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("go build: %v\n%s", err, out)
+	}
+	return bin, nil
+})
+
+func amsearchBin(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("builds and spawns amsearch processes")
+	}
+	bin, err := buildAmsearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (stdout string) {
+	t.Helper()
+	var so, se strings.Builder
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &so
+	cmd.Stderr = &se
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("amsearch %s: %v\nstderr:\n%s", strings.Join(args, " "), err, se.String())
+	}
+	return so.String()
+}
+
+var searchArgs = []string{
+	"-protocol", "chain", "-n", "9", "-t", "3", "-lambda", "0.5", "-k", "21",
+	"-tiebreak", "adversarial", "-attack", "fork",
+	"-budget", "120", "-rungs", "4,12", "-seed", "11", "-format", "json",
+}
+
+// The search trajectory is reproducible from the printed seed and does
+// not depend on how the trials are executed: in-process, and sharded
+// across two spawned worker processes, must yield the same JSON result
+// (the distributed run pins -chunk so even the lease accounting agrees).
+func TestSearchSeedReproducibleAndDistributeInvariant(t *testing.T) {
+	bin := amsearchBin(t)
+	local := run(t, bin, searchArgs...)
+	again := run(t, bin, searchArgs...)
+	if local != again {
+		t.Fatal("same seed produced different search results")
+	}
+	// Lease accounting differs between execution shapes by design, so
+	// compare the trajectory: everything up to the stats block.
+	cut := func(s string) string {
+		if i := strings.Index(s, "\"Stats\""); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	dist := run(t, bin, append(append([]string{}, searchArgs...), "-distribute", "2", "-chunk", "4")...)
+	if cut(local) != cut(dist) {
+		t.Fatalf("search result depends on -distribute:\nlocal:\n%s\ndist:\n%s", local, dist)
+	}
+}
+
+// -promote minimizes the winner to a single-seed spec; -replay on that
+// file must reproduce (exit 0), and -replay on a spec that never
+// disagrees must fail the build (exit 1).
+func TestPromoteReplayRoundTrip(t *testing.T) {
+	bin := amsearchBin(t)
+	dir := t.TempDir()
+	args := []string{
+		"-protocol", "chain", "-n", "9", "-t", "4", "-lambda", "0.5", "-k", "41",
+		"-tiebreak", "adversarial", "-attack", "fork",
+		"-budget", "120", "-rungs", "4,16", "-seed", "1", "-promote", dir,
+	}
+	out := run(t, bin, args...)
+	if !strings.Contains(out, "promoted: ") {
+		t.Fatalf("no promotion line in output:\n%s", out)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("promoted files = %v, err %v; want exactly one", files, err)
+	}
+	if out := run(t, bin, "-replay", files[0]); !strings.Contains(out, "reproduce") {
+		t.Fatalf("replay output: %s", out)
+	}
+
+	clean := filepath.Join(dir, "clean.json")
+	if err := os.WriteFile(clean, []byte(`{"protocol":"chain","n":6,"lambda":1,"k":11,"seed":1,"trials":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-replay", clean)
+	if err := cmd.Run(); err == nil {
+		t.Fatal("-replay on a clean spec should exit nonzero")
+	}
+}
+
+func TestListShowsSchemas(t *testing.T) {
+	bin := amsearchBin(t)
+	out := run(t, bin, "-list")
+	for _, want := range []string{"fork_period", "start_within", "withhold", "objectives:", "disagreement", "latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}

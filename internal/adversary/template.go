@@ -1,0 +1,192 @@
+package adversary
+
+import (
+	"repro/internal/access"
+	"repro/internal/agreement"
+	"repro/internal/agreement/dagba"
+	"repro/internal/appendmem"
+	"repro/internal/chain"
+	"repro/internal/dag"
+	"repro/internal/sim"
+)
+
+// This file holds the two parameterized attack templates the named chain
+// and DAG attacks are presets of. Each template generalizes the hand-coded
+// strategies of adversary.go along the axes a search harness wants to
+// explore — fork schedule, fork target, equivocation fan-out, private-chain
+// segment length, activation margin, release delay — while reproducing the
+// legacy adversaries byte-for-byte at the preset parameter values (the
+// differential tests in template_test.go pin this). Like the hand-coded
+// strategies, the templates draw no randomness of their own: a template run
+// is a pure function of (Params, seed).
+
+// ChainAttack is the parameterized chain-substrate template. Per grant it
+// reads the memory fresh and either *forks* (appends a sibling of a longest
+// tip, per Target) or *extends* (appends a child of a longest tip), driven
+// by a cyclic schedule: grant i forks iff i mod ForkPeriod < ForkCount,
+// plus the ForkLonely override that forks whenever only one longest tip
+// exists (keeping ties alive). Presets:
+//
+//	fork       = {ForkCount:1, ForkPeriod:1, Target:correct}   → ChainForker (Theorem 5.3)
+//	tiebreak   = {ForkCount:0, ForkPeriod:1}                   → ChainTieBreaker (Theorem 5.4)
+//	equivocate = {ForkCount:1, ForkPeriod:2, ForkLonely:true,
+//	              Target:first}                                → Equivocator
+type ChainAttack struct {
+	P     Params
+	env   *agreement.Env
+	idx   *chain.Cached
+	grant int
+}
+
+// Init implements agreement.Adversary.
+func (a *ChainAttack) Init(env *agreement.Env) {
+	a.env = env
+	a.idx = chain.NewCached()
+	a.grant = 0
+	if a.P.ForkPeriod < 1 {
+		a.P.ForkPeriod = 1
+	}
+	if a.P.Fanout < 1 {
+		a.P.Fanout = 1
+	}
+}
+
+// OnGrant implements agreement.Adversary.
+func (a *ChainAttack) OnGrant(g access.Grant) {
+	step := a.grant
+	a.grant++
+	view := a.env.Mem.Read()
+	tips := a.idx.At(view).LongestTips()
+	if len(tips) == 0 {
+		a.publish(g.Node, []appendmem.MsgID{appendmem.None})
+		return
+	}
+	fork := step%a.P.ForkPeriod < a.P.ForkCount
+	if !fork && a.P.ForkLonely && len(tips) == 1 {
+		fork = true
+	}
+	if fork {
+		if a.P.Target == TargetCorrect {
+			// Fork the first correct-authored longest tip; if every longest
+			// tip is already Byzantine, extend ours (no point forking it).
+			for _, tip := range tips {
+				if !a.env.Roster.IsByzantine(view.Message(tip).Author) {
+					a.publish(g.Node, []appendmem.MsgID{chain.Parent(view.Message(tip))})
+					return
+				}
+			}
+			a.publish(g.Node, []appendmem.MsgID{tips[0]})
+			return
+		}
+		a.publish(g.Node, []appendmem.MsgID{chain.Parent(view.Message(tips[0]))})
+		return
+	}
+	// Extend: round-robin across the first Fanout longest tips, so a raised
+	// fan-out feeds every live fork instead of only the first.
+	i := 0
+	if a.P.Fanout > 1 {
+		i = step % a.P.Fanout
+		if i >= len(tips) {
+			i = len(tips) - 1
+		}
+	}
+	a.publish(g.Node, []appendmem.MsgID{tips[i]})
+}
+
+// publish lands the block, immediately or Withhold·Δ later. The parents
+// were chosen against the grant-time view either way: a withheld block is
+// decided early and released late.
+func (a *ChainAttack) publish(node appendmem.NodeID, parents []appendmem.MsgID) {
+	if a.P.Withhold <= 0 {
+		a.env.Writer(node).MustAppend(-1, 0, parents)
+		return
+	}
+	a.env.Sim.After(sim.Time(a.P.Withhold*a.env.Cfg.Delta), func() {
+		a.env.Writer(node).MustAppend(-1, 0, parents)
+	})
+}
+
+// DagAttack is the parameterized DAG-substrate template: Byzantine grants
+// build private single-parent chains in Fanout round-robin lanes. A lane
+// roots its segments at the fresh pivot tip or at the genesis (Root), and
+// re-roots after every Segment blocks (0 = root once, never again).
+// StartWithin > 0 wastes every grant until the pivot ordering is within
+// that many values of the decision threshold k — the "last minute" gate.
+// Presets:
+//
+//	private-chain = {Root:pivot, Segment:1}                   → DagChainExtender (Lemma 5.5)
+//	last-minute   = {Root:pivot, Segment:1, StartWithin:m}    → DagLastMinute (margin m)
+//	private-fork  = {Root:genesis, Segment:0}                 → DagPrivateFork
+type DagAttack struct {
+	P Params
+	// Pivot must match the honest pivot rule when Root or StartWithin use it.
+	Pivot dagba.PivotRule
+	env   *agreement.Env
+	idx   *dag.Cached
+	tips  []appendmem.MsgID // per-lane private tip; None until rooted
+	seg   []int             // per-lane blocks since the last rooting
+	grant int
+}
+
+// Init implements agreement.Adversary.
+func (a *DagAttack) Init(env *agreement.Env) {
+	a.env = env
+	a.idx = dag.NewCached()
+	a.grant = 0
+	if a.P.Fanout < 1 {
+		a.P.Fanout = 1
+	}
+	if a.P.Root == "" {
+		a.P.Root = RootPivot
+	}
+	a.tips = make([]appendmem.MsgID, a.P.Fanout)
+	a.seg = make([]int, a.P.Fanout)
+	for i := range a.tips {
+		a.tips[i] = appendmem.None
+	}
+}
+
+// OnGrant implements agreement.Adversary.
+func (a *DagAttack) OnGrant(g access.Grant) {
+	step := a.grant
+	a.grant++
+	// The fresh view is only consulted when a parameter needs it, matching
+	// the legacy private-fork strategy, which never reads at all.
+	var pivot []appendmem.MsgID
+	if a.P.Root == RootPivot || a.P.StartWithin > 0 {
+		d := a.idx.At(a.env.Mem.Read())
+		pivot = a.Pivot.Pivot(d)
+		if a.P.StartWithin > 0 && len(d.Linearize(pivot)) < a.env.Cfg.K-a.P.StartWithin {
+			return // too early: wasting the token IS the strategy
+		}
+	}
+	lane := 0
+	if a.P.Fanout > 1 {
+		lane = step % a.P.Fanout
+	}
+	if a.tips[lane] == appendmem.None || (a.P.Segment > 0 && a.seg[lane] >= a.P.Segment) {
+		// Root a fresh segment.
+		var parents []appendmem.MsgID
+		if a.P.Root == RootPivot && len(pivot) > 0 {
+			parents = []appendmem.MsgID{pivot[len(pivot)-1]}
+		}
+		a.seg[lane] = 1
+		a.publish(g.Node, lane, parents)
+		return
+	}
+	a.seg[lane]++
+	a.publish(g.Node, lane, []appendmem.MsgID{a.tips[lane]})
+}
+
+// publish lands the block and records it as the lane's new tip — at grant
+// time, or Withhold·Δ later (in which case intervening grants still chain
+// off the previous tip, widening the private structure).
+func (a *DagAttack) publish(node appendmem.NodeID, lane int, parents []appendmem.MsgID) {
+	if a.P.Withhold <= 0 {
+		a.tips[lane] = a.env.Writer(node).MustAppend(-1, 0, parents).ID
+		return
+	}
+	a.env.Sim.After(sim.Time(a.P.Withhold*a.env.Cfg.Delta), func() {
+		a.tips[lane] = a.env.Writer(node).MustAppend(-1, 0, parents).ID
+	})
+}

@@ -1,0 +1,167 @@
+package adversary_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/agreement"
+	"repro/internal/agreement/chainba"
+	"repro/internal/agreement/dagba"
+	"repro/internal/appendmem"
+	"repro/internal/chain"
+)
+
+// fingerprint renders everything observable about one run — the verdict,
+// timing, every message's (author, value, parents), and every decision —
+// so two runs fingerprint equal iff they are byte-identical.
+func fingerprint(r *agreement.Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verdict=%+v dur=%v grants=%d appends=%d byz=%d\n",
+		r.Verdict, r.Duration, r.Grants, r.TotalAppends, r.ByzAppends)
+	v := r.FinalView
+	for i := 0; i < v.Size(); i++ {
+		m := v.Message(appendmem.MsgID(i))
+		fmt.Fprintf(&sb, "msg %d a=%d v=%d p=%v\n", i, m.Author, m.Value, m.Parents)
+	}
+	for i, d := range r.Outcome.Decided {
+		if d {
+			fmt.Fprintf(&sb, "node %d decided %+d at %v\n", i, r.Outcome.Decision[i], r.DecideTime[i])
+		}
+	}
+	return sb.String()
+}
+
+// TestChainPresetsByteIdentical pins the ChainAttack template at the three
+// chain presets byte-identical to the hand-coded adversaries across seeds
+// and tie-break rules.
+func TestChainPresetsByteIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy func() agreement.Adversary
+		params adversary.Params
+	}{
+		{"fork", func() agreement.Adversary { return &adversary.ChainForker{} },
+			adversary.Params{ForkCount: 1, ForkPeriod: 1, Target: adversary.TargetCorrect, Fanout: 1}},
+		{"tiebreak", func() agreement.Adversary { return &adversary.ChainTieBreaker{} },
+			adversary.Params{ForkCount: 0, ForkPeriod: 1, Target: adversary.TargetCorrect, Fanout: 1}},
+		{"equivocate", func() agreement.Adversary { return &adversary.Equivocator{} },
+			adversary.Params{ForkCount: 1, ForkPeriod: 2, ForkLonely: true, Target: adversary.TargetFirst, Fanout: 1}},
+	}
+	tbs := map[string]chain.TieBreaker{
+		"first":  chain.FirstTieBreaker{},
+		"random": chain.RandomTieBreaker{},
+		"adversarial": chain.AdversarialTieBreaker{
+			IsByzantine: func(id appendmem.NodeID) bool { return int(id) >= 10-3 },
+		},
+	}
+	for _, c := range cases {
+		for tbName, tb := range tbs {
+			for seed := uint64(1); seed <= 8; seed++ {
+				cfg := agreement.RandomizedConfig{N: 10, T: 3, Lambda: 1, K: 21, Seed: seed}
+				rule := chainba.Rule{TB: tb}
+				want := fingerprint(agreement.MustRun(cfg, rule, c.legacy()))
+				got := fingerprint(agreement.MustRun(cfg, rule, &adversary.ChainAttack{P: c.params}))
+				if want != got {
+					t.Fatalf("%s/%s seed %d: template diverges from legacy\nlegacy:\n%s\ntemplate:\n%s",
+						c.name, tbName, seed, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDagPresetsByteIdentical pins the DagAttack template at the three DAG
+// presets byte-identical to the hand-coded adversaries across seeds and
+// pivot rules.
+func TestDagPresetsByteIdentical(t *testing.T) {
+	cases := []struct {
+		name   string
+		legacy func(p dagba.PivotRule) agreement.Adversary
+		params adversary.Params
+	}{
+		{"private-chain", func(p dagba.PivotRule) agreement.Adversary { return &adversary.DagChainExtender{Pivot: p} },
+			adversary.Params{Root: adversary.RootPivot, Segment: 1, Fanout: 1}},
+		{"last-minute", func(p dagba.PivotRule) agreement.Adversary { return &adversary.DagLastMinute{Pivot: p} },
+			adversary.Params{Root: adversary.RootPivot, Segment: 1, StartWithin: 6, Fanout: 1}},
+		{"private-fork", func(p dagba.PivotRule) agreement.Adversary { return &adversary.DagPrivateFork{} },
+			adversary.Params{Root: adversary.RootGenesis, Segment: 0, Fanout: 1}},
+	}
+	for _, c := range cases {
+		for _, pivot := range []dagba.PivotRule{dagba.Ghost, dagba.Longest} {
+			for seed := uint64(1); seed <= 8; seed++ {
+				cfg := agreement.RandomizedConfig{N: 10, T: 4, Lambda: 1, K: 21, Seed: seed}
+				rule := dagba.Rule{Pivot: pivot}
+				want := fingerprint(agreement.MustRun(cfg, rule, c.legacy(pivot)))
+				got := fingerprint(agreement.MustRun(cfg, rule, &adversary.DagAttack{P: c.params, Pivot: pivot}))
+				if want != got {
+					t.Fatalf("%s/%v seed %d: template diverges from legacy\nlegacy:\n%s\ntemplate:\n%s",
+						c.name, pivot, seed, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSchemaValidation exercises the parameter schema: unknown names are
+// rejected with the valid set enumerated, range and kind violations are
+// rejected, and valid overrides land in the right fields.
+func TestSchemaValidation(t *testing.T) {
+	s := adversary.ChainSchema()
+	if _, err := s.Resolve(adversary.Params{}, map[string]adversary.ParamValue{
+		"no_such": adversary.IntVal(1)}); err == nil || !strings.Contains(err.Error(), "fork_count") {
+		t.Fatalf("unknown parameter not rejected with valid set: %v", err)
+	}
+	if _, err := s.Resolve(adversary.Params{}, map[string]adversary.ParamValue{
+		"fork_count": adversary.IntVal(-1)}); err == nil || !strings.Contains(err.Error(), "range") {
+		t.Fatalf("out-of-range int not rejected: %v", err)
+	}
+	if _, err := s.Resolve(adversary.Params{}, map[string]adversary.ParamValue{
+		"fork_count": adversary.FloatVal(1.5)}); err == nil {
+		t.Fatalf("non-integer int not rejected")
+	}
+	if _, err := s.Resolve(adversary.Params{}, map[string]adversary.ParamValue{
+		"target": adversary.StrVal("nonsense")}); err == nil {
+		t.Fatalf("bad enum not rejected")
+	}
+	p, err := s.Resolve(adversary.Params{ForkPeriod: 1, Fanout: 1}, map[string]adversary.ParamValue{
+		"fork_count":  adversary.IntVal(2),
+		"fork_period": adversary.IntVal(4),
+		"fork_lonely": adversary.BoolVal(true),
+		"target":      adversary.StrVal(adversary.TargetFirst),
+		"withhold":    adversary.FloatVal(0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ForkCount != 2 || p.ForkPeriod != 4 || !p.ForkLonely || p.Target != adversary.TargetFirst || p.Withhold != 0.5 {
+		t.Fatalf("overrides not applied: %+v", p)
+	}
+
+	d := adversary.DagSchema()
+	if _, err := d.Resolve(adversary.Params{}, map[string]adversary.ParamValue{
+		"fork_count": adversary.IntVal(1)}); err == nil {
+		t.Fatalf("chain parameter accepted by dag schema")
+	}
+}
+
+// TestTemplateNewCapabilities smoke-tests parameterizations outside the
+// preset space: they must run, terminate and stay deterministic.
+func TestTemplateNewCapabilities(t *testing.T) {
+	chainP := adversary.Params{ForkCount: 2, ForkPeriod: 3, Target: adversary.TargetFirst, Fanout: 3, Withhold: 0.5}
+	dagP := adversary.Params{Root: adversary.RootGenesis, Segment: 4, Fanout: 3, Withhold: 0.25}
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := agreement.RandomizedConfig{N: 10, T: 4, Lambda: 1, K: 21, Seed: seed}
+		a := fingerprint(agreement.MustRun(cfg, chainba.Rule{TB: chain.FirstTieBreaker{}}, &adversary.ChainAttack{P: chainP}))
+		b := fingerprint(agreement.MustRun(cfg, chainba.Rule{TB: chain.FirstTieBreaker{}}, &adversary.ChainAttack{P: chainP}))
+		if a != b {
+			t.Fatalf("chain template with withhold is not deterministic at seed %d", seed)
+		}
+		a = fingerprint(agreement.MustRun(cfg, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagAttack{P: dagP, Pivot: dagba.Ghost}))
+		b = fingerprint(agreement.MustRun(cfg, dagba.Rule{Pivot: dagba.Ghost}, &adversary.DagAttack{P: dagP, Pivot: dagba.Ghost}))
+		if a != b {
+			t.Fatalf("dag template with withhold is not deterministic at seed %d", seed)
+		}
+	}
+}

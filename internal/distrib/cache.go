@@ -17,10 +17,16 @@ import (
 // point spec it runs (which covers every simulation parameter plus the
 // resolved metric names), the base seed, and the trial chunk. Worker
 // count, chunk scheduling and transport are deliberately absent — they
-// cannot change a lease's result.
+// cannot change a lease's result. The spec's total trial count and its
+// display name/doc are zeroed too: the chunk [lo, hi) fully addresses the
+// work, so a budget escalation (say trials 16 → 64 in a successive-halving
+// search) reuses every chunk its lower rung already computed.
 func LeaseKey(spec scenario.Spec, seed uint64, lo, hi int) string {
+	spec.Trials = 0
+	spec.Name = ""
+	spec.Doc = ""
 	h := sha256.New()
-	fmt.Fprintf(h, "amlease/v1\nspec=%s\nseed=%d\nchunk=%d-%d\n", scenario.SpecHash(spec), seed, lo, hi)
+	fmt.Fprintf(h, "amlease/v2\nspec=%s\nseed=%d\nchunk=%d-%d\n", scenario.SpecHash(spec), seed, lo, hi)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

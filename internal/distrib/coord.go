@@ -21,12 +21,33 @@ type Config struct {
 	LeaseTimeout time.Duration
 	// ChunkSize is the trial count per lease. It shapes cache keys (a
 	// different chunking addresses different content), so it defaults to a
-	// fixed DefaultChunkSize independent of worker count.
+	// fixed DefaultChunkSize independent of worker count. When unset AND no
+	// cache is configured, the coordinator sizes chunks adaptively: it times
+	// a first probe lease and scales subsequent chunks toward
+	// TargetLeaseDuration (output bytes are identical either way — only
+	// lease boundaries move).
 	ChunkSize int
+	// TargetLeaseDuration is the wall-clock a lease should take under
+	// adaptive chunk sizing. 0 means DefaultTargetLeaseDuration.
+	TargetLeaseDuration time.Duration
+	// InlineWorkers caps the concurrency of leases run in this process
+	// (no workers configured, probe leases, or fallback after losses):
+	// 1 runs trials sequentially on the calling goroutine, <= 0 uses the
+	// process-wide pool. Results are identical for any value.
+	InlineWorkers int
 }
 
 // DefaultLeaseTimeout declares a worker lost when one lease exceeds it.
 const DefaultLeaseTimeout = 2 * time.Minute
+
+// DefaultTargetLeaseDuration is the adaptive chunk sizer's target: long
+// enough that framing is negligible, a small fraction of the lease
+// timeout so stragglers are caught quickly.
+const DefaultTargetLeaseDuration = time.Second
+
+// MaxAdaptiveChunk caps adaptive chunk growth so very fast trials still
+// yield enough leases to load-balance a fleet.
+const MaxAdaptiveChunk = 4096
 
 // DefaultChunkSize is the trials-per-lease default. Small enough to load-
 // balance a handful of workers on typical -trials counts, big enough that
@@ -80,6 +101,10 @@ func Run(spec scenario.Spec, cfg Config) (*scenario.SweepResult, *Stats, error) 
 		trials = 1
 	}
 	chunk := cfg.ChunkSize
+	// Adaptive chunk sizing only applies without a cache: cache keys are
+	// chunk-shaped, and a wall-clock-dependent chunking would make keys
+	// unreproducible across runs.
+	adaptive := chunk <= 0 && cfg.Cache == nil
 	if chunk <= 0 {
 		chunk = DefaultChunkSize
 	}
@@ -112,11 +137,50 @@ func Run(spec scenario.Spec, cfg Config) (*scenario.SweepResult, *Stats, error) 
 	var leases []*lease
 	wireSpecs := make([]scenario.Spec, len(points))
 	results := make(map[int][][]uint64) // lease id → trial vectors
+
+	// Adaptive sizing: run the first chunk of the first point inline as a
+	// timed probe, then scale the remaining chunks so one lease takes about
+	// TargetLeaseDuration. Only lease boundaries move — the merge
+	// concatenates chunk vectors in (point, trial) order, so the output
+	// stays byte-identical to any other chunking.
+	probeHi := 0
+	var probeVals [][]uint64
+	if adaptive && trials > chunk {
+		probeHi = chunk
+		start := time.Now()
+		probeVals = PackVals(bounds[0].bound.RunTrialValues(bounds[0].extract, 0, probeHi, cfg.InlineWorkers))
+		elapsed := time.Since(start)
+		target := cfg.TargetLeaseDuration
+		if target <= 0 {
+			target = DefaultTargetLeaseDuration
+		}
+		if elapsed > 0 {
+			scaled := int(float64(probeHi) * float64(target) / float64(elapsed))
+			if scaled < 1 {
+				scaled = 1
+			}
+			if scaled > MaxAdaptiveChunk {
+				scaled = MaxAdaptiveChunk
+			}
+			chunk = scaled
+		}
+	}
+
 	for i, pt := range points {
 		ws := pt.Spec
 		ws.Metrics = names
 		wireSpecs[i] = ws
-		for lo := 0; lo < trials; lo += chunk {
+		lo := 0
+		if i == 0 && probeHi > 0 {
+			// The probe is point 0's first lease, already resolved.
+			l := &lease{id: len(leases), point: 0, lo: 0, hi: probeHi,
+				key: LeaseKey(ws, ws.Seed, 0, probeHi)}
+			leases = append(leases, l)
+			results[l.id] = probeVals
+			stats.Inline++
+			lo = probeHi
+		}
+		for ; lo < trials; lo += chunk {
 			hi := lo + chunk
 			if hi > trials {
 				hi = trials
@@ -128,9 +192,13 @@ func Run(spec scenario.Spec, cfg Config) (*scenario.SweepResult, *Stats, error) 
 	}
 	stats.Leases = len(leases)
 
-	// Serve what the cache already knows.
+	// Serve what the cache already knows (the probe lease, if any, is
+	// already resolved).
 	var todo []*lease
 	for _, l := range leases {
+		if _, done := results[l.id]; done {
+			continue
+		}
 		if cfg.Cache != nil {
 			if vals, ok := cfg.Cache.Get(l.key); ok {
 				results[l.id] = vals
@@ -149,7 +217,7 @@ func Run(spec scenario.Spec, cfg Config) (*scenario.SweepResult, *Stats, error) 
 	}
 	inline := func(l *lease) {
 		stats.Inline++
-		record(l, PackVals(bounds[l.point].bound.RunTrialValues(bounds[l.point].extract, l.lo, l.hi, 0)))
+		record(l, PackVals(bounds[l.point].bound.RunTrialValues(bounds[l.point].extract, l.lo, l.hi, cfg.InlineWorkers)))
 	}
 
 	if err := dispatchLeases(todo, wireSpecs, cfg, stats, record, inline); err != nil {

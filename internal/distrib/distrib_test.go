@@ -265,3 +265,67 @@ func TestDuplicateAxisRejected(t *testing.T) {
 		t.Fatalf("duplicate sweep axis accepted")
 	}
 }
+
+// Adaptive chunk sizing (no explicit -chunk, no cache) must keep output
+// byte-identical to the fixed-chunk run — only lease boundaries move —
+// and the probe must count as one inline lease.
+func TestAdaptiveChunkingByteIdentical(t *testing.T) {
+	spec := scenario.Spec{Name: "adaptive", Protocol: scenario.Chain, N: 8, T: 2, Lambda: 1, K: 15,
+		Attack: "fork", Trials: 40, Seed: 3}
+	local := mustRunLocal(t, spec)
+	for _, target := range []time.Duration{time.Nanosecond, 50 * time.Millisecond, time.Second} {
+		w := Loopback()
+		dist, stats, err := Run(spec, Config{
+			Workers: []Transport{w}, TargetLeaseDuration: target})
+		w.Close()
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		assertSameResult(t, spec, local, dist)
+		if stats.Inline < 1 {
+			t.Fatalf("target %v: probe lease not counted inline: %+v", target, stats)
+		}
+	}
+}
+
+// A configured cache disables adaptive sizing: every lease key must be the
+// fixed-chunk key, so a warm rerun is served entirely from cache.
+func TestAdaptiveDisabledWithCache(t *testing.T) {
+	spec := scenario.Spec{Name: "adaptive-cache", Protocol: scenario.Chain, N: 8, T: 2, Lambda: 1, K: 15,
+		Trials: 40, Seed: 9}
+	cache, err := NewCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, stats, err := Run(spec, Config{Cache: cache, TargetLeaseDuration: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FromCache != 0 {
+		t.Fatalf("cold run served from cache: %+v", stats)
+	}
+	warm, stats, err := Run(spec, Config{Cache: cache, TargetLeaseDuration: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FromCache != stats.Leases {
+		t.Fatalf("warm run not fully cache-served (adaptive chunking leaked in?): %+v", stats)
+	}
+	assertSameResult(t, spec, cold, warm)
+}
+
+// LeaseKey ignores the spec's total trial count and display name: a
+// budget escalation reuses its low-budget chunks.
+func TestLeaseKeyIgnoresTrialsAndName(t *testing.T) {
+	a := scenario.Spec{Name: "a", Protocol: scenario.Chain, N: 8, T: 2, Lambda: 1, K: 15, Trials: 16}
+	b := a
+	b.Name, b.Doc, b.Trials = "b", "other doc", 64
+	if LeaseKey(a, 1, 0, 16) != LeaseKey(b, 1, 0, 16) {
+		t.Fatal("lease key depends on trials/name/doc")
+	}
+	c := a
+	c.Lambda = 2
+	if LeaseKey(a, 1, 0, 16) == LeaseKey(c, 1, 0, 16) {
+		t.Fatal("lease key ignores a simulation parameter")
+	}
+}

@@ -68,6 +68,7 @@ func All() []Experiment {
 		{"E21", "The GHOST advantage: private forks vs pivot rules", "Section 5.3 (refs [22],[14])", RunE21},
 		{"E22", "Chain vs DAG across network topologies", "Theorems 5.4/5.6 under gossip transport", RunE22},
 		{"E23", "Bounded-memory horizons: windowed views and checkpointed prefixes", "Definition 2.1 (view inclusion) / Section 4 (cost)", RunE23},
+		{"E24", "Searched adversaries beat hand-coded presets", "Theorems 5.3/5.6, Lemma 5.5 (worst-case strategies)", RunE24},
 	}
 }
 

@@ -28,8 +28,8 @@ func TestAllHaveUniqueIDs(t *testing.T) {
 			t.Fatalf("incomplete experiment %+v", e)
 		}
 	}
-	if len(seen) != 23 {
-		t.Fatalf("%d experiments, want 23", len(seen))
+	if len(seen) != 24 {
+		t.Fatalf("%d experiments, want 24", len(seen))
 	}
 }
 

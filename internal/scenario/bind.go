@@ -42,6 +42,12 @@ type Result struct {
 	// TotalAppends for an unbounded memory, bounded near the spec's Window
 	// in windowed mode (randomized runs only).
 	MemHighWater int
+
+	// Mem and DecideViewSize reconstruct each node's exact decision view
+	// (Mem.ViewAt(DecideViewSize[i])) for the invariant checks; randomized
+	// runs only, nil for sync.
+	Mem            *appendmem.Memory
+	DecideViewSize []int
 }
 
 // Bound is a spec resolved against the registries: the honest rule, the
@@ -128,6 +134,10 @@ func Bind(spec Spec) (*Bound, error) {
 	att, ok := Attacks.Lookup(string(attackName))
 	if !ok {
 		return nil, fmt.Errorf("scenario: unknown attack %q (have %s)", attackName, Attacks.Help())
+	}
+	if len(spec.AttackParams) > 0 && att.Schema == nil {
+		return nil, fmt.Errorf("scenario: attack %q takes no parameters (parameterized attacks: %s)",
+			attackName, strings.Join(ParameterizedAttacks(), " | "))
 	}
 
 	b := &Bound{spec: spec, sync: p.Sync, inputs: inputs}
@@ -428,6 +438,7 @@ func fromRandomized(r *agreement.Result) *Result {
 		DecideTime:   r.DecideTime,
 		VisMeanLag:   r.VisMeanLag,
 		MemHighWater: r.MemHighWater,
+		Mem:          r.Mem, DecideViewSize: r.DecideViewSize,
 	}
 }
 

@@ -35,8 +35,15 @@ func TestExampleScenarios(t *testing.T) {
 			if spec.Name == "" || spec.Doc == "" {
 				t.Error("example specs must carry name and doc")
 			}
-			if len(spec.Sweep) == 0 {
-				t.Error("example specs should demonstrate a sweep")
+			// Promoted counterexamples (amsearch -promote) are minimized
+			// single-seed, single-point specs by construction; everything
+			// else ships to demonstrate a sweep.
+			if searched := strings.HasPrefix(e.Name(), "searched-"); searched != (len(spec.Sweep) == 0) {
+				if searched {
+					t.Error("searched counterexamples must be minimized (no sweep)")
+				} else {
+					t.Error("example specs should demonstrate a sweep")
+				}
 			}
 			for _, m := range spec.Metrics {
 				if _, ok := Metrics.Lookup(m); !ok {

@@ -154,6 +154,130 @@ type AttackDef struct {
 	New func(s *Spec, rule agreement.HonestRule) (func() agreement.Adversary, error)
 	// NewSync builds the adversary factory for the sync protocol.
 	NewSync func(s *Spec) (func() syncba.Adversary, error)
+	// Schema declares the attack's settable template parameters; nil for
+	// attacks that are not presets of a template (they reject
+	// attack_params). Preset is the attack's default parameter assignment
+	// — the point in Schema space that reproduces the named strategy.
+	Schema adversary.Schema
+	Preset adversary.Params
+}
+
+// ResolveParams resolves the attack's parameter assignment for one spec:
+// the preset, adjusted by spec-level sugar (margin overrides a preset's
+// StartWithin), then the spec's attack_params overrides, each validated
+// against the schema. Attacks without a schema accept no overrides.
+func (d AttackDef) ResolveParams(s *Spec) (adversary.Params, error) {
+	p := d.Preset
+	if s.Margin > 0 && p.StartWithin > 0 {
+		p.StartWithin = s.Margin
+	}
+	if len(s.AttackParams) == 0 {
+		return p, nil
+	}
+	if d.Schema == nil {
+		return adversary.Params{}, fmt.Errorf("scenario: attack %q takes no parameters (parameterized attacks: %s)",
+			s.Attack, strings.Join(ParameterizedAttacks(), " | "))
+	}
+	overrides := make(map[string]adversary.ParamValue, len(s.AttackParams))
+	for name, v := range s.AttackParams {
+		overrides[name] = adversary.ParamValue{Num: v.Num, Str: v.Str, IsStr: v.IsStr}
+	}
+	rp, err := d.Schema.Resolve(p, overrides)
+	if err != nil {
+		return adversary.Params{}, fmt.Errorf("scenario: attack %q: %w", s.Attack, err)
+	}
+	return rp, nil
+}
+
+// AttackParamLines renders one attack's parameter schema as help lines —
+// name, type, range, preset default and doc — so amrun/amsearch -list
+// make the search space discoverable without reading source. Nil for
+// unparameterized attacks.
+func AttackParamLines(name string) []string {
+	def, ok := Attacks.Lookup(name)
+	if !ok || def.Schema == nil {
+		return nil
+	}
+	out := make([]string, 0, len(def.Schema))
+	for _, ps := range def.Schema {
+		out = append(out, fmt.Sprintf("%-13s %-6s %-15s default %-9s %s",
+			ps.Name, ps.Kind, ps.Range(), ps.Value(def.Preset).Text(), ps.Doc))
+	}
+	return out
+}
+
+// ExplicitAttackParams resolves the spec's attack parameters (preset,
+// margin sugar, attack_params overrides) and renders the full assignment
+// — every schema parameter, not just the overridden ones — as a spec
+// attack_params map. A counterexample spec written with the explicit
+// assignment stays a faithful regression even if a preset's defaults
+// drift later. Errors on unparameterized attacks.
+func ExplicitAttackParams(s Spec) (map[string]Value, error) {
+	attackName := s.Attack
+	if attackName == "" {
+		attackName = AttackSilent
+	}
+	def, ok := Attacks.Lookup(string(attackName))
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown attack %q (have %s)", attackName, Attacks.Help())
+	}
+	if def.Schema == nil {
+		return nil, fmt.Errorf("scenario: attack %q takes no parameters (parameterized attacks: %s)",
+			attackName, strings.Join(ParameterizedAttacks(), " | "))
+	}
+	p, err := def.ResolveParams(&s)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Value, len(def.Schema))
+	for _, ps := range def.Schema {
+		v := ps.Value(p)
+		out[ps.Name] = Value{Num: v.Num, Str: v.Str, IsStr: v.IsStr}
+	}
+	return out, nil
+}
+
+// ParameterizedAttacks enumerates the attacks carrying a parameter
+// schema, in registration order.
+func ParameterizedAttacks() []string {
+	var out []string
+	for _, name := range Attacks.order {
+		if Attacks.m[name].Schema != nil {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// chainTemplate builds the New constructor of a ChainAttack preset; the
+// def's ResolveParams applies spec-level overrides at Bind time.
+func chainTemplate(name Attack) func(*Spec, agreement.HonestRule) (func() agreement.Adversary, error) {
+	return func(s *Spec, _ agreement.HonestRule) (func() agreement.Adversary, error) {
+		def, _ := Attacks.Lookup(string(name))
+		p, err := def.ResolveParams(s)
+		if err != nil {
+			return nil, err
+		}
+		return func() agreement.Adversary { return &adversary.ChainAttack{P: p} }, nil
+	}
+}
+
+// dagTemplate builds the New constructor of a DagAttack preset. The
+// template's pivot rule follows the spec's (honest) pivot choice, like
+// the legacy strategies did.
+func dagTemplate(name Attack) func(*Spec, agreement.HonestRule) (func() agreement.Adversary, error) {
+	return func(s *Spec, _ agreement.HonestRule) (func() agreement.Adversary, error) {
+		def, _ := Attacks.Lookup(string(name))
+		p, err := def.ResolveParams(s)
+		if err != nil {
+			return nil, err
+		}
+		pivot, err := resolvePivot(s)
+		if err != nil {
+			return nil, err
+		}
+		return func() agreement.Adversary { return &adversary.DagAttack{P: p, Pivot: pivot} }, nil
+	}
 }
 
 // AccessDef applies one access-model choice to a randomized config.
@@ -286,62 +410,60 @@ func init() {
 				return func() agreement.Adversary { return &adversary.Random{} }, nil
 			},
 		})
+	// The chain and DAG attacks are presets of the two parameterized
+	// templates (adversary.ChainAttack / adversary.DagAttack): each preset
+	// pins the Params point that reproduces the original hand-coded
+	// strategy byte-for-byte (differential tests in internal/adversary),
+	// and attack_params / attack:<param> sweeps move off the preset.
+	chainSchema := adversary.ChainSchema()
+	dagSchema := adversary.DagSchema()
 	Attacks.Register(string(AttackFork),
 		"Theorem 5.3: fork the deepest correct block with a sibling (chain only)",
 		AttackDef{
 			Protocols: []Protocol{Chain},
-			New: func(*Spec, agreement.HonestRule) (func() agreement.Adversary, error) {
-				return func() agreement.Adversary { return &adversary.ChainForker{} }, nil
-			},
+			Schema:    chainSchema,
+			Preset:    adversary.Params{ForkCount: 1, ForkPeriod: 1, Target: adversary.TargetCorrect, Fanout: 1},
+			New:       chainTemplate(AttackFork),
 		})
 	Attacks.Register(string(AttackTieBreak),
 		"Theorem 5.4: extend the freshest tip so stale honest appends are wasted (chain only)",
 		AttackDef{
 			Protocols: []Protocol{Chain},
-			New: func(*Spec, agreement.HonestRule) (func() agreement.Adversary, error) {
-				return func() agreement.Adversary { return &adversary.ChainTieBreaker{} }, nil
-			},
+			Schema:    chainSchema,
+			Preset:    adversary.Params{ForkCount: 0, ForkPeriod: 1, Target: adversary.TargetCorrect, Fanout: 1},
+			New:       chainTemplate(AttackTieBreak),
 		})
 	Attacks.Register(string(AttackEquivocate),
 		"alternate forking and extending the two deepest tips (chain only)",
 		AttackDef{
 			Protocols: []Protocol{Chain},
-			New: func(*Spec, agreement.HonestRule) (func() agreement.Adversary, error) {
-				return func() agreement.Adversary { return &adversary.Equivocator{} }, nil
-			},
+			Schema:    chainSchema,
+			Preset:    adversary.Params{ForkCount: 1, ForkPeriod: 2, ForkLonely: true, Target: adversary.TargetFirst, Fanout: 1},
+			New:       chainTemplate(AttackEquivocate),
 		})
 	Attacks.Register(string(AttackPrivateChain),
 		"Lemma 5.5: continuously extend the pivot with single-parent private chains (dag only)",
 		AttackDef{
 			Protocols: []Protocol{Dag},
-			New: func(s *Spec, _ agreement.HonestRule) (func() agreement.Adversary, error) {
-				p, err := resolvePivot(s)
-				if err != nil {
-					return nil, err
-				}
-				return func() agreement.Adversary { return &adversary.DagChainExtender{Pivot: p} }, nil
-			},
+			Schema:    dagSchema,
+			Preset:    adversary.Params{Root: adversary.RootPivot, Segment: 1, Fanout: 1},
+			New:       dagTemplate(AttackPrivateChain),
 		})
 	Attacks.Register(string(AttackLastMinute),
 		"Lemma 5.5's literal strategy: stay silent, burst within `margin` of the decision (dag only)",
 		AttackDef{
 			Protocols: []Protocol{Dag},
-			New: func(s *Spec, _ agreement.HonestRule) (func() agreement.Adversary, error) {
-				p, err := resolvePivot(s)
-				if err != nil {
-					return nil, err
-				}
-				margin := s.Margin
-				return func() agreement.Adversary { return &adversary.DagLastMinute{Pivot: p, Margin: margin} }, nil
-			},
+			Schema:    dagSchema,
+			Preset:    adversary.Params{Root: adversary.RootPivot, Segment: 1, StartWithin: 6, Fanout: 1},
+			New:       dagTemplate(AttackLastMinute),
 		})
 	Attacks.Register(string(AttackPrivateFork),
 		"genesis-rooted private chain that never references honest blocks — the GHOST-motivating attack (dag only)",
 		AttackDef{
 			Protocols: []Protocol{Dag},
-			New: func(*Spec, agreement.HonestRule) (func() agreement.Adversary, error) {
-				return func() agreement.Adversary { return &adversary.DagPrivateFork{} }, nil
-			},
+			Schema:    dagSchema,
+			Preset:    adversary.Params{Root: adversary.RootGenesis, Segment: 0, Fanout: 1},
+			New:       dagTemplate(AttackPrivateFork),
 		})
 	Attacks.Register(string(AttackDelayedChain),
 		"Lemma 3.1: reveal a hidden signature chain one round too late (sync only)",

@@ -35,6 +35,10 @@ type Spec struct {
 
 	Attack Attack `json:"attack,omitempty"` // "" means silent
 	Margin int    `json:"margin,omitempty"` // last-minute attack: burst margin; 0 means 6
+	// AttackParams overrides individual template parameters of a
+	// parameterized attack (see the attack's Schema, printed by amrun
+	// -list). Unknown names and out-of-range values are rejected at Bind.
+	AttackParams map[string]Value `json:"attack_params,omitempty"`
 
 	// Inputs: "same" (all +1, default), "same:-1", "split:<ones>", or
 	// "random".
@@ -135,6 +139,25 @@ func ParseValue(tok string) Value {
 	return Value{Str: tok, IsStr: true}
 }
 
+// ParseAttackParams parses a CLI "name=value,name=value" list into the
+// spec's attack_params map. Values follow ParseValue (numbers become
+// numeric); names and ranges are validated at Bind against the bound
+// attack's schema.
+func ParseAttackParams(s string) (map[string]Value, error) {
+	if s == "" {
+		return nil, nil
+	}
+	params := map[string]Value{}
+	for _, tok := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(tok), "=")
+		if !ok || name == "" || val == "" {
+			return nil, fmt.Errorf("scenario: attack parameter %q is not of the form name=value", tok)
+		}
+		params[name] = ParseValue(val)
+	}
+	return params, nil
+}
+
 // ParseAxis parses a CLI sweep flag of the form "axis=v1,v2,...".
 func ParseAxis(s string) (Axis, error) {
 	name, vals, ok := strings.Cut(s, "=")
@@ -149,7 +172,7 @@ func ParseAxis(s string) (Axis, error) {
 		}
 		ax.Values = append(ax.Values, ParseValue(tok))
 	}
-	if topoParamAxis(ax.Name) != "" {
+	if topoParamAxis(ax.Name) != "" || attackParamAxis(ax.Name) != "" {
 		return ax, nil
 	}
 	for _, known := range SweepAxes() {
@@ -162,14 +185,16 @@ func ParseAxis(s string) (Axis, error) {
 
 // SweepAxes lists the parameter names a sweep may vary. In addition to
 // these, "topo:<param>" sweeps one topology generator parameter (e.g.
-// "topo:beta" for the small-world rewiring probability).
+// "topo:beta" for the small-world rewiring probability) and
+// "attack:<param>" sweeps one attack template parameter (e.g.
+// "attack:fork_period" for the chain templates' fork schedule).
 func SweepAxes() []string {
 	return []string{
 		"n", "t", "crashes", "lambda", "delta", "k", "rounds", "confirm",
 		"margin", "stall_at", "stall_for", "async_delay_max", "window", "seed",
 		"protocol", "tiebreak", "pivot", "attack", "inputs", "access",
 		"fresh_reads", "topology", "link_delay", "link_jitter", "delay_dist",
-		"topo:<param>",
+		"topo:<param>", "attack:<param>",
 	}
 }
 
@@ -177,6 +202,17 @@ func SweepAxes() []string {
 // addresses, or "" when the axis is not of that form.
 func topoParamAxis(axis string) string {
 	if p, ok := strings.CutPrefix(axis, "topo:"); ok && p != "" {
+		return p
+	}
+	return ""
+}
+
+// attackParamAxis returns the attack template parameter an
+// "attack:<param>" axis addresses, or "" when the axis is not of that
+// form. Name and value validation happen at Bind, against the bound
+// attack's schema.
+func attackParamAxis(axis string) string {
+	if p, ok := strings.CutPrefix(axis, "attack:"); ok && p != "" {
 		return p
 	}
 	return ""
@@ -210,6 +246,17 @@ func (s Spec) with(axis string, v Value) (Spec, error) {
 		return nil
 	}
 	var err error
+	if param := attackParamAxis(axis); param != "" {
+		// Copy-on-write, like topo:<param>: sweep points must not alias
+		// one params map.
+		params := make(map[string]Value, len(s.AttackParams)+1)
+		for k, pv := range s.AttackParams {
+			params[k] = pv
+		}
+		params[param] = v
+		s.AttackParams = params
+		return s, nil
+	}
 	if param := topoParamAxis(axis); param != "" {
 		if v.IsStr {
 			return s, fmt.Errorf("scenario: axis %q needs numeric values, got %q", axis, v.Str)

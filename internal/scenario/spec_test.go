@@ -19,8 +19,9 @@ func fullSpec() Spec {
 		Delta: 1.5, K: 21, Rounds: 4,
 		TieBreak: TieFirst, Pivot: PivotLongest, Confirm: 5,
 		Attack: AttackPrivateChain, Margin: 6,
-		Inputs: "split:4",
-		Access: AccessRoundRobin, FreshReads: true,
+		AttackParams: map[string]Value{"segment": {Num: 3}, "root": {Str: "genesis", IsStr: true}},
+		Inputs:       "split:4",
+		Access:       AccessRoundRobin, FreshReads: true,
 		Topology: TopoSmallWorld, TopologyParams: map[string]float64{"k": 2, "beta": 0.3},
 		TopologyTable: [][]float64{{0, 1, 0.5}, {1, 2}},
 		LinkDelay:     0.25, LinkJitter: 0.4, DelayDist: "uniform",
